@@ -1,0 +1,48 @@
+//! Criterion benchmark: bulk matrix sampling vs per-vertex baseline sampling
+//! (the amortization argument of §4.1.4), plus LADIES bulk sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmbs_graph::generators::{rmat, RmatConfig};
+use dmbs_sampling::baseline::PerVertexSageSampler;
+use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler, LadiesSampler, Sampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_bulk_sampling(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("bulk_sampling");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = rmat(&RmatConfig::new(11, 16), &mut rng).expect("generator");
+    let a = graph.adjacency();
+    let n = a.rows();
+
+    let batch_size = 64usize;
+    for &k in &[1usize, 8, 16] {
+        let batches: Vec<Vec<usize>> = (0..k)
+            .map(|_| (0..batch_size).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        let config = BulkSamplerConfig::new(batch_size, k);
+
+        let matrix = GraphSageSampler::new(vec![15, 10, 5]);
+        group.bench_with_input(BenchmarkId::new("matrix_sage_bulk", k), &k, |bench, _| {
+            let mut local = StdRng::seed_from_u64(6);
+            bench.iter(|| matrix.sample_bulk(a, &batches, &config, &mut local).expect("sample"));
+        });
+
+        let baseline = PerVertexSageSampler::new(vec![15, 10, 5]);
+        group.bench_with_input(BenchmarkId::new("per_vertex_sage", k), &k, |bench, _| {
+            let mut local = StdRng::seed_from_u64(6);
+            bench.iter(|| baseline.sample_bulk(a, &batches, &config, &mut local).expect("sample"));
+        });
+
+        let ladies = LadiesSampler::new(1, 64);
+        group.bench_with_input(BenchmarkId::new("ladies_bulk", k), &k, |bench, _| {
+            let mut local = StdRng::seed_from_u64(6);
+            bench.iter(|| ladies.sample_bulk(a, &batches, &config, &mut local).expect("sample"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_sampling);
+criterion_main!(benches);

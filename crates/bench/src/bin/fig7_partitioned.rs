@@ -1,0 +1,100 @@
+//! Figure 7: the Graph-Partitioned algorithm — sampling-time breakdown
+//! (probability / sampling / extraction and computation / communication) for
+//! GraphSAGE (top row of the figure) and LADIES (bottom row), across rank
+//! counts and replication factors.  Also prints the reference CPU LADIES time
+//! the paper compares against (§8.2.2).
+
+use dmbs_bench::{dataset, print_table, secs, Scale};
+use dmbs_comm::{Phase, Runtime};
+use dmbs_graph::datasets::DatasetKind;
+use dmbs_graph::minibatch::MinibatchPlan;
+use dmbs_sampling::baseline::ladies_reference;
+use dmbs_sampling::partitioned::{run_partitioned_ladies, run_partitioned_sage};
+use dmbs_sampling::plan::BulkSampleOutput;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn breakdown_row(p: usize, c: usize, per_row: &[BulkSampleOutput]) -> Vec<String> {
+    // Bulk-synchronous: each phase is as slow as the slowest process row.
+    let max = |f: &dyn Fn(&BulkSampleOutput) -> f64| {
+        per_row.iter().map(f).fold(0.0f64, f64::max)
+    };
+    let prob = max(&|o| o.profile.total(Phase::Probability));
+    let samp = max(&|o| o.profile.total(Phase::Sampling));
+    let extr = max(&|o| o.profile.total(Phase::Extraction));
+    let comp = max(&|o| o.profile.total_compute());
+    let comm = max(&|o| o.profile.total_comm());
+    vec![
+        format!("{p}"),
+        format!("{c}"),
+        secs(prob),
+        secs(samp),
+        secs(extr),
+        secs(comp),
+        secs(comm),
+        secs(comp + comm),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let header = ["ranks", "c", "probability", "sampling", "extraction", "computation", "communication", "total"];
+    for kind in [DatasetKind::Protein, DatasetKind::Papers] {
+        let ds = dataset(kind, scale);
+        let a = ds.graph.adjacency();
+        let batch_size = (ds.train_set.len() / 16).clamp(8, 128);
+        let plan = MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
+        let batches = plan.batches().to_vec();
+
+        // --- GraphSAGE (fanout 15,10,5) on the partitioned graph.
+        let mut sage_rows = Vec::new();
+        for &p in &scale.rank_counts() {
+            for &c in &[1usize, 2, 4] {
+                if p % c != 0 || c > p {
+                    continue;
+                }
+                let runtime = Runtime::new(p).expect("rank count is positive");
+                let per_row = run_partitioned_sage(&runtime, c, a, &batches, &[15, 10, 5], false, 13)
+                    .expect("partitioned GraphSAGE failed");
+                sage_rows.push(breakdown_row(p, c, &per_row));
+            }
+        }
+        print_table(
+            &format!("Figure 7 (top) — {} GraphSAGE partitioned sampling breakdown", kind.name()),
+            &header,
+            &sage_rows,
+        );
+
+        // --- LADIES (1 layer, s = 512 scaled down) on the partitioned graph.
+        let s = 64.min(ds.num_vertices() / 4);
+        let mut ladies_rows = Vec::new();
+        for &p in &scale.rank_counts() {
+            for &c in &[1usize, 2, 4] {
+                if p % c != 0 || c > p {
+                    continue;
+                }
+                let runtime = Runtime::new(p).expect("rank count is positive");
+                let per_row = run_partitioned_ladies(&runtime, c, a, &batches, 1, s, 13)
+                    .expect("partitioned LADIES failed");
+                ladies_rows.push(breakdown_row(p, c, &per_row));
+            }
+        }
+        print_table(
+            &format!("Figure 7 (bottom) — {} LADIES partitioned sampling breakdown (s = {s})", kind.name()),
+            &header,
+            &ladies_rows,
+        );
+
+        // --- Reference CPU LADIES (§8.2.2).
+        let start = std::time::Instant::now();
+        let mut rng = StdRng::seed_from_u64(13);
+        ladies_reference(a, &batches, 1, s, &mut rng).expect("reference LADIES failed");
+        println!(
+            "Reference single-device CPU LADIES on {}: {} s for all {} minibatches",
+            kind.name(),
+            secs(start.elapsed().as_secs_f64()),
+            batches.len()
+        );
+    }
+    println!("\nPaper reference: probability generation dominates GraphSAGE; column extraction dominates LADIES; increasing c shrinks communication.");
+}

@@ -1,0 +1,30 @@
+//! Table 4: GNN architecture parameters used by the experiments.
+
+use dmbs_bench::print_table;
+
+fn main() {
+    let rows = vec![
+        vec![
+            "SAGE".to_string(),
+            "1024".to_string(),
+            "(15,10,5)".to_string(),
+            "256".to_string(),
+            "3".to_string(),
+        ],
+        vec![
+            "LADIES".to_string(),
+            "512".to_string(),
+            "512".to_string(),
+            "256".to_string(),
+            "1".to_string(),
+        ],
+    ];
+    print_table(
+        "Table 4 — architecture parameters (as in the paper)",
+        &["GNN", "batch size", "fanout / s", "hidden", "layers"],
+        &rows,
+    );
+    println!(
+        "\nScaled-down harness runs shrink the batch size with the graphs (see dmbs_bench::sage_training_config)\nbut keep the layer structure and fanout shape."
+    );
+}

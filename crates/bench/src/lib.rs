@@ -1,0 +1,161 @@
+//! Shared helpers for the experiment harnesses.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! binary in `src/bin/`; this library holds the pieces they share: scaled
+//! dataset presets, the simulated "GPU count" sweeps, and plain-text table
+//! printing.  The harnesses print the same rows/series the paper reports so
+//! that `EXPERIMENTS.md` can record paper-vs-measured values side by side.
+//!
+//! Scale knobs: the full-paper sizes (128 GPUs, 111M-vertex graphs) do not
+//! fit a CPU-only reproduction, so the defaults are scaled down.  Setting the
+//! environment variable `DMBS_SCALE=large` increases graph sizes and the rank
+//! sweep; `DMBS_SCALE=small` (default) keeps every harness under a few
+//! minutes.
+
+use dmbs_graph::datasets::{build_dataset, Dataset, DatasetConfig, DatasetKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scale of a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast defaults (seconds to a couple of minutes per harness).
+    Small,
+    /// Larger graphs and wider rank sweeps (several minutes per harness).
+    Large,
+}
+
+impl Scale {
+    /// Reads the scale from the `DMBS_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("DMBS_SCALE").as_deref() {
+            Ok("large") | Ok("LARGE") => Scale::Large,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The simulated rank ("GPU") counts swept by the scaling figures.
+    pub fn rank_counts(&self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![4, 8, 16],
+            Scale::Large => vec![4, 8, 16, 32],
+        }
+    }
+
+    /// log2 of the stand-in graph sizes.
+    pub fn dataset_scale(&self) -> u32 {
+        match self {
+            Scale::Small => 11, // 2048 vertices
+            Scale::Large => 13, // 8192 vertices
+        }
+    }
+}
+
+/// Builds the scaled-down stand-in for one of the paper's datasets
+/// (Table 3) with a deterministic seed.
+pub fn dataset(kind: DatasetKind, scale: Scale) -> Dataset {
+    let s = scale.dataset_scale();
+    let config = match kind {
+        DatasetKind::Products => DatasetConfig::products_like(s),
+        DatasetKind::Protein => DatasetConfig::protein_like(s.saturating_sub(1)),
+        DatasetKind::Papers => DatasetConfig::papers_like(s),
+    };
+    build_dataset(&config, &mut StdRng::seed_from_u64(kind_seed(kind))).expect("valid preset")
+}
+
+fn kind_seed(kind: DatasetKind) -> u64 {
+    match kind {
+        DatasetKind::Products => 101,
+        DatasetKind::Protein => 202,
+        DatasetKind::Papers => 303,
+    }
+}
+
+/// Scaled-down training hyper-parameters derived from Table 4: the fanout
+/// structure and layer count are the paper's, the batch size is shrunk with
+/// the graphs.
+pub fn sage_training_config(dataset: &Dataset) -> dmbs_gnn::TrainingConfig {
+    let batch_size = (dataset.train_set.len() / 8).clamp(8, 256);
+    dmbs_gnn::TrainingConfig {
+        fanouts: vec![15, 10, 5],
+        hidden_dim: 64,
+        batch_size,
+        bulk_size: 8,
+        learning_rate: 0.02,
+        epochs: 2,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// The replication factor used for a given rank count, mirroring the paper's
+/// choice of the largest `c` that memory allows (Figure 4 annotations).
+pub fn replication_for(p: usize) -> usize {
+    if p >= 16 {
+        4
+    } else if p >= 8 {
+        2
+    } else if p >= 2 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Prints a table header followed by aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(h.len()))
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats seconds with three significant decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults() {
+        assert_eq!(Scale::Small.rank_counts(), vec![4, 8, 16]);
+        assert!(Scale::Large.dataset_scale() > Scale::Small.dataset_scale());
+    }
+
+    #[test]
+    fn dataset_presets_build() {
+        let d = dataset(DatasetKind::Products, Scale::Small);
+        assert!(d.num_vertices() >= 1024);
+        let cfg = sage_training_config(&d);
+        assert_eq!(cfg.fanouts.len(), 3);
+        assert!(cfg.batch_size >= 8);
+    }
+
+    #[test]
+    fn replication_choice_is_monotone() {
+        assert!(replication_for(4) <= replication_for(16));
+        assert_eq!(replication_for(1), 1);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(1.23456), "1.2346");
+    }
+}

@@ -1,0 +1,499 @@
+//! Point-to-point messaging and collectives over simulated ranks.
+//!
+//! A [`Communicator`] belongs to one rank of a [`Runtime`](crate::Runtime)
+//! execution.  It offers the NCCL-style operations the paper's algorithms
+//! use: point-to-point send/receive, broadcast, gather, all-gather,
+//! all-reduce, all-to-allv and barrier — over the whole world or over a
+//! [`Group`] (e.g. a process row or column of the 1.5D grid).
+//!
+//! Every send records the message's word count and α–β modeled time into the
+//! rank's [`CommStats`], which is how the benchmark harnesses obtain the
+//! communication component of the paper's breakdowns without real network
+//! hardware.
+
+use crate::cost::{CommStats, CostModel};
+use crate::error::CommError;
+use crate::Result;
+use crossbeam::channel::{Receiver, Sender};
+use std::any::Any;
+
+/// A type-erased message travelling between ranks.
+pub(crate) type Message = Box<dyn Any + Send>;
+
+/// Values that can be communicated between ranks.
+///
+/// The `word_count` is the payload size in 8-byte words used by the α–β cost
+/// model; it does not need to be exact to the byte, only proportional to the
+/// real transfer volume.
+pub trait Payload: Send + 'static {
+    /// Size of the payload in 8-byte words.
+    fn word_count(&self) -> usize;
+}
+
+impl Payload for f64 {
+    fn word_count(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for usize {
+    fn word_count(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for u64 {
+    fn word_count(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for i64 {
+    fn word_count(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for bool {
+    fn word_count(&self) -> usize {
+        1
+    }
+}
+
+impl Payload for () {
+    fn word_count(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn word_count(&self) -> usize {
+        self.0.word_count() + self.1.word_count()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn word_count(&self) -> usize {
+        self.0.word_count() + self.1.word_count() + self.2.word_count()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn word_count(&self) -> usize {
+        self.as_ref().map_or(0, Payload::word_count)
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn word_count(&self) -> usize {
+        self.iter().map(Payload::word_count).sum()
+    }
+}
+
+/// A subset of ranks participating in a collective (for example one process
+/// row or one process column of the 1.5D grid).  Membership is sorted and
+/// deduplicated; the group "root" used internally by collectives is the
+/// smallest member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<usize>,
+}
+
+impl Group {
+    /// Creates a group from the given ranks (sorted, deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] if the group is empty.
+    pub fn new(ranks: &[usize]) -> Result<Self> {
+        if ranks.is_empty() {
+            return Err(CommError::InvalidConfig("a group must contain at least one rank".into()));
+        }
+        let mut sorted = ranks.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Ok(Group { ranks: sorted })
+    }
+
+    /// The member ranks in ascending order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Returns `true` if the group has exactly one member (all collectives
+    /// become local no-ops).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Position of `rank` within the group, if it is a member.
+    pub fn position_of(&self, rank: usize) -> Option<usize> {
+        self.ranks.binary_search(&rank).ok()
+    }
+
+    /// Whether `rank` belongs to the group.
+    pub fn contains(&self, rank: usize) -> bool {
+        self.position_of(rank).is_some()
+    }
+}
+
+/// The per-rank handle for communication within a [`Runtime`](crate::Runtime)
+/// execution.
+#[derive(Debug)]
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    /// `senders[j]` delivers messages to rank `j`.
+    senders: Vec<Sender<Message>>,
+    /// `receivers[i]` yields messages sent by rank `i`.
+    receivers: Vec<Receiver<Message>>,
+    cost: CostModel,
+    stats: CommStats,
+}
+
+impl Communicator {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Message>>,
+        receivers: Vec<Receiver<Message>>,
+        cost: CostModel,
+    ) -> Self {
+        Communicator { rank, size, senders, receivers, cost, stats: CommStats::new() }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The α–β cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Communication statistics accumulated so far by this rank.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Resets the accumulated statistics (e.g. between pipeline phases).
+    pub fn reset_stats(&mut self) -> CommStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The group containing every rank.
+    pub fn world(&self) -> Group {
+        Group::new(&(0..self.size).collect::<Vec<_>>()).expect("world is non-empty")
+    }
+
+    /// Sends `value` to rank `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] for an invalid destination, or
+    /// [`CommError::Disconnected`] if the destination rank has already
+    /// terminated.
+    pub fn send<T: Payload>(&mut self, to: usize, value: T) -> Result<()> {
+        if to >= self.size {
+            return Err(CommError::RankOutOfRange { rank: to, size: self.size });
+        }
+        self.stats.record(value.word_count(), &self.cost);
+        self.senders[to]
+            .send(Box::new(value))
+            .map_err(|_| CommError::Disconnected { from: to })
+    }
+
+    /// Receives a value of type `T` from rank `from`, blocking until it
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankOutOfRange`] for an invalid source,
+    /// [`CommError::Disconnected`] if the source terminated without sending,
+    /// or [`CommError::TypeMismatch`] if the arriving message has a different
+    /// type (which indicates mismatched collective calls across ranks).
+    pub fn recv<T: Payload>(&mut self, from: usize) -> Result<T> {
+        if from >= self.size {
+            return Err(CommError::RankOutOfRange { rank: from, size: self.size });
+        }
+        let message = self.receivers[from]
+            .recv()
+            .map_err(|_| CommError::Disconnected { from })?;
+        message
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch { from })
+    }
+
+    /// Synchronizes all ranks in the world.
+    ///
+    /// # Errors
+    ///
+    /// Propagates point-to-point errors (disconnected peers).
+    pub fn barrier(&mut self) -> Result<()> {
+        let world = self.world();
+        self.group_allreduce(&world, 0usize, |a, b| a + b)?;
+        Ok(())
+    }
+
+    /// Broadcast over the whole world: the `root`'s value (which it must
+    /// supply as `Some`) is returned on every rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] if the root does not supply a
+    /// value, plus any point-to-point error.
+    pub fn broadcast<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> Result<T> {
+        let world = self.world();
+        self.group_broadcast(&world, root, value)
+    }
+
+    /// Gather over the whole world: every rank's value arrives at `root` in
+    /// rank order; non-roots receive `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates point-to-point errors.
+    pub fn gather<T: Payload>(&mut self, root: usize, value: T) -> Result<Option<Vec<T>>> {
+        let world = self.world();
+        self.group_gather(&world, root, value)
+    }
+
+    /// All-gather over the whole world.
+    ///
+    /// # Errors
+    ///
+    /// Propagates point-to-point errors.
+    pub fn allgather<T: Payload + Clone>(&mut self, value: T) -> Result<Vec<T>> {
+        let world = self.world();
+        self.group_allgather(&world, value)
+    }
+
+    /// All-reduce over the whole world with a custom associative combiner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates point-to-point errors.
+    pub fn allreduce<T, F>(&mut self, value: T, combine: F) -> Result<T>
+    where
+        T: Payload + Clone,
+        F: Fn(&T, &T) -> T,
+    {
+        let world = self.world();
+        self.group_allreduce(&world, value, combine)
+    }
+
+    /// All-to-allv over the whole world: `sends[j]` is delivered to rank `j`;
+    /// the returned vector holds one received value per source rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] if `sends.len() != size`, plus any
+    /// point-to-point error.
+    pub fn all_to_allv<T: Payload>(&mut self, sends: Vec<T>) -> Result<Vec<T>> {
+        let world = self.world();
+        self.group_all_to_allv(&world, sends)
+    }
+
+    /// Broadcast within a group.  The root (any member) supplies `Some(value)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::NotInGroup`] if the caller or root is not a
+    /// member, [`CommError::InvalidConfig`] if the root supplies no value.
+    pub fn group_broadcast<T: Payload + Clone>(
+        &mut self,
+        group: &Group,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T> {
+        self.require_member(group)?;
+        if !group.contains(root) {
+            return Err(CommError::NotInGroup { rank: root });
+        }
+        if self.rank == root {
+            let value = value.ok_or_else(|| {
+                CommError::InvalidConfig("broadcast root must supply a value".into())
+            })?;
+            for &peer in group.ranks() {
+                if peer != self.rank {
+                    self.send(peer, value.clone())?;
+                }
+            }
+            Ok(value)
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Gather within a group: member values arrive at `root` in ascending
+    /// rank order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::NotInGroup`] if the caller or root is not a
+    /// member, plus any point-to-point error.
+    pub fn group_gather<T: Payload>(
+        &mut self,
+        group: &Group,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>> {
+        self.require_member(group)?;
+        if !group.contains(root) {
+            return Err(CommError::NotInGroup { rank: root });
+        }
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = Vec::with_capacity(group.len());
+            for _ in 0..group.len() {
+                out.push(None);
+            }
+            let own_pos = group.position_of(self.rank).expect("checked membership");
+            out[own_pos] = Some(value);
+            for (pos, &peer) in group.ranks().iter().enumerate() {
+                if peer != self.rank {
+                    out[pos] = Some(self.recv(peer)?);
+                }
+            }
+            Ok(Some(out.into_iter().map(|v| v.expect("all positions filled")).collect()))
+        } else {
+            self.send(root, value)?;
+            Ok(None)
+        }
+    }
+
+    /// All-gather within a group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::NotInGroup`] if the caller is not a member, plus
+    /// any point-to-point error.
+    pub fn group_allgather<T: Payload + Clone>(&mut self, group: &Group, value: T) -> Result<Vec<T>> {
+        self.require_member(group)?;
+        let root = group.ranks()[0];
+        let gathered = self.group_gather(group, root, value)?;
+        self.group_broadcast(group, root, gathered)
+    }
+
+    /// All-reduce within a group with a custom associative combiner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::NotInGroup`] if the caller is not a member, plus
+    /// any point-to-point error.
+    pub fn group_allreduce<T, F>(&mut self, group: &Group, value: T, combine: F) -> Result<T>
+    where
+        T: Payload + Clone,
+        F: Fn(&T, &T) -> T,
+    {
+        self.require_member(group)?;
+        let root = group.ranks()[0];
+        let gathered = self.group_gather(group, root, value)?;
+        let reduced = gathered.map(|values| {
+            let mut iter = values.into_iter();
+            let first = iter.next().expect("group is non-empty");
+            iter.fold(first, |acc, v| combine(&acc, &v))
+        });
+        self.group_broadcast(group, root, reduced)
+    }
+
+    /// All-to-allv within a group: `sends[i]` goes to the `i`-th member (in
+    /// ascending rank order); the result holds one value per member, indexed
+    /// the same way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::NotInGroup`] if the caller is not a member,
+    /// [`CommError::InvalidConfig`] if `sends.len() != group.len()`, plus any
+    /// point-to-point error.
+    pub fn group_all_to_allv<T: Payload>(&mut self, group: &Group, sends: Vec<T>) -> Result<Vec<T>> {
+        self.require_member(group)?;
+        if sends.len() != group.len() {
+            return Err(CommError::InvalidConfig(format!(
+                "all_to_allv requires one send per group member ({} != {})",
+                sends.len(),
+                group.len()
+            )));
+        }
+        let my_pos = group.position_of(self.rank).expect("checked membership");
+        let mut own: Option<T> = None;
+        for (pos, value) in sends.into_iter().enumerate() {
+            let peer = group.ranks()[pos];
+            if peer == self.rank {
+                own = Some(value);
+            } else {
+                self.send(peer, value)?;
+            }
+        }
+        let mut received: Vec<Option<T>> = Vec::with_capacity(group.len());
+        for _ in 0..group.len() {
+            received.push(None);
+        }
+        received[my_pos] = own;
+        for (pos, &peer) in group.ranks().iter().enumerate() {
+            if peer != self.rank {
+                received[pos] = Some(self.recv(peer)?);
+            }
+        }
+        Ok(received
+            .into_iter()
+            .map(|v| v.expect("every member sends exactly one value"))
+            .collect())
+    }
+
+    fn require_member(&self, group: &Group) -> Result<()> {
+        if group.contains(self.rank) {
+            Ok(())
+        } else {
+            Err(CommError::NotInGroup { rank: self.rank })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_word_counts() {
+        assert_eq!(3.5f64.word_count(), 1);
+        assert_eq!(7usize.word_count(), 1);
+        assert_eq!(().word_count(), 0);
+        assert_eq!((1usize, 2.0f64).word_count(), 2);
+        assert_eq!((1usize, 2.0f64, 3usize).word_count(), 3);
+        assert_eq!(vec![1.0f64; 10].word_count(), 10);
+        assert_eq!(vec![(1usize, 1.0f64); 4].word_count(), 8);
+        assert_eq!(Some(5.0f64).word_count(), 1);
+        assert_eq!(Option::<f64>::None.word_count(), 0);
+        assert_eq!(vec![vec![1.0f64; 3]; 2].word_count(), 6);
+        assert_eq!(true.word_count(), 1);
+        assert_eq!(4u64.word_count(), 1);
+        assert_eq!((-2i64).word_count(), 1);
+    }
+
+    #[test]
+    fn group_membership() {
+        let g = Group::new(&[3, 1, 3, 5]).unwrap();
+        assert_eq!(g.ranks(), &[1, 3, 5]);
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(3));
+        assert!(!g.contains(2));
+        assert_eq!(g.position_of(5), Some(2));
+        assert_eq!(g.position_of(0), None);
+        assert!(Group::new(&[]).is_err());
+    }
+
+    // Collective behaviour over real ranks is tested in `runtime.rs` and the
+    // crate-level integration tests, where a full Runtime is available.
+}

@@ -1,0 +1,186 @@
+//! The α–β communication cost model and per-rank communication statistics.
+//!
+//! The paper analyses its algorithms in the α–β model (§2.4): sending a
+//! message of `k` words costs `α + β·k` time units.  Because this
+//! reproduction runs ranks as threads on one machine, *measured* network time
+//! does not exist; instead every message records its size and the modeled
+//! cost, which the harnesses use for the communication component of the
+//! Figure 7 breakdowns and for checking the analytical bound of §5.2.1:
+//!
+//! ```text
+//! T_prob = α (p/c² + log c) + β (k·b·d / c + c·k·b·d / p)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// α–β cost model: `cost(words) = alpha + beta * words` seconds.
+///
+/// The defaults approximate the paper's Perlmutter testbed: a few
+/// microseconds of latency and 25 GB/s of per-NIC injection bandwidth
+/// (3.125 G words/s for 8-byte words).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per-message latency in seconds.
+    pub alpha: f64,
+    /// Per-word (8 bytes) transfer time in seconds.
+    pub beta: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model with explicit latency (seconds) and inverse
+    /// bandwidth (seconds per 8-byte word).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        CostModel { alpha, beta }
+    }
+
+    /// A model of the paper's Slingshot-11 network: ~2 µs latency,
+    /// 25 GB/s injection bandwidth.
+    pub fn slingshot() -> Self {
+        CostModel { alpha: 2.0e-6, beta: 8.0 / 25.0e9 }
+    }
+
+    /// A model of NVLink 3.0 (intra-node GPU pairs): ~1 µs latency,
+    /// 100 GB/s unidirectional bandwidth.
+    pub fn nvlink() -> Self {
+        CostModel { alpha: 1.0e-6, beta: 8.0 / 100.0e9 }
+    }
+
+    /// A model of a PCIe 4.0 x16 link (~25 GB/s but with host-involved
+    /// latency), used for the Quiver-UVA comparison of Figure 5.
+    pub fn pcie() -> Self {
+        CostModel { alpha: 10.0e-6, beta: 8.0 / 25.0e9 }
+    }
+
+    /// Modeled time in seconds to send one message of `words` 8-byte words.
+    pub fn message_cost(&self, words: usize) -> f64 {
+        self.alpha + self.beta * words as f64
+    }
+
+    /// Modeled time of the probability-generation SpGEMM of the 1.5D
+    /// algorithm, `T_prob` from §5.2.1 of the paper.
+    ///
+    /// * `p` — number of processes,
+    /// * `c` — replication factor,
+    /// * `k` — minibatches sampled in bulk,
+    /// * `b` — batch size,
+    /// * `d` — average degree of the graph.
+    pub fn predict_prob_cost(&self, p: usize, c: usize, k: usize, b: usize, d: f64) -> f64 {
+        let p_f = p as f64;
+        let c_f = c as f64;
+        let kbd = k as f64 * b as f64 * d;
+        let latency_terms = p_f / (c_f * c_f) + c_f.ln().max(0.0) / 2f64.ln().max(1e-12);
+        let bandwidth_terms = kbd / c_f + c_f * kbd / p_f;
+        self.alpha * latency_terms + self.beta * bandwidth_terms
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::slingshot()
+    }
+}
+
+/// Per-rank communication statistics accumulated by a
+/// [`Communicator`](crate::Communicator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Number of point-to-point messages sent (collectives decompose into
+    /// point-to-point messages).
+    pub messages: usize,
+    /// Total words (8-byte units) sent.
+    pub words_sent: usize,
+    /// Modeled communication time in seconds under the α–β model.
+    pub modeled_time: f64,
+}
+
+impl CommStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        CommStats::default()
+    }
+
+    /// Records one message of `words` words under `model`.
+    pub fn record(&mut self, words: usize, model: &CostModel) {
+        self.messages += 1;
+        self.words_sent += words;
+        self.modeled_time += model.message_cost(words);
+    }
+
+    /// Combines statistics from another rank or phase (summing).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.messages += other.messages;
+        self.words_sent += other.words_sent;
+        self.modeled_time += other.modeled_time;
+    }
+
+    /// Bytes sent, assuming 8-byte words.
+    pub fn bytes_sent(&self) -> usize {
+        self.words_sent * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_is_affine() {
+        let m = CostModel::new(1.0, 0.5);
+        assert_eq!(m.message_cost(0), 1.0);
+        assert_eq!(m.message_cost(4), 3.0);
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        // NVLink is faster than Slingshot which is faster than PCIe for a
+        // large message.
+        let words = 1_000_000;
+        assert!(CostModel::nvlink().message_cost(words) < CostModel::slingshot().message_cost(words));
+        assert!(CostModel::slingshot().message_cost(words) <= CostModel::pcie().message_cost(words));
+    }
+
+    #[test]
+    fn default_is_slingshot() {
+        assert_eq!(CostModel::default(), CostModel::slingshot());
+    }
+
+    #[test]
+    fn predict_prob_cost_decreases_with_replication() {
+        // For fixed p, increasing c reduces the dominant kbd/c bandwidth term
+        // (the paper's observation that communication scales with c).
+        let m = CostModel::slingshot();
+        let t_c1 = m.predict_prob_cost(64, 1, 512, 1024, 50.0);
+        let t_c4 = m.predict_prob_cost(64, 4, 512, 1024, 50.0);
+        let t_c8 = m.predict_prob_cost(64, 8, 512, 1024, 50.0);
+        assert!(t_c4 < t_c1);
+        assert!(t_c8 < t_c4);
+    }
+
+    #[test]
+    fn predict_prob_cost_harmonic_behaviour() {
+        // With c fixed, increasing p only shrinks the (smaller) all-reduce
+        // term, so the total should not increase.
+        let m = CostModel::slingshot();
+        let t_p16 = m.predict_prob_cost(16, 2, 128, 1024, 50.0);
+        let t_p64 = m.predict_prob_cost(64, 2, 128, 1024, 50.0);
+        assert!(t_p64 <= t_p16);
+    }
+
+    #[test]
+    fn stats_record_and_merge() {
+        let model = CostModel::new(1.0, 1.0);
+        let mut a = CommStats::new();
+        a.record(10, &model);
+        a.record(5, &model);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.words_sent, 15);
+        assert_eq!(a.bytes_sent(), 120);
+        assert!((a.modeled_time - 17.0).abs() < 1e-12);
+
+        let mut b = CommStats::new();
+        b.record(1, &model);
+        b.merge(&a);
+        assert_eq!(b.messages, 3);
+        assert_eq!(b.words_sent, 16);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the simulated distributed runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the runtime, communicators and collectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The runtime or grid was configured with invalid parameters.
+    InvalidConfig(String),
+    /// A rank referenced a peer outside `0..size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// World or group size.
+        size: usize,
+    },
+    /// A collective was invoked on a group that does not contain the caller.
+    NotInGroup {
+        /// The calling rank.
+        rank: usize,
+    },
+    /// A receive failed because the sending side disconnected (a peer rank
+    /// panicked or returned early).
+    Disconnected {
+        /// The peer the message was expected from.
+        from: usize,
+    },
+    /// A received message had a different type than expected, indicating
+    /// mismatched collective calls across ranks.
+    TypeMismatch {
+        /// The peer the message came from.
+        from: usize,
+    },
+    /// A rank's closure panicked during [`crate::Runtime::run`].
+    RankPanicked {
+        /// The rank whose thread panicked.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidConfig(msg) => write!(f, "invalid communicator configuration: {msg}"),
+            CommError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for size {size}")
+            }
+            CommError::NotInGroup { rank } => write!(f, "rank {rank} is not a member of the group"),
+            CommError::Disconnected { from } => {
+                write!(f, "channel from rank {from} disconnected before a message arrived")
+            }
+            CommError::TypeMismatch { from } => write!(
+                f,
+                "message from rank {from} had an unexpected type (mismatched collectives?)"
+            ),
+            CommError::RankPanicked { rank } => write!(f, "rank {rank} panicked during execution"),
+        }
+    }
+}
+
+impl Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CommError::InvalidConfig("p must be > 0".into()).to_string().contains("p must"));
+        assert!(CommError::RankOutOfRange { rank: 9, size: 4 }.to_string().contains("rank 9"));
+        assert!(CommError::NotInGroup { rank: 2 }.to_string().contains("not a member"));
+        assert!(CommError::Disconnected { from: 1 }.to_string().contains("disconnected"));
+        assert!(CommError::TypeMismatch { from: 3 }.to_string().contains("unexpected type"));
+        assert!(CommError::RankPanicked { rank: 0 }.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<CommError>();
+    }
+}

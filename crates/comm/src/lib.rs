@@ -1,0 +1,63 @@
+//! # dmbs-comm
+//!
+//! A simulated distributed runtime for the `dmbs` reproduction of
+//! *Distributed Matrix-Based Sampling for Graph Neural Network Training*
+//! (MLSys 2024).
+//!
+//! The paper runs on 4–128 GPUs with NCCL collectives.  This crate replaces
+//! that hardware with an SPMD **rank simulator**: [`Runtime::run`] spawns one
+//! OS thread per rank, each executing the same closure over a
+//! [`Communicator`] that provides point-to-point messaging and the
+//! collectives the paper's algorithms need (broadcast, gather, all-gather,
+//! all-reduce, all-to-allv, barrier), both over the full world and over
+//! arbitrary sub-groups (process rows / columns of the 1.5D grid).
+//!
+//! Correctness of the distributed algorithms is independent of the
+//! interconnect, so thread ranks exercise exactly the same code paths as GPU
+//! ranks.  What *does* depend on the interconnect — communication time — is
+//! captured by an α–β [`CostModel`]: every message records its word count and
+//! modeled latency/bandwidth cost into per-rank [`CommStats`], which the
+//! benchmark harnesses use to reproduce the paper's communication/computation
+//! breakdowns (Figure 7) and its analytical cost model (§5.2.1).
+//!
+//! # Example
+//!
+//! ```
+//! use dmbs_comm::{Runtime, Payload};
+//!
+//! # fn main() -> Result<(), dmbs_comm::CommError> {
+//! let runtime = Runtime::new(4)?;
+//! let outputs = runtime.run(|comm| {
+//!     // Every rank contributes its rank id; the all-reduce sums them.
+//!     let local = vec![comm.rank() as f64];
+//!     let total = comm.allreduce(local, |a, b| {
+//!         a.iter().zip(b).map(|(x, y)| x + y).collect()
+//!     })?;
+//!     Ok::<f64, dmbs_comm::CommError>(total[0])
+//! })?;
+//! for out in &outputs {
+//!     assert_eq!(out.value.as_ref().unwrap(), &6.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod collectives;
+pub mod cost;
+pub mod error;
+pub mod grid;
+pub mod profile;
+pub mod runtime;
+
+pub use collectives::{Communicator, Group, Payload};
+pub use cost::{CommStats, CostModel};
+pub use error::CommError;
+pub use grid::ProcessGrid;
+pub use profile::{Phase, PhaseProfile};
+pub use runtime::{RankOutput, Runtime};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,0 +1,346 @@
+//! The rank simulator: spawns one thread per rank and wires up communicators.
+
+use crate::collectives::{Communicator, Message};
+use crate::cost::{CommStats, CostModel};
+use crate::error::CommError;
+use crate::Result;
+use crossbeam::channel::unbounded;
+
+/// The result produced by one rank of a [`Runtime::run`] execution.
+#[derive(Debug, Clone)]
+pub struct RankOutput<T> {
+    /// The rank that produced this output.
+    pub rank: usize,
+    /// The closure's return value for this rank.
+    pub value: T,
+    /// Communication statistics accumulated by this rank.
+    pub stats: CommStats,
+}
+
+/// A simulated distributed execution environment with a fixed number of
+/// ranks.
+///
+/// Each call to [`Runtime::run`] spawns one OS thread per rank, hands each a
+/// [`Communicator`] wired to all its peers, runs the provided SPMD closure
+/// and collects the per-rank results in rank order.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_comm::Runtime;
+///
+/// # fn main() -> Result<(), dmbs_comm::CommError> {
+/// let rt = Runtime::new(3)?;
+/// let outs = rt.run(|comm| comm.rank() * 10)?;
+/// let values: Vec<usize> = outs.into_iter().map(|o| o.value).collect();
+/// assert_eq!(values, vec![0, 10, 20]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    size: usize,
+    cost: CostModel,
+}
+
+impl Runtime {
+    /// Creates a runtime with `size` ranks and the default
+    /// (Slingshot-like) cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] if `size == 0`.
+    pub fn new(size: usize) -> Result<Self> {
+        Self::with_cost_model(size, CostModel::default())
+    }
+
+    /// Creates a runtime with `size` ranks and an explicit α–β cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] if `size == 0`.
+    pub fn with_cost_model(size: usize, cost: CostModel) -> Result<Self> {
+        if size == 0 {
+            return Err(CommError::InvalidConfig("runtime requires at least one rank".into()));
+        }
+        Ok(Runtime { size, cost })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The cost model used by every communicator.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Runs `f` on every rank concurrently and returns the per-rank outputs in
+    /// rank order.
+    ///
+    /// The closure receives a mutable [`Communicator`]; its return value is
+    /// collected into [`RankOutput::value`].  Closures typically return a
+    /// `Result` themselves so that communication errors can be propagated
+    /// with `?`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::RankPanicked`] if any rank's thread panicked.
+    /// Errors *returned* by the closure are not treated as runtime errors;
+    /// they are delivered in the corresponding [`RankOutput`].
+    pub fn run<T, F>(&self, f: F) -> Result<Vec<RankOutput<T>>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Communicator) -> T + Send + Sync,
+    {
+        let p = self.size;
+        // channels[i][j]: sender transmits from rank i to rank j.
+        let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Message>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Message>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        for (i, sender_row) in senders.iter_mut().enumerate() {
+            for (j, slot) in sender_row.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                *slot = Some(tx);
+                receivers[j][i] = Some(rx);
+            }
+        }
+
+        let mut communicators: Vec<Communicator> = Vec::with_capacity(p);
+        for (rank, (sender_row, receiver_row)) in
+            senders.into_iter().zip(receivers.into_iter()).enumerate()
+        {
+            let sends: Vec<_> = sender_row.into_iter().map(|s| s.expect("filled above")).collect();
+            let recvs: Vec<_> =
+                receiver_row.into_iter().map(|r| r.expect("filled above")).collect();
+            communicators.push(Communicator::new(rank, p, sends, recvs, self.cost));
+        }
+
+        let f = &f;
+        let results: Vec<std::thread::Result<(usize, T, CommStats)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = communicators
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mut comm)| {
+                    scope.spawn(move || {
+                        let value = f(&mut comm);
+                        (rank, value, comm.stats())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut outputs = Vec::with_capacity(p);
+        for (rank, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((r, value, stats)) => outputs.push(RankOutput { rank: r, value, stats }),
+                Err(_) => return Err(CommError::RankPanicked { rank }),
+            }
+        }
+        outputs.sort_by_key(|o| o.rank);
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::Group;
+    use crate::grid::ProcessGrid;
+
+    #[test]
+    fn runtime_requires_ranks() {
+        assert!(Runtime::new(0).is_err());
+        assert_eq!(Runtime::new(4).unwrap().size(), 4);
+    }
+
+    #[test]
+    fn single_rank_runs_locally() {
+        let rt = Runtime::new(1).unwrap();
+        let out = rt.run(|comm| {
+            let g = comm.allgather(comm.rank()).unwrap();
+            let r = comm.allreduce(5.0f64, |a, b| a + b).unwrap();
+            comm.barrier().unwrap();
+            (g, r)
+        }).unwrap();
+        assert_eq!(out[0].value.0, vec![0]);
+        assert_eq!(out[0].value.1, 5.0);
+        assert_eq!(out[0].stats.messages, 0);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let rt = Runtime::new(4).unwrap();
+        let outs = rt.run(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, comm.rank()).unwrap();
+            comm.recv::<usize>(prev).unwrap()
+        }).unwrap();
+        let values: Vec<usize> = outs.iter().map(|o| o.value).collect();
+        assert_eq!(values, vec![3, 0, 1, 2]);
+        // Each rank sent exactly one single-word message.
+        assert!(outs.iter().all(|o| o.stats.messages == 1 && o.stats.words_sent == 1));
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let rt = Runtime::new(4).unwrap();
+        let outs = rt.run(|comm| {
+            let value = if comm.rank() == 2 { Some(vec![1.0f64, 2.0, 3.0]) } else { None };
+            comm.broadcast(2, value).unwrap()
+        }).unwrap();
+        for o in outs {
+            assert_eq!(o.value, vec![1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let rt = Runtime::new(5).unwrap();
+        let outs = rt.run(|comm| comm.gather(0, comm.rank() * 2).unwrap()).unwrap();
+        assert_eq!(outs[0].value, Some(vec![0, 2, 4, 6, 8]));
+        for o in &outs[1..] {
+            assert_eq!(o.value, None);
+        }
+    }
+
+    #[test]
+    fn allgather_and_allreduce() {
+        let rt = Runtime::new(4).unwrap();
+        let outs = rt.run(|comm| {
+            let all = comm.allgather(comm.rank()).unwrap();
+            let sum = comm.allreduce(vec![comm.rank() as f64, 1.0], |a, b| {
+                a.iter().zip(b).map(|(x, y)| x + y).collect()
+            }).unwrap();
+            (all, sum)
+        }).unwrap();
+        for o in outs {
+            assert_eq!(o.value.0, vec![0, 1, 2, 3]);
+            assert_eq!(o.value.1, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_to_allv_exchanges_personalized_data() {
+        let rt = Runtime::new(3).unwrap();
+        let outs = rt.run(|comm| {
+            // Rank r sends the value r*10 + destination to each destination.
+            let sends: Vec<usize> = (0..comm.size()).map(|d| comm.rank() * 10 + d).collect();
+            comm.all_to_allv(sends).unwrap()
+        }).unwrap();
+        assert_eq!(outs[0].value, vec![0, 10, 20]);
+        assert_eq!(outs[1].value, vec![1, 11, 21]);
+        assert_eq!(outs[2].value, vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn group_collectives_follow_grid_rows_and_cols() {
+        let rt = Runtime::new(4).unwrap();
+        let outs = rt.run(|comm| {
+            let grid = ProcessGrid::new(comm.size(), 2).unwrap();
+            let row = Group::new(&grid.row_ranks(comm.rank())).unwrap();
+            let col = Group::new(&grid.col_ranks(comm.rank())).unwrap();
+            let row_sum = comm.group_allreduce(&row, comm.rank(), |a, b| a + b).unwrap();
+            let col_members = comm.group_allgather(&col, comm.rank()).unwrap();
+            (row_sum, col_members)
+        }).unwrap();
+        // Grid 2x2: rows {0,1}, {2,3}; cols {0,2}, {1,3}.
+        assert_eq!(outs[0].value.0, 1);
+        assert_eq!(outs[3].value.0, 5);
+        assert_eq!(outs[0].value.1, vec![0, 2]);
+        assert_eq!(outs[3].value.1, vec![1, 3]);
+    }
+
+    #[test]
+    fn group_all_to_allv_within_column() {
+        let rt = Runtime::new(4).unwrap();
+        let outs = rt.run(|comm| {
+            let grid = ProcessGrid::new(comm.size(), 2).unwrap();
+            let col = Group::new(&grid.col_ranks(comm.rank())).unwrap();
+            let sends: Vec<Vec<usize>> = (0..col.len()).map(|i| vec![comm.rank(), i]).collect();
+            comm.group_all_to_allv(&col, sends).unwrap()
+        }).unwrap();
+        // Column {0, 2}: rank 0 receives from itself and rank 2.
+        assert_eq!(outs[0].value, vec![vec![0, 0], vec![2, 0]]);
+        assert_eq!(outs[2].value, vec![vec![0, 1], vec![2, 1]]);
+    }
+
+    #[test]
+    fn stats_accumulate_modeled_time() {
+        let rt = Runtime::with_cost_model(2, CostModel::new(1.0, 0.5)).unwrap();
+        let outs = rt.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, vec![0.0f64; 10]).unwrap();
+                0.0
+            } else {
+                comm.recv::<Vec<f64>>(0).unwrap();
+                comm.stats().modeled_time
+            }
+        }).unwrap();
+        // Rank 0 sent 10 words: modeled time = 1 + 0.5 * 10 = 6.
+        assert!((outs[0].stats.modeled_time - 6.0).abs() < 1e-12);
+        assert_eq!(outs[0].stats.words_sent, 10);
+        // Rank 1 sent nothing.
+        assert_eq!(outs[1].stats.messages, 0);
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let rt = Runtime::new(2).unwrap();
+        let outs = rt.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 42usize).unwrap();
+                Ok(())
+            } else {
+                match comm.recv::<f64>(0) {
+                    Err(CommError::TypeMismatch { from: 0 }) => Err("mismatch detected"),
+                    other => panic!("expected type mismatch, got {other:?}"),
+                }
+            }
+        }).unwrap();
+        assert_eq!(outs[1].value, Err("mismatch detected"));
+    }
+
+    #[test]
+    fn invalid_destination_is_rejected() {
+        let rt = Runtime::new(2).unwrap();
+        let outs = rt.run(|comm| {
+            if comm.rank() == 0 {
+                matches!(comm.send(5, 1usize), Err(CommError::RankOutOfRange { rank: 5, size: 2 }))
+            } else {
+                true
+            }
+        }).unwrap();
+        assert!(outs.iter().all(|o| o.value));
+    }
+
+    #[test]
+    fn barrier_synchronizes_without_error() {
+        let rt = Runtime::new(6).unwrap();
+        let outs = rt.run(|comm| {
+            for _ in 0..3 {
+                comm.barrier().unwrap();
+            }
+            true
+        }).unwrap();
+        assert!(outs.iter().all(|o| o.value));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let rt = Runtime::new(2).unwrap();
+        let outs = rt.run(|comm| {
+            comm.allgather(comm.rank()).unwrap();
+            let before = comm.reset_stats();
+            let after = comm.stats();
+            (before.messages, after.messages)
+        }).unwrap();
+        for o in outs {
+            assert_eq!(o.value.1, 0);
+        }
+    }
+}

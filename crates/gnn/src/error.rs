@@ -1,0 +1,92 @@
+//! Error types for the GNN training substrate.
+
+use dmbs_comm::CommError;
+use dmbs_graph::GraphError;
+use dmbs_matrix::MatrixError;
+use dmbs_sampling::SamplingError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by GNN layers, the feature store and the trainer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GnnError {
+    /// The model or trainer was configured inconsistently (dimension
+    /// mismatches, missing labels/features, zero epochs, …).
+    InvalidConfig(String),
+    /// An underlying matrix kernel failed.
+    Matrix(MatrixError),
+    /// An underlying graph/dataset operation failed.
+    Graph(GraphError),
+    /// The sampling step failed.
+    Sampling(SamplingError),
+    /// A distributed collective failed.
+    Comm(CommError),
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::InvalidConfig(msg) => write!(f, "invalid training configuration: {msg}"),
+            GnnError::Matrix(e) => write!(f, "matrix error during training: {e}"),
+            GnnError::Graph(e) => write!(f, "graph error during training: {e}"),
+            GnnError::Sampling(e) => write!(f, "sampling error during training: {e}"),
+            GnnError::Comm(e) => write!(f, "communication error during training: {e}"),
+        }
+    }
+}
+
+impl Error for GnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GnnError::Matrix(e) => Some(e),
+            GnnError::Graph(e) => Some(e),
+            GnnError::Sampling(e) => Some(e),
+            GnnError::Comm(e) => Some(e),
+            GnnError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<MatrixError> for GnnError {
+    fn from(e: MatrixError) -> Self {
+        GnnError::Matrix(e)
+    }
+}
+
+impl From<GraphError> for GnnError {
+    fn from(e: GraphError) -> Self {
+        GnnError::Graph(e)
+    }
+}
+
+impl From<SamplingError> for GnnError {
+    fn from(e: SamplingError) -> Self {
+        GnnError::Sampling(e)
+    }
+}
+
+impl From<CommError> for GnnError {
+    fn from(e: CommError) -> Self {
+        GnnError::Comm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GnnError = MatrixError::Empty("row").into();
+        assert!(e.to_string().contains("matrix error"));
+        assert!(e.source().is_some());
+        let e: GnnError = GraphError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("graph error"));
+        let e: GnnError = SamplingError::InvalidConfig("y".into()).into();
+        assert!(e.to_string().contains("sampling error"));
+        let e: GnnError = CommError::RankPanicked { rank: 0 }.into();
+        assert!(e.to_string().contains("communication error"));
+        let e = GnnError::InvalidConfig("bad".into());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! The distributed feature store and its all-to-allv fetching step (§6.2).
+//!
+//! The input feature matrix `H` is partitioned into block rows.  With the
+//! paper's 1.5D scheme, `H` is split into `p/c` block rows, each replicated
+//! on the `c` ranks of its process row; a rank then fetches the rows it needs
+//! with an all-to-allv **within its process column**, which contains exactly
+//! one replica of every block row.  The larger the replication factor `c`,
+//! the fewer ranks each fetch touches — the mechanism behind the Figure 4/6
+//! scaling of the feature-fetching phase.  Setting the number of blocks to
+//! `p` (one block per rank, `c = 1` for features) gives the "NoRep"
+//! configuration of Figure 6.
+
+use crate::error::GnnError;
+use crate::Result;
+use dmbs_comm::{Communicator, Group};
+use dmbs_graph::partition::OneDPartition;
+use dmbs_matrix::DenseMatrix;
+
+/// One rank's shard of the vertex feature matrix.
+#[derive(Debug, Clone)]
+pub struct FeatureStore {
+    partition: OneDPartition,
+    block_index: usize,
+    block: DenseMatrix,
+    feature_dim: usize,
+}
+
+impl FeatureStore {
+    /// Builds the shard for `block_index` out of the full feature matrix.
+    ///
+    /// `num_blocks` is the number of block rows `H` is split into (the number
+    /// of process rows in the 1.5D layout, or `p` for NoRep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] if `block_index >= num_blocks` or
+    /// the partition cannot be built.
+    pub fn from_full(features: &DenseMatrix, num_blocks: usize, block_index: usize) -> Result<Self> {
+        if block_index >= num_blocks {
+            return Err(GnnError::InvalidConfig(format!(
+                "block index {block_index} out of range for {num_blocks} blocks"
+            )));
+        }
+        let partition = OneDPartition::new(features.rows(), num_blocks)?;
+        let range = partition.range(block_index);
+        let rows: Vec<usize> = range.collect();
+        let block = features.gather_rows(&rows)?;
+        Ok(FeatureStore { partition, block_index, block, feature_dim: features.cols() })
+    }
+
+    /// Feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of vertex rows stored locally.
+    pub fn local_rows(&self) -> usize {
+        self.block.rows()
+    }
+
+    /// The vertex partition over all blocks.
+    pub fn partition(&self) -> &OneDPartition {
+        &self.partition
+    }
+
+    /// Reads the features of vertices that are stored locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] if any vertex is not owned by this
+    /// block.
+    pub fn local_features(&self, vertices: &[usize]) -> Result<DenseMatrix> {
+        let range = self.partition.range(self.block_index);
+        let locals: Vec<usize> = vertices
+            .iter()
+            .map(|&v| {
+                if range.contains(&v) {
+                    Ok(v - range.start)
+                } else {
+                    Err(GnnError::InvalidConfig(format!(
+                        "vertex {v} is not stored in block {}",
+                        self.block_index
+                    )))
+                }
+            })
+            .collect::<Result<_>>()?;
+        Ok(self.block.gather_rows(&locals)?)
+    }
+
+    /// Fetches the features of arbitrary vertices with an all-to-allv across
+    /// `group`, where the member at position `i` of the group owns block `i`
+    /// (in the 1.5D layout this is the caller's process column; for NoRep it
+    /// is the whole world).  Every member of the group must call this the
+    /// same number of times per training step, even with an empty request.
+    ///
+    /// Returns the requested rows in the order of `vertices`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] if the group size does not match
+    /// the number of blocks, or a communication error if a collective fails.
+    pub fn fetch(
+        &self,
+        comm: &mut Communicator,
+        group: &Group,
+        vertices: &[usize],
+    ) -> Result<DenseMatrix> {
+        if group.len() != self.partition.num_parts() {
+            return Err(GnnError::InvalidConfig(format!(
+                "feature matrix is split into {} blocks but the fetch group has {} members",
+                self.partition.num_parts(),
+                group.len()
+            )));
+        }
+        // Bucket the requested vertices by owning block.
+        let mut requests: Vec<Vec<usize>> = vec![Vec::new(); group.len()];
+        let mut origin: Vec<(usize, usize)> = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            if v >= self.partition.len() {
+                return Err(GnnError::InvalidConfig(format!("vertex {v} out of range")));
+            }
+            let owner = self.partition.owner_of(v);
+            origin.push((owner, requests[owner].len()));
+            requests[owner].push(v);
+        }
+
+        // Exchange requests, serve them from the local block, exchange rows.
+        let incoming = comm.group_all_to_allv(group, requests.clone())?;
+        let my_range = self.partition.range(self.block_index);
+        let replies: Vec<Vec<f64>> = incoming
+            .iter()
+            .map(|wanted| {
+                let mut flat = Vec::with_capacity(wanted.len() * self.feature_dim);
+                for &v in wanted {
+                    let local = v - my_range.start;
+                    flat.extend_from_slice(self.block.row(local));
+                }
+                flat
+            })
+            .collect();
+        let received = comm.group_all_to_allv(group, replies)?;
+
+        // Reassemble in the order the caller asked for.
+        let mut out = DenseMatrix::zeros(vertices.len(), self.feature_dim);
+        for (i, &(owner, slot)) in origin.iter().enumerate() {
+            let start = slot * self.feature_dim;
+            out.row_mut(i).copy_from_slice(&received[owner][start..start + self.feature_dim]);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbs_comm::{ProcessGrid, Runtime};
+
+    fn full_features(n: usize, f: usize) -> DenseMatrix {
+        // Row v = [v, v+0.5, v+1.0, ...] so fetched rows are easy to verify.
+        DenseMatrix::from_rows(
+            &(0..n).map(|v| (0..f).map(|j| v as f64 + j as f64 * 0.5).collect()).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_construction_and_local_reads() {
+        let h = full_features(10, 3);
+        let store = FeatureStore::from_full(&h, 3, 1).unwrap();
+        assert_eq!(store.feature_dim(), 3);
+        assert_eq!(store.local_rows(), 3); // rows 4..7
+        let local = store.local_features(&[4, 6]).unwrap();
+        assert_eq!(local.get(0, 0), 4.0);
+        assert_eq!(local.get(1, 0), 6.0);
+        assert!(store.local_features(&[0]).is_err());
+        assert!(FeatureStore::from_full(&h, 3, 3).is_err());
+    }
+
+    #[test]
+    fn fetch_within_process_column_matches_full_matrix() {
+        // 4 ranks, c = 2: feature matrix split into 2 block rows; each process
+        // column {0,2} / {1,3} holds one full copy.
+        let n = 12;
+        let h = full_features(n, 4);
+        let runtime = Runtime::new(4).unwrap();
+        let outs = runtime
+            .run(|comm| {
+                let grid = ProcessGrid::new(comm.size(), 2).unwrap();
+                let (my_row, _) = grid.coords(comm.rank());
+                let store = FeatureStore::from_full(&h, grid.rows(), my_row).unwrap();
+                let col_group = Group::new(&grid.col_ranks(comm.rank())).unwrap();
+                // Each rank wants a different scattered set of vertices.
+                let wanted: Vec<usize> = vec![comm.rank(), 11 - comm.rank(), 5];
+                let fetched = store.fetch(comm, &col_group, &wanted).unwrap();
+                (wanted, fetched)
+            })
+            .unwrap();
+        for out in outs {
+            let (wanted, fetched) = out.value;
+            for (i, &v) in wanted.iter().enumerate() {
+                assert_eq!(fetched.row(i), h.row(v), "vertex {v} features mismatch");
+            }
+            // Fetching moved data between ranks.
+            assert!(out.stats.messages > 0);
+        }
+    }
+
+    #[test]
+    fn norep_fetch_uses_whole_world_and_costs_more_messages() {
+        let n = 16;
+        let h = full_features(n, 2);
+        let runtime = Runtime::new(4).unwrap();
+
+        // Replicated (c = 4 → a single block, fetches are local).
+        let rep = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, 1, 0).unwrap();
+                let group = Group::new(&[comm.rank()]).unwrap();
+                let fetched = store.fetch(comm, &group, &[1, 7, 13]).unwrap();
+                (fetched.get(2, 0), comm.stats().words_sent)
+            })
+            .unwrap();
+        // NoRep (one block per rank, fetch across the whole world).
+        let norep = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                let fetched = store.fetch(comm, &world, &[1, 7, 13]).unwrap();
+                (fetched.get(2, 0), comm.stats().words_sent)
+            })
+            .unwrap();
+        for (r, n_) in rep.iter().zip(&norep) {
+            assert_eq!(r.value.0, 13.0);
+            assert_eq!(n_.value.0, 13.0);
+            // NoRep ships feature rows over the (simulated) network; the fully
+            // replicated store ships nothing.
+            assert_eq!(r.value.1, 0);
+            assert!(n_.value.1 > 0);
+        }
+    }
+
+    #[test]
+    fn fetch_validates_group_and_vertices() {
+        let h = full_features(8, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let outs = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, 2, comm.rank()).unwrap();
+                let wrong_group = Group::new(&[comm.rank()]).unwrap();
+                let bad_group = store.fetch(comm, &wrong_group, &[0]).is_err();
+                let world = comm.world();
+                let bad_vertex = store.fetch(comm, &world, &[99]).is_err();
+                bad_group && bad_vertex
+            })
+            .unwrap();
+        assert!(outs.iter().all(|o| o.value));
+    }
+}

@@ -1,0 +1,42 @@
+//! # dmbs-gnn
+//!
+//! GNN training substrate for the `dmbs` reproduction of *Distributed
+//! Matrix-Based Sampling for Graph Neural Network Training* (MLSys 2024).
+//!
+//! The paper wraps its bulk sampling step in an end-to-end pipeline (§6,
+//! Figure 3) with three phases per epoch: (1) bulk sampling, (2) feature
+//! fetching via all-to-allv across process columns of a 1.5D-partitioned
+//! feature matrix, and (3) forward/backward propagation of a GraphSAGE model.
+//! This crate provides those pieces:
+//!
+//! * [`layers`] — a mean-aggregator GraphSAGE layer and a linear classifier,
+//!   both with explicit forward/backward passes (no autograd dependency);
+//! * [`loss`] — softmax cross-entropy with gradient;
+//! * [`optim`] — SGD and Adam optimizers;
+//! * [`model`] — a multi-layer [`SageModel`](model::SageModel) that trains on
+//!   the [`MinibatchSample`](dmbs_sampling::MinibatchSample)s produced by the
+//!   sampling crate;
+//! * [`features`] — the 1.5D-partitioned feature store with all-to-allv
+//!   fetching (§6.2), including the no-replication variant of Figure 6;
+//! * [`trainer`] — single-device and distributed training drivers that
+//!   produce the per-phase epoch breakdowns reported in Figures 4 and 6.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activations;
+pub mod error;
+pub mod features;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optim;
+pub mod trainer;
+
+pub use error::GnnError;
+pub use model::SageModel;
+pub use trainer::{EpochStats, TrainingConfig};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, GnnError>;

@@ -1,0 +1,101 @@
+//! Softmax cross-entropy loss with gradient.
+
+use crate::activations::softmax_rows;
+use crate::error::GnnError;
+use crate::Result;
+use dmbs_matrix::DenseMatrix;
+
+/// Computes the mean softmax cross-entropy loss over a batch of logits and
+/// the gradient with respect to the logits.
+///
+/// # Errors
+///
+/// Returns [`GnnError::InvalidConfig`] if the number of labels does not match
+/// the number of logit rows, if the batch is empty, or if a label is out of
+/// range.
+pub fn cross_entropy(logits: &DenseMatrix, labels: &[usize]) -> Result<(f64, DenseMatrix)> {
+    if logits.rows() != labels.len() {
+        return Err(GnnError::InvalidConfig(format!(
+            "{} logit rows but {} labels",
+            logits.rows(),
+            labels.len()
+        )));
+    }
+    if logits.rows() == 0 {
+        return Err(GnnError::InvalidConfig("cannot compute loss on an empty batch".into()));
+    }
+    let classes = logits.cols();
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(GnnError::InvalidConfig(format!("label {bad} out of range for {classes} classes")));
+    }
+    let probs = softmax_rows(logits);
+    let n = logits.rows() as f64;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        let p = probs.get(r, label).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    loss /= n;
+    let grad = grad.scale(1.0 / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = DenseMatrix::zeros(4, 3);
+        let (loss, grad) = cross_entropy(&logits, &[0, 1, 2, 0]).unwrap();
+        assert!((loss - (3.0f64).ln()).abs() < 1e-12);
+        assert_eq!(grad.shape(), (4, 3));
+        // Gradient rows sum to zero.
+        for s in grad.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = DenseMatrix::from_rows(&[vec![10.0, -10.0], vec![-10.0, 10.0]]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-6);
+        let (bad_loss, _) = cross_entropy(&logits, &[1, 0]).unwrap();
+        assert!(bad_loss > 10.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = DenseMatrix::from_rows(&[vec![0.3, -0.2, 0.7], vec![-0.5, 0.1, 0.2]]).unwrap();
+        let labels = [2usize, 0usize];
+        let (_, grad) = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                let mut minus = logits.clone();
+                minus.set(r, c, minus.get(r, c) - eps);
+                let (lp, _) = cross_entropy(&plus, &labels).unwrap();
+                let (lm, _) = cross_entropy(&minus, &labels).unwrap();
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.get(r, c)).abs() < 1e-6,
+                    "grad mismatch at ({r}, {c}): numeric {numeric} vs analytic {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let logits = DenseMatrix::zeros(2, 3);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 5]).is_err());
+        assert!(cross_entropy(&DenseMatrix::zeros(0, 3), &[]).is_err());
+    }
+}

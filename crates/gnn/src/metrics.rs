@@ -1,0 +1,83 @@
+//! Evaluation metrics.
+
+use crate::error::GnnError;
+use crate::Result;
+
+/// Fraction of predictions matching the labels.
+///
+/// # Errors
+///
+/// Returns [`GnnError::InvalidConfig`] if the slices have different lengths
+/// or are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> Result<f64> {
+    if predictions.len() != labels.len() {
+        return Err(GnnError::InvalidConfig(format!(
+            "{} predictions but {} labels",
+            predictions.len(),
+            labels.len()
+        )));
+    }
+    if predictions.is_empty() {
+        return Err(GnnError::InvalidConfig("cannot compute accuracy on an empty set".into()));
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f64 / predictions.len() as f64)
+}
+
+/// Running mean helper used to aggregate per-minibatch losses into an epoch
+/// loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: usize,
+}
+
+impl RunningMean {
+    /// Creates an empty running mean.
+    pub fn new() -> Self {
+        RunningMean::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Current mean, or 0.0 if no observations were pushed.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]).unwrap(), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]).unwrap(), 1.0);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[1], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.push(2.0);
+        m.push(4.0);
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.count(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Optimizers operating on flat lists of parameter matrices.
+
+use crate::error::GnnError;
+use crate::Result;
+use dmbs_matrix::DenseMatrix;
+
+/// An optimizer updates parameters in place given matching gradients.
+pub trait Optimizer {
+    /// Applies one update step.  `params[i]` is updated using `grads[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] if the parameter and gradient
+    /// lists have different lengths or mismatched shapes.
+    fn step(&mut self, params: &mut [DenseMatrix], grads: &[DenseMatrix]) -> Result<()>;
+}
+
+fn check_shapes(params: &[DenseMatrix], grads: &[DenseMatrix]) -> Result<()> {
+    if params.len() != grads.len() {
+        return Err(GnnError::InvalidConfig(format!(
+            "{} parameters but {} gradients",
+            params.len(),
+            grads.len()
+        )));
+    }
+    for (i, (p, g)) in params.iter().zip(grads).enumerate() {
+        if p.shape() != g.shape() {
+            return Err(GnnError::InvalidConfig(format!(
+                "parameter {i} has shape {:?} but gradient has {:?}",
+                p.shape(),
+                g.shape()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Plain stochastic gradient descent: `p ← p − lr · g`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(learning_rate: f64) -> Self {
+        Sgd { learning_rate }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [DenseMatrix], grads: &[DenseMatrix]) -> Result<()> {
+        check_shapes(params, grads)?;
+        for (p, g) in params.iter_mut().zip(grads) {
+            p.axpy(-self.learning_rate, g)?;
+        }
+        Ok(())
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub epsilon: f64,
+    step_count: u64,
+    first_moment: Vec<DenseMatrix>,
+    second_moment: Vec<DenseMatrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard defaults
+    /// (`β1 = 0.9`, `β2 = 0.999`, `ε = 1e-8`).
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step_count: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [DenseMatrix], grads: &[DenseMatrix]) -> Result<()> {
+        check_shapes(params, grads)?;
+        if self.first_moment.is_empty() {
+            self.first_moment = params.iter().map(|p| DenseMatrix::zeros(p.rows(), p.cols())).collect();
+            self.second_moment = self.first_moment.clone();
+        }
+        if self.first_moment.len() != params.len() {
+            return Err(GnnError::InvalidConfig(
+                "optimizer state does not match the number of parameters".into(),
+            ));
+        }
+        self.step_count += 1;
+        let t = self.step_count as f64;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.first_moment.iter_mut().zip(self.second_moment.iter_mut()))
+        {
+            for ((pv, gv), (mv, vv)) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let m_hat = *mv / bias1;
+                let v_hat = *vv / bias2;
+                *pv -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &DenseMatrix) -> DenseMatrix {
+        // d/dp of 0.5 * ||p - 3||^2 is (p - 3).
+        p.map(|v| v - 3.0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = vec![DenseMatrix::filled(2, 2, 10.0)];
+        let mut opt = Sgd::new(0.2);
+        for _ in 0..100 {
+            let g = quadratic_grad(&params[0]);
+            opt.step(&mut params, &[g]).unwrap();
+        }
+        assert!(params[0].as_slice().iter().all(|v| (v - 3.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = vec![DenseMatrix::filled(1, 3, -5.0)];
+        let mut opt = Adam::new(0.3);
+        for _ in 0..300 {
+            let g = quadratic_grad(&params[0]);
+            opt.step(&mut params, &[g]).unwrap();
+        }
+        assert!(params[0].as_slice().iter().all(|v| (v - 3.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut params = vec![DenseMatrix::zeros(2, 2)];
+        let mut opt = Sgd::new(0.1);
+        assert!(opt.step(&mut params, &[]).is_err());
+        assert!(opt.step(&mut params, &[DenseMatrix::zeros(1, 2)]).is_err());
+        let mut adam = Adam::new(0.1);
+        assert!(adam.step(&mut params, &[DenseMatrix::zeros(3, 3)]).is_err());
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut params = vec![DenseMatrix::filled(1, 1, 1.0)];
+        let grads = vec![DenseMatrix::filled(1, 1, 2.0)];
+        Sgd::new(0.5).step(&mut params, &grads).unwrap();
+        assert_eq!(params[0].get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dmbs-graph
+//!
+//! Graph substrate for the `dmbs` reproduction of *Distributed Matrix-Based
+//! Sampling for Graph Neural Network Training* (MLSys 2024).
+//!
+//! The paper evaluates on three large graphs (OGB `products`, OGB
+//! `papers100M` and the HipMCL `protein` graph) that are not redistributable
+//! and far exceed a single-machine CPU budget.  This crate provides:
+//!
+//! * a [`Graph`] type wrapping a CSR adjacency matrix with degrees and
+//!   optional vertex features / labels,
+//! * synthetic generators ([`generators`]) — R-MAT, Erdős–Rényi, Chung–Lu and
+//!   small deterministic graphs — used to build scaled-down stand-ins with the
+//!   same average degree and skew as the paper's datasets ([`datasets`]),
+//! * 1D and 1.5D block-row partitioners ([`partition`]) matching the process
+//!   grids of §5 and §6 of the paper,
+//! * training-set shuffling and minibatch construction ([`minibatch`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dmbs_graph::generators::{rmat, RmatConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let graph = rmat(&RmatConfig::new(8, 4), &mut rng)?;
+//! assert_eq!(graph.num_vertices(), 256);
+//! assert!(graph.num_edges() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod minibatch;
+pub mod partition;
+
+pub use graph::{Graph, GraphError};
+pub use minibatch::MinibatchPlan;
+pub use partition::{OneDPartition, OneFiveDPartition};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,807 @@
+//! Compressed Sparse Row (CSR) matrices.
+//!
+//! CSR is the working format of the whole pipeline: the adjacency matrix `A`,
+//! the sampler matrices `Q^l`, the probability matrices `P` and the sampled
+//! adjacency matrices `A^l` are all CSR.  This mirrors the paper's
+//! implementation, which relies on CSR-based SpGEMM (cuSPARSE / nsparse).
+
+use crate::coo::CooMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+use crate::prefix::counts_to_offsets;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// Invariants maintained by every constructor:
+///
+/// * `indptr.len() == rows + 1`, `indptr[0] == 0`, non-decreasing,
+///   `indptr[rows] == indices.len() == values.len()`;
+/// * within each row, column indices are strictly increasing (sorted and
+///   deduplicated);
+/// * every column index is `< cols`.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::{CooMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), dmbs_matrix::MatrixError> {
+/// let coo = CooMatrix::from_triples(2, 3, vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0)])?;
+/// let csr = CsrMatrix::from_coo(&coo);
+/// assert_eq!(csr.nnz(), 3);
+/// assert_eq!(csr.row_indices(1), &[0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from COO triples, summing duplicates.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        // Collect per-row maps to sort columns and merge duplicates.
+        let mut row_maps: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); rows];
+        for &(r, c, v) in coo.iter() {
+            *row_maps[r].entry(c).or_insert(0.0) += v;
+        }
+        let counts: Vec<usize> = row_maps.iter().map(|m| m.len()).collect();
+        let indptr = counts_to_offsets(&counts);
+        let nnz = indptr[rows];
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for m in row_maps {
+            for (c, v) in m {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        CsrMatrix { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix from sorted per-row `(col, value)` lists.
+    ///
+    /// This is the fast path used by kernels that already produce sorted,
+    /// deduplicated rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] if any row is unsorted,
+    /// contains duplicates, or references a column `>= cols`.
+    pub fn from_rows(rows: usize, cols: usize, row_data: Vec<Vec<(usize, f64)>>) -> Result<Self> {
+        if row_data.len() != rows {
+            return Err(MatrixError::InvalidStructure(format!(
+                "expected {rows} rows of data, got {}",
+                row_data.len()
+            )));
+        }
+        let counts: Vec<usize> = row_data.iter().map(|r| r.len()).collect();
+        let indptr = counts_to_offsets(&counts);
+        let nnz = indptr[rows];
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for (i, row) in row_data.into_iter().enumerate() {
+            let mut prev: Option<usize> = None;
+            for (c, v) in row {
+                if c >= cols {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "row {i} references column {c} >= {cols}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(MatrixError::InvalidStructure(format!(
+                            "row {i} is not strictly increasing at column {c}"
+                        )));
+                    }
+                }
+                prev = Some(c);
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        Ok(CsrMatrix { rows, cols, indptr, indices, values })
+    }
+
+    /// Builds a CSR matrix from raw buffers, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] if the buffers are
+    /// inconsistent (see the type-level invariants).
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != rows + 1 {
+            return Err(MatrixError::InvalidStructure(format!(
+                "indptr length {} != rows + 1 = {}",
+                indptr.len(),
+                rows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(MatrixError::InvalidStructure("indptr[0] must be 0".into()));
+        }
+        if indices.len() != values.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "indices length {} != values length {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if indptr[rows] != indices.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "indptr[rows] = {} != nnz = {}",
+                indptr[rows],
+                indices.len()
+            )));
+        }
+        for w in indptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(MatrixError::InvalidStructure("indptr must be non-decreasing".into()));
+            }
+        }
+        for r in 0..rows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "row {r} columns are not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= cols {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "row {r} references column {last} >= {cols}"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix { rows, cols, indptr, indices, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Number of nonzeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row index out of bounds");
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Column indices of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_indices(&self, r: usize) -> &[usize] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_values(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.values[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// Mutable values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_values_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.values[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// All column indices in row-major order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// All values in row-major order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Returns the stored value at `(r, c)` or `0.0` if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let row = self.row_indices(r);
+        match row.binary_search(&c) {
+            Ok(pos) => self.row_values(r)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_indices(r)
+                .iter()
+                .zip(self.row_values(r))
+                .map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts back to COO triples.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.rows, self.cols, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v).expect("CSR invariants guarantee in-bounds indices");
+        }
+        coo
+    }
+
+    /// Converts to a dense matrix.  Intended for tests and small examples.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            d.set(r, c, v);
+        }
+        d
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        // Count nonzeros per output row (= input column).
+        let mut counts = vec![0usize; self.cols];
+        for &c in &self.indices {
+            counts[c] += 1;
+        }
+        let indptr = counts_to_offsets(&counts);
+        let mut next = indptr.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for r in 0..self.rows {
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                let dst = next[c];
+                indices[dst] = r;
+                values[dst] = v;
+                next[c] += 1;
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Per-row sums of the stored values.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|r| self.row_values(r).iter().sum()).collect()
+    }
+
+    /// Per-column sums of the stored values.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for (_, c, v) in self.iter() {
+            sums[c] += v;
+        }
+        sums
+    }
+
+    /// Divides every stored value by its row sum, turning each non-empty row
+    /// into a probability distribution.  Rows whose sum is zero are left
+    /// unchanged.
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            let sum: f64 = self.row_values(r).iter().sum();
+            if sum != 0.0 {
+                for v in self.row_values_mut(r) {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Applies `f` to every stored value in place.
+    pub fn map_values_inplace<F: Fn(f64) -> f64>(&mut self, f: F) {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a copy with `f` applied to every stored value.
+    pub fn map_values<F: Fn(f64) -> f64>(&self, f: F) -> CsrMatrix {
+        let mut out = self.clone();
+        out.map_values_inplace(f);
+        out
+    }
+
+    /// Gathers the given rows (in order, duplicates allowed) into a new
+    /// matrix with `indices.len()` rows and the same column count.
+    ///
+    /// This is the "row extraction" primitive: multiplying a selection matrix
+    /// `Q_R` with `A` (as the paper does for LADIES row extraction) is exactly
+    /// this gather when `Q_R` has one nonzero per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if any index is out of range.
+    pub fn gather_rows(&self, rows: &[usize]) -> Result<CsrMatrix> {
+        let counts: Vec<usize> = rows
+            .iter()
+            .map(|&r| {
+                if r < self.rows {
+                    Ok(self.row_nnz(r))
+                } else {
+                    Err(MatrixError::IndexOutOfBounds { row: r, col: 0, rows: self.rows, cols: self.cols })
+                }
+            })
+            .collect::<Result<_>>()?;
+        let indptr = counts_to_offsets(&counts);
+        let nnz = indptr[rows.len()];
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for &r in rows {
+            indices.extend_from_slice(self.row_indices(r));
+            values.extend_from_slice(self.row_values(r));
+        }
+        Ok(CsrMatrix { rows: rows.len(), cols: self.cols, indptr, indices, values })
+    }
+
+    /// Keeps only the listed columns, relabelling them `0..cols.len()` in the
+    /// given order.  Columns may be listed at most once; entries in columns
+    /// not listed are dropped.
+    ///
+    /// This is the "column extraction" primitive (`A · Q_C` with a one-nonzero
+    /// -per-column selection matrix `Q_C`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if any column is out of
+    /// range, or [`MatrixError::InvalidStructure`] if a column is repeated.
+    pub fn select_columns(&self, cols: &[usize]) -> Result<CsrMatrix> {
+        let mut remap: Vec<Option<usize>> = vec![None; self.cols];
+        for (new, &old) in cols.iter().enumerate() {
+            if old >= self.cols {
+                return Err(MatrixError::IndexOutOfBounds { row: 0, col: old, rows: self.rows, cols: self.cols });
+            }
+            if remap[old].is_some() {
+                return Err(MatrixError::InvalidStructure(format!(
+                    "column {old} selected more than once"
+                )));
+            }
+            remap[old] = Some(new);
+        }
+        let mut row_data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut row: Vec<(usize, f64)> = self
+                .row_indices(r)
+                .iter()
+                .zip(self.row_values(r))
+                .filter_map(|(&c, &v)| remap[c].map(|nc| (nc, v)))
+                .collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            row_data.push(row);
+        }
+        CsrMatrix::from_rows(self.rows, cols.len(), row_data)
+    }
+
+    /// Drops every column that contains no nonzero, relabelling the remaining
+    /// columns consecutively.  Returns the compacted matrix together with the
+    /// original indices of the kept columns (the "frontier" of sampled
+    /// vertices in GraphSAGE extraction, §4.1.3).
+    pub fn compact_columns(&self) -> (CsrMatrix, Vec<usize>) {
+        let mut seen = vec![false; self.cols];
+        for &c in &self.indices {
+            seen[c] = true;
+        }
+        let kept: Vec<usize> = (0..self.cols).filter(|&c| seen[c]).collect();
+        let compacted = self
+            .select_columns(&kept)
+            .expect("kept columns are unique and in range");
+        (compacted, kept)
+    }
+
+    /// Returns the sorted list of distinct column indices that contain at
+    /// least one nonzero.
+    pub fn nonzero_columns(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.cols];
+        for &c in &self.indices {
+            seen[c] = true;
+        }
+        (0..self.cols).filter(|&c| seen[c]).collect()
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if shapes differ.
+    pub fn add(&self, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.shape() != rhs.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "csr add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut row_data = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut merged: BTreeMap<usize, f64> = BTreeMap::new();
+            for (&c, &v) in self.row_indices(r).iter().zip(self.row_values(r)) {
+                *merged.entry(c).or_insert(0.0) += v;
+            }
+            for (&c, &v) in rhs.row_indices(r).iter().zip(rhs.row_values(r)) {
+                *merged.entry(c).or_insert(0.0) += v;
+            }
+            row_data.push(merged.into_iter().collect::<Vec<_>>());
+        }
+        CsrMatrix::from_rows(self.rows, self.cols, row_data)
+    }
+
+    /// Extracts the block of rows `[start, end)` as a new matrix with the same
+    /// column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > rows`.
+    pub fn row_block(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(start <= end && end <= self.rows, "row block out of range");
+        let rows: Vec<usize> = (start..end).collect();
+        self.gather_rows(&rows).expect("range is in bounds")
+    }
+
+    /// Approximate equality of structure and values within `tol`.
+    pub fn approx_eq(&self, rhs: &CsrMatrix, tol: f64) -> bool {
+        self.shape() == rhs.shape()
+            && self.indptr == rhs.indptr
+            && self.indices == rhs.indices
+            && self
+                .values
+                .iter()
+                .zip(&rhs.values)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Number of bytes required to store the CSR arrays.
+    pub fn nbytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// 6-vertex example graph from Figure 1 of the paper (directed both ways).
+    /// Neighborhoods: N(1) = {0, 2, 4}, N(5) = {3, 4}, matching the sampling
+    /// examples of Figure 2.
+    pub(crate) fn figure1_graph() -> CsrMatrix {
+        let edges = [
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (1, 4),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (3, 4),
+            (3, 5),
+            (4, 1),
+            (4, 3),
+            (4, 5),
+            (5, 3),
+            (5, 4),
+        ];
+        let coo = CooMatrix::from_triples(6, 6, edges.iter().map(|&(r, c)| (r, c, 1.0))).unwrap();
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = CsrMatrix::zeros(3, 4);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.shape(), (3, 4));
+        let i = CsrMatrix::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates_and_sorts() {
+        let coo = CooMatrix::from_triples(2, 4, vec![(0, 3, 1.0), (0, 1, 2.0), (0, 3, 4.0)]).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.row_indices(0), &[1, 3]);
+        assert_eq!(csr.row_values(0), &[2.0, 5.0]);
+        assert_eq!(csr.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        // Valid.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // Bad indptr length.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Bad nnz.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Unsorted row.
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        // Column out of range.
+        assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Decreasing indptr.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_validation() {
+        assert!(CsrMatrix::from_rows(1, 3, vec![vec![(0, 1.0), (2, 2.0)]]).is_ok());
+        assert!(CsrMatrix::from_rows(1, 3, vec![vec![(2, 1.0), (0, 2.0)]]).is_err());
+        assert!(CsrMatrix::from_rows(1, 3, vec![vec![(0, 1.0), (0, 2.0)]]).is_err());
+        assert!(CsrMatrix::from_rows(1, 3, vec![vec![(3, 1.0)]]).is_err());
+        assert!(CsrMatrix::from_rows(2, 3, vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let a = figure1_graph();
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(1, 1), 0.0);
+        assert_eq!(a.get(5, 4), 1.0);
+        assert_eq!(a.iter().count(), 14);
+        assert_eq!(a.nnz(), 14);
+    }
+
+    #[test]
+    fn to_dense_roundtrip_via_coo() {
+        let a = figure1_graph();
+        let d = a.to_dense();
+        assert_eq!(d.get(3, 5), 1.0);
+        assert_eq!(d.get(5, 5), 0.0);
+        let back = CsrMatrix::from_coo(&a.to_coo());
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = figure1_graph();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let a = figure1_graph();
+        let t = a.transpose();
+        assert_eq!(t.to_dense(), a.to_dense().transpose());
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let a = figure1_graph();
+        assert_eq!(a.row_sums()[1], 3.0); // vertex 1 has out-degree 3
+        assert_eq!(a.col_sums()[3], 3.0); // vertex 3 has in-degree 3
+    }
+
+    #[test]
+    fn normalize_rows_makes_distributions() {
+        let mut a = figure1_graph();
+        a.normalize_rows();
+        for r in 0..a.rows() {
+            let s: f64 = a.row_values(r).iter().sum();
+            if a.row_nnz(r) > 0 {
+                assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_rows_skips_empty() {
+        let mut m = CsrMatrix::zeros(2, 2);
+        m.normalize_rows();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn gather_rows_basic() {
+        let a = figure1_graph();
+        let g = a.gather_rows(&[1, 5]).unwrap();
+        assert_eq!(g.shape(), (2, 6));
+        assert_eq!(g.row_indices(0), &[0, 2, 4]);
+        assert_eq!(g.row_indices(1), &[3, 4]);
+        assert!(a.gather_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn select_columns_basic() {
+        let a = figure1_graph();
+        let s = a.select_columns(&[0, 4]).unwrap();
+        assert_eq!(s.shape(), (6, 2));
+        // Row 1 had neighbors {0, 2, 4}; after selecting columns {0, 4} it has {0 -> 0, 4 -> 1}.
+        assert_eq!(s.row_indices(1), &[0, 1]);
+        assert!(a.select_columns(&[0, 0]).is_err());
+        assert!(a.select_columns(&[7]).is_err());
+    }
+
+    #[test]
+    fn select_columns_respects_order() {
+        let a = figure1_graph();
+        // Reversed order: original column 4 becomes new column 0.
+        let s = a.select_columns(&[4, 0]).unwrap();
+        assert_eq!(s.get(1, 0), a.get(1, 4));
+        assert_eq!(s.get(1, 1), a.get(1, 0));
+    }
+
+    #[test]
+    fn compact_columns_drops_empty() {
+        let coo = CooMatrix::from_triples(2, 6, vec![(0, 2, 1.0), (1, 4, 1.0), (0, 4, 1.0)]).unwrap();
+        let m = CsrMatrix::from_coo(&coo);
+        let (compact, kept) = m.compact_columns();
+        assert_eq!(kept, vec![2, 4]);
+        assert_eq!(compact.shape(), (2, 2));
+        assert_eq!(compact.get(0, 0), 1.0);
+        assert_eq!(compact.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn nonzero_columns_sorted() {
+        let coo = CooMatrix::from_triples(2, 6, vec![(0, 5, 1.0), (1, 1, 1.0)]).unwrap();
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.nonzero_columns(), vec![1, 5]);
+    }
+
+    #[test]
+    fn add_matches_dense() {
+        let a = figure1_graph();
+        let b = CsrMatrix::identity(6);
+        let sum = a.add(&b).unwrap();
+        let expected = a.to_dense().add(&b.to_dense()).unwrap();
+        assert_eq!(sum.to_dense(), expected);
+        assert!(a.add(&CsrMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn row_block_extracts_contiguous_rows() {
+        let a = figure1_graph();
+        let block = a.row_block(2, 4);
+        assert_eq!(block.rows(), 2);
+        assert_eq!(block.row_indices(0), a.row_indices(2));
+        assert_eq!(block.row_indices(1), a.row_indices(3));
+    }
+
+    #[test]
+    fn map_values() {
+        let a = figure1_graph();
+        let doubled = a.map_values(|v| v * 2.0);
+        assert_eq!(doubled.get(0, 1), 2.0);
+        assert_eq!(doubled.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn nbytes_positive() {
+        assert!(figure1_graph().nbytes() > 0);
+    }
+
+    fn arb_coo() -> impl Strategy<Value = CooMatrix> {
+        (1usize..12, 1usize..12).prop_flat_map(|(rows, cols)| {
+            let entry = (0..rows, 0..cols, -5.0f64..5.0);
+            proptest::collection::vec(entry, 0..60).prop_map(move |entries| {
+                CooMatrix::from_triples(rows, cols, entries).unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_coo_csr_dense_agree(coo in arb_coo()) {
+            let csr = CsrMatrix::from_coo(&coo);
+            // Dense accumulation of triples must match the CSR view.
+            let mut dense = DenseMatrix::zeros(coo.rows(), coo.cols());
+            for &(r, c, v) in coo.iter() {
+                dense.set(r, c, dense.get(r, c) + v);
+            }
+            prop_assert!(csr.to_dense().approx_eq(&dense, 1e-9));
+        }
+
+        #[test]
+        fn prop_transpose_involution(coo in arb_coo()) {
+            let csr = CsrMatrix::from_coo(&coo);
+            prop_assert!(csr.transpose().transpose().approx_eq(&csr, 0.0));
+        }
+
+        #[test]
+        fn prop_row_sums_match_dense(coo in arb_coo()) {
+            let csr = CsrMatrix::from_coo(&coo);
+            let dense_sums = csr.to_dense().row_sums();
+            let sparse_sums = csr.row_sums();
+            for (a, b) in dense_sums.iter().zip(&sparse_sums) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_roundtrip_raw(coo in arb_coo()) {
+            let csr = CsrMatrix::from_coo(&coo);
+            let rebuilt = CsrMatrix::from_raw(
+                csr.rows(), csr.cols(),
+                csr.indptr().to_vec(), csr.indices().to_vec(), csr.values().to_vec(),
+            ).unwrap();
+            prop_assert_eq!(rebuilt, csr);
+        }
+
+        #[test]
+        fn prop_compact_columns_preserves_nnz(coo in arb_coo()) {
+            let csr = CsrMatrix::from_coo(&coo);
+            let (compact, kept) = csr.compact_columns();
+            prop_assert_eq!(compact.nnz(), csr.nnz());
+            prop_assert_eq!(compact.cols(), kept.len());
+            // Every kept column must indeed be nonzero in the original.
+            let nz = csr.nonzero_columns();
+            prop_assert_eq!(kept, nz);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for matrix construction and kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix constructors and kernels.
+///
+/// Shape errors are reported eagerly at construction / call time so that
+/// higher layers (samplers, distributed algorithms) can rely on shapes being
+/// consistent once a matrix value exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// An index was outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index that was supplied.
+        row: usize,
+        /// Column index that was supplied.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Human readable operation name, e.g. `"spgemm"`.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// Raw CSR/CSC buffers were structurally invalid (bad `indptr`, indices
+    /// out of range, or length mismatch between indices and values).
+    InvalidStructure(String),
+    /// An operation that requires a non-empty matrix or row received an empty
+    /// one (for example sampling from a row with no nonzeros).
+    Empty(&'static str),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            MatrixError::Empty(what) => write!(f, "operation requires non-empty {what}"),
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = MatrixError::IndexOutOfBounds { row: 7, col: 3, rows: 4, cols: 4 };
+        assert_eq!(e.to_string(), "index (7, 3) out of bounds for 4x4 matrix");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = MatrixError::DimensionMismatch { op: "spgemm", lhs: (2, 3), rhs: (4, 5) };
+        assert!(e.to_string().contains("spgemm"));
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+
+    #[test]
+    fn display_invalid_structure_and_empty() {
+        assert!(MatrixError::InvalidStructure("bad indptr".into())
+            .to_string()
+            .contains("bad indptr"));
+        assert!(MatrixError::Empty("row").to_string().contains("row"));
+    }
+}

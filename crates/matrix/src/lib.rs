@@ -1,0 +1,77 @@
+//! # dmbs-matrix
+//!
+//! Sparse and dense matrix substrate used by the `dmbs` (Distributed
+//! Matrix-Based Sampling) reproduction of *Distributed Matrix-Based Sampling
+//! for Graph Neural Network Training* (MLSys 2024).
+//!
+//! The paper expresses GNN minibatch sampling as sparse matrix products
+//! (SpGEMM) between a sampler matrix `Q` and the graph adjacency matrix `A`,
+//! followed by row-wise normalization, row-wise inverse-transform sampling and
+//! row/column extraction.  This crate provides everything those steps need:
+//!
+//! * [`CooMatrix`], [`CsrMatrix`] and [`CscMatrix`] sparse formats with
+//!   conversions between them,
+//! * a hash-based row-wise (Gustavson) SpGEMM ([`spgemm::spgemm`]) standing in
+//!   for cuSPARSE / nsparse,
+//! * sparse × dense SpMM ([`spmm::spmm`]) used by neighborhood aggregation,
+//! * structural operators (vertical stacking, block-diagonal composition,
+//!   row/column extraction) used by bulk sampling,
+//! * a small dense matrix type ([`DenseMatrix`]) with the GEMM/transpose/
+//!   reduction kernels needed by the GNN training substrate,
+//! * prefix sums used by inverse transform sampling.
+//!
+//! All numeric values are `f64`.  Indices are `usize` throughout; shapes are
+//! validated eagerly and dimension mismatches are reported through
+//! [`MatrixError`] rather than panics wherever a caller could reasonably trip
+//! them with untrusted input.
+//!
+//! # Example
+//!
+//! ```
+//! use dmbs_matrix::{CooMatrix, CsrMatrix, spgemm::spgemm};
+//!
+//! # fn main() -> Result<(), dmbs_matrix::MatrixError> {
+//! // Build the example graph from Figure 1 of the paper.
+//! let mut coo = CooMatrix::new(6, 6);
+//! for &(r, c) in &[(0usize, 1usize), (1, 0), (1, 2), (1, 4), (2, 1), (2, 3),
+//!                  (3, 2), (3, 4), (3, 5), (4, 1), (4, 3), (4, 5), (5, 3), (5, 4)] {
+//!     coo.push(r, c, 1.0)?;
+//! }
+//! let a = CsrMatrix::from_coo(&coo);
+//!
+//! // Q^L for a minibatch {1, 5}: one nonzero per row (GraphSAGE construction).
+//! let mut q = CooMatrix::new(2, 6);
+//! q.push(0, 1, 1.0)?;
+//! q.push(1, 5, 1.0)?;
+//! let q = CsrMatrix::from_coo(&q);
+//!
+//! // P = Q * A has one probability distribution (row) per batch vertex.
+//! let p = spgemm(&q, &a)?;
+//! assert_eq!(p.shape(), (2, 6));
+//! assert_eq!(p.row_nnz(0), 3); // vertex 1 has neighbors {0, 2, 4}
+//! assert_eq!(p.row_nnz(1), 2); // vertex 5 has neighbors {2, 3}
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod ops;
+pub mod prefix;
+pub mod spgemm;
+pub mod spmm;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::MatrixError;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -1,0 +1,336 @@
+//! Sparse general matrix-matrix multiplication (SpGEMM).
+//!
+//! The central kernel of the paper: sampling probability distributions are
+//! produced by `P ← Q^l · A` and LADIES extraction by `Q_R · A · Q_C`, all of
+//! which are sparse × sparse products.  The paper uses nsparse / cuSPARSE on
+//! GPU; here we implement the same row-wise (Gustavson) formulation with a
+//! dense-accumulator or hash-map accumulator chosen per row.
+
+use crate::csr::CsrMatrix;
+use crate::error::MatrixError;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Threshold on the number of columns below which a dense accumulator row is
+/// used instead of a hash map.  Dense accumulation is faster but costs
+/// `O(cols)` scratch per call.
+const DENSE_ACCUM_MAX_COLS: usize = 1 << 16;
+
+/// Computes the sparse product `lhs * rhs` of two CSR matrices.
+///
+/// Uses Gustavson's row-wise algorithm: row `i` of the output is the linear
+/// combination of the rows of `rhs` selected by the nonzeros of row `i` of
+/// `lhs`.  Numerically zero entries produced by cancellation are kept (they
+/// are structurally meaningful for sampling masks).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `lhs.cols() != rhs.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::{CooMatrix, CsrMatrix, spgemm::spgemm};
+///
+/// # fn main() -> Result<(), dmbs_matrix::MatrixError> {
+/// let a = CsrMatrix::from_coo(&CooMatrix::from_triples(2, 2, vec![(0, 1, 2.0)])?);
+/// let b = CsrMatrix::from_coo(&CooMatrix::from_triples(2, 2, vec![(1, 0, 3.0)])?);
+/// let c = spgemm(&a, &b)?;
+/// assert_eq!(c.get(0, 0), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spgemm(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+    if lhs.cols() != rhs.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spgemm",
+            lhs: lhs.shape(),
+            rhs: rhs.shape(),
+        });
+    }
+    if rhs.cols() <= DENSE_ACCUM_MAX_COLS {
+        spgemm_dense_accum(lhs, rhs)
+    } else {
+        spgemm_hash_accum(lhs, rhs)
+    }
+}
+
+/// Row-wise SpGEMM using a dense accumulator of length `rhs.cols()`.
+fn spgemm_dense_accum(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+    let out_cols = rhs.cols();
+    let mut accum: Vec<f64> = vec![0.0; out_cols];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut marked: Vec<bool> = vec![false; out_cols];
+    let mut row_data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(lhs.rows());
+
+    for i in 0..lhs.rows() {
+        for (&k, &lv) in lhs.row_indices(i).iter().zip(lhs.row_values(i)) {
+            for (&j, &rv) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                if !marked[j] {
+                    marked[j] = true;
+                    touched.push(j);
+                }
+                accum[j] += lv * rv;
+            }
+        }
+        touched.sort_unstable();
+        let row: Vec<(usize, f64)> = touched.iter().map(|&j| (j, accum[j])).collect();
+        for &j in &touched {
+            accum[j] = 0.0;
+            marked[j] = false;
+        }
+        touched.clear();
+        row_data.push(row);
+    }
+    CsrMatrix::from_rows(lhs.rows(), out_cols, row_data)
+}
+
+/// Row-wise SpGEMM using a hash-map accumulator; used for very wide outputs
+/// where a dense scratch row would be wasteful.
+fn spgemm_hash_accum(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+    let out_cols = rhs.cols();
+    let mut row_data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(lhs.rows());
+    for i in 0..lhs.rows() {
+        let mut accum: HashMap<usize, f64> = HashMap::new();
+        for (&k, &lv) in lhs.row_indices(i).iter().zip(lhs.row_values(i)) {
+            for (&j, &rv) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                *accum.entry(j).or_insert(0.0) += lv * rv;
+            }
+        }
+        let mut row: Vec<(usize, f64)> = accum.into_iter().collect();
+        row.sort_unstable_by_key(|&(c, _)| c);
+        row_data.push(row);
+    }
+    CsrMatrix::from_rows(lhs.rows(), out_cols, row_data)
+}
+
+/// Computes `lhs * rhs` where `rhs` is given as a *set of rows* of a larger
+/// matrix (a "fetched" sub-matrix): `rhs_rows[k]` holds the sparse row of the
+/// logical right operand for global row index `row_ids[k]`.
+///
+/// This is the local multiply used by the sparsity-aware 1.5D algorithm
+/// (Algorithm 2 in the paper): the left block `Q^l_{ik}` only needs the rows
+/// of `A_k` matching its nonzero columns, which are delivered by
+/// communication and passed here without materialising the full block.
+///
+/// Rows of the right operand that were not supplied are treated as empty.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `row_ids` and `rhs_rows`
+/// have different lengths.
+pub fn spgemm_with_fetched_rows(
+    lhs: &CsrMatrix,
+    row_ids: &[usize],
+    rhs_rows: &[Vec<(usize, f64)>],
+    out_cols: usize,
+) -> Result<CsrMatrix> {
+    if row_ids.len() != rhs_rows.len() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spgemm_with_fetched_rows",
+            lhs: (row_ids.len(), 0),
+            rhs: (rhs_rows.len(), 0),
+        });
+    }
+    // Map global row id -> position in rhs_rows.
+    let lookup: HashMap<usize, usize> = row_ids.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let mut row_data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(lhs.rows());
+    for i in 0..lhs.rows() {
+        let mut accum: HashMap<usize, f64> = HashMap::new();
+        for (&k, &lv) in lhs.row_indices(i).iter().zip(lhs.row_values(i)) {
+            if let Some(&pos) = lookup.get(&k) {
+                for &(j, rv) in &rhs_rows[pos] {
+                    *accum.entry(j).or_insert(0.0) += lv * rv;
+                }
+            }
+        }
+        let mut row: Vec<(usize, f64)> = accum.into_iter().collect();
+        row.sort_unstable_by_key(|&(c, _)| c);
+        row_data.push(row);
+    }
+    CsrMatrix::from_rows(lhs.rows(), out_cols, row_data)
+}
+
+/// Reference SpGEMM that multiplies via dense matrices.  Only for testing the
+/// sparse kernels on small inputs.
+pub fn spgemm_dense_reference(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<CsrMatrix> {
+    if lhs.cols() != rhs.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spgemm_dense_reference",
+            lhs: lhs.shape(),
+            rhs: rhs.shape(),
+        });
+    }
+    let dense = lhs.to_dense().matmul(&rhs.to_dense())?;
+    let mut coo = crate::CooMatrix::new(lhs.rows(), rhs.cols());
+    for r in 0..lhs.rows() {
+        for c in 0..rhs.cols() {
+            let v = dense.get(r, c);
+            if v != 0.0 {
+                coo.push(r, c, v)?;
+            }
+        }
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn figure1_graph() -> CsrMatrix {
+        let edges = [
+            (0, 1), (1, 0), (1, 2), (1, 4), (2, 1), (2, 3), (3, 2),
+            (3, 4), (3, 5), (4, 1), (4, 3), (4, 5), (5, 3), (5, 4),
+        ];
+        let coo = CooMatrix::from_triples(6, 6, edges.iter().map(|&(r, c)| (r, c, 1.0))).unwrap();
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = figure1_graph();
+        let i = CsrMatrix::identity(6);
+        assert_eq!(spgemm(&i, &a).unwrap(), a);
+        assert_eq!(spgemm(&a, &i).unwrap(), a);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::zeros(2, 3);
+        assert!(matches!(spgemm(&a, &b), Err(MatrixError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn graphsage_probability_rows_from_paper() {
+        // Q^L for batch {1, 5} (GraphSAGE construction) times A gives the
+        // neighborhoods of vertices 1 and 5 — the example in Figure 2a.
+        let a = figure1_graph();
+        let q = CsrMatrix::from_coo(
+            &CooMatrix::from_triples(2, 6, vec![(0, 1, 1.0), (1, 5, 1.0)]).unwrap(),
+        );
+        let p = spgemm(&q, &a).unwrap();
+        assert_eq!(p.row_indices(0), &[0, 2, 4]);
+        assert_eq!(p.row_indices(1), &[3, 4]);
+    }
+
+    #[test]
+    fn ladies_probability_row_from_paper() {
+        // Q^L for LADIES is a single row with nonzeros at the batch vertices
+        // {1, 5}; P = Q A counts, per column, how many batch vertices point to
+        // it — the example in Figure 2b gives [1, 0, 1, 1, 2, 0], which after
+        // the LADIES squared normalization becomes [1/7, 0, 1/7, 1/7, 4/7, 0].
+        let a = figure1_graph();
+        let q = CsrMatrix::from_coo(
+            &CooMatrix::from_triples(1, 6, vec![(0, 1, 1.0), (0, 5, 1.0)]).unwrap(),
+        );
+        let p = spgemm(&q, &a).unwrap();
+        assert_eq!(p.get(0, 0), 1.0);
+        assert_eq!(p.get(0, 1), 0.0);
+        assert_eq!(p.get(0, 2), 1.0);
+        assert_eq!(p.get(0, 3), 1.0);
+        assert_eq!(p.get(0, 4), 2.0);
+        assert_eq!(p.get(0, 5), 0.0);
+    }
+
+    #[test]
+    fn hash_and_dense_accumulators_agree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut coo_a = CooMatrix::new(30, 40);
+        let mut coo_b = CooMatrix::new(40, 25);
+        for _ in 0..200 {
+            coo_a
+                .push(rng.gen_range(0..30), rng.gen_range(0..40), rng.gen_range(-2.0..2.0))
+                .unwrap();
+            coo_b
+                .push(rng.gen_range(0..40), rng.gen_range(0..25), rng.gen_range(-2.0..2.0))
+                .unwrap();
+        }
+        let a = CsrMatrix::from_coo(&coo_a);
+        let b = CsrMatrix::from_coo(&coo_b);
+        let dense = spgemm_dense_accum(&a, &b).unwrap();
+        let hash = spgemm_hash_accum(&a, &b).unwrap();
+        assert!(dense.approx_eq(&hash, 1e-9));
+    }
+
+    #[test]
+    fn fetched_rows_matches_full_spgemm() {
+        let a = figure1_graph();
+        let q = CsrMatrix::from_coo(
+            &CooMatrix::from_triples(2, 6, vec![(0, 1, 1.0), (1, 5, 1.0)]).unwrap(),
+        );
+        // Supply only the rows of A that q actually needs (rows 1 and 5).
+        let needed = vec![1usize, 5usize];
+        let rows: Vec<Vec<(usize, f64)>> = needed
+            .iter()
+            .map(|&r| {
+                a.row_indices(r)
+                    .iter()
+                    .zip(a.row_values(r))
+                    .map(|(&c, &v)| (c, v))
+                    .collect()
+            })
+            .collect();
+        let partial = spgemm_with_fetched_rows(&q, &needed, &rows, 6).unwrap();
+        let full = spgemm(&q, &a).unwrap();
+        assert_eq!(partial, full);
+    }
+
+    #[test]
+    fn fetched_rows_missing_rows_are_empty() {
+        let a = figure1_graph();
+        let q = CsrMatrix::from_coo(
+            &CooMatrix::from_triples(2, 6, vec![(0, 1, 1.0), (1, 5, 1.0)]).unwrap(),
+        );
+        // Supply only row 1; row 5 contributions are dropped.
+        let rows: Vec<Vec<(usize, f64)>> = vec![a
+            .row_indices(1)
+            .iter()
+            .zip(a.row_values(1))
+            .map(|(&c, &v)| (c, v))
+            .collect()];
+        let partial = spgemm_with_fetched_rows(&q, &[1], &rows, 6).unwrap();
+        assert_eq!(partial.row_nnz(0), 3);
+        assert_eq!(partial.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn fetched_rows_length_mismatch() {
+        let q = CsrMatrix::identity(2);
+        assert!(spgemm_with_fetched_rows(&q, &[0, 1], &[vec![]], 2).is_err());
+    }
+
+    fn arb_pair() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+        (1usize..10, 1usize..10, 1usize..10).prop_flat_map(|(m, k, n)| {
+            let lhs_entries = proptest::collection::vec((0..m, 0..k, -3.0f64..3.0), 0..40);
+            let rhs_entries = proptest::collection::vec((0..k, 0..n, -3.0f64..3.0), 0..40);
+            (lhs_entries, rhs_entries).prop_map(move |(le, re)| {
+                (
+                    CsrMatrix::from_coo(&CooMatrix::from_triples(m, k, le).unwrap()),
+                    CsrMatrix::from_coo(&CooMatrix::from_triples(k, n, re).unwrap()),
+                )
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spgemm_matches_dense((a, b) in arb_pair()) {
+            let sparse = spgemm(&a, &b).unwrap();
+            let dense = a.to_dense().matmul(&b.to_dense()).unwrap();
+            prop_assert!(sparse.to_dense().approx_eq(&dense, 1e-9));
+        }
+
+        #[test]
+        fn prop_spgemm_associative_shapes((a, b) in arb_pair()) {
+            let c = spgemm(&a, &b).unwrap();
+            prop_assert_eq!(c.rows(), a.rows());
+            prop_assert_eq!(c.cols(), b.cols());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Sparse × dense matrix multiplication (SpMM).
+//!
+//! Neighborhood aggregation in forward propagation multiplies a sampled
+//! adjacency matrix (CSR) by a sampled feature/embedding matrix (dense):
+//! `Z = A_S · H`.  The backward pass needs the transposed product
+//! `A_S^T · G`.  Both kernels live here.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+use crate::Result;
+
+/// Computes `sparse * dense`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `sparse.cols() != dense.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::{CooMatrix, CsrMatrix, DenseMatrix, spmm::spmm};
+///
+/// # fn main() -> Result<(), dmbs_matrix::MatrixError> {
+/// let a = CsrMatrix::from_coo(&CooMatrix::from_triples(2, 3, vec![(0, 1, 2.0), (1, 2, 1.0)])?);
+/// let h = DenseMatrix::from_rows(&[vec![1.0], vec![10.0], vec![100.0]])?;
+/// let z = spmm(&a, &h)?;
+/// assert_eq!(z.get(0, 0), 20.0);
+/// assert_eq!(z.get(1, 0), 100.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spmm(sparse: &CsrMatrix, dense: &DenseMatrix) -> Result<DenseMatrix> {
+    if sparse.cols() != dense.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spmm",
+            lhs: sparse.shape(),
+            rhs: dense.shape(),
+        });
+    }
+    let cols = dense.cols();
+    let mut out = DenseMatrix::zeros(sparse.rows(), cols);
+    for r in 0..sparse.rows() {
+        // Accumulate the linear combination of dense rows into the output row.
+        let mut acc = vec![0.0f64; cols];
+        for (&c, &v) in sparse.row_indices(r).iter().zip(sparse.row_values(r)) {
+            let drow = dense.row(c);
+            for (a, d) in acc.iter_mut().zip(drow) {
+                *a += v * d;
+            }
+        }
+        out.row_mut(r).copy_from_slice(&acc);
+    }
+    Ok(out)
+}
+
+/// Computes `sparse^T * dense` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `sparse.rows() != dense.rows()`.
+pub fn spmm_transpose(sparse: &CsrMatrix, dense: &DenseMatrix) -> Result<DenseMatrix> {
+    if sparse.rows() != dense.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spmm_transpose",
+            lhs: sparse.shape(),
+            rhs: dense.shape(),
+        });
+    }
+    let cols = dense.cols();
+    let mut out = DenseMatrix::zeros(sparse.cols(), cols);
+    for r in 0..sparse.rows() {
+        let drow = dense.row(r);
+        for (&c, &v) in sparse.row_indices(r).iter().zip(sparse.row_values(r)) {
+            let orow = out.row_mut(c);
+            for (o, d) in orow.iter_mut().zip(drow) {
+                *o += v * d;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+    use proptest::prelude::*;
+
+    fn small_sparse() -> CsrMatrix {
+        CsrMatrix::from_coo(
+            &CooMatrix::from_triples(3, 4, vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, -1.0)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn spmm_known_values() {
+        let a = small_sparse();
+        let h = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.0],
+        ])
+        .unwrap();
+        let z = spmm(&a, &h).unwrap();
+        assert_eq!(z.get(0, 0), 15.0);
+        assert_eq!(z.get(0, 1), 18.0);
+        assert_eq!(z.get(1, 0), 0.0);
+        assert_eq!(z.get(2, 0), -3.0);
+    }
+
+    #[test]
+    fn spmm_dimension_mismatch() {
+        let a = small_sparse();
+        let h = DenseMatrix::zeros(3, 2);
+        assert!(spmm(&a, &h).is_err());
+    }
+
+    #[test]
+    fn spmm_transpose_matches_explicit_transpose() {
+        let a = small_sparse();
+        let g = DenseMatrix::from_rows(&[vec![1.0, 0.5], vec![2.0, -1.0], vec![0.0, 3.0]]).unwrap();
+        let fused = spmm_transpose(&a, &g).unwrap();
+        let explicit = spmm(&a.transpose(), &g).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn spmm_transpose_dimension_mismatch() {
+        let a = small_sparse();
+        let g = DenseMatrix::zeros(4, 2);
+        assert!(spmm_transpose(&a, &g).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spmm_matches_dense(
+            entries in proptest::collection::vec((0usize..6, 0usize..7, -2.0f64..2.0), 0..30),
+            dense_vals in proptest::collection::vec(-2.0f64..2.0, 7 * 3),
+        ) {
+            let sparse = CsrMatrix::from_coo(&CooMatrix::from_triples(6, 7, entries).unwrap());
+            let dense = DenseMatrix::from_vec(7, 3, dense_vals).unwrap();
+            let sp = spmm(&sparse, &dense).unwrap();
+            let reference = sparse.to_dense().matmul(&dense).unwrap();
+            prop_assert!(sp.approx_eq(&reference, 1e-9));
+        }
+
+        #[test]
+        fn prop_spmm_transpose_matches_dense(
+            entries in proptest::collection::vec((0usize..6, 0usize..7, -2.0f64..2.0), 0..30),
+            dense_vals in proptest::collection::vec(-2.0f64..2.0, 6 * 2),
+        ) {
+            let sparse = CsrMatrix::from_coo(&CooMatrix::from_triples(6, 7, entries).unwrap());
+            let dense = DenseMatrix::from_vec(6, 2, dense_vals).unwrap();
+            let sp = spmm_transpose(&sparse, &dense).unwrap();
+            let reference = sparse.to_dense().transpose().matmul(&dense).unwrap();
+            prop_assert!(sp.approx_eq(&reference, 1e-9));
+        }
+    }
+}

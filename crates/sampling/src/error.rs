@@ -1,0 +1,86 @@
+//! Error types for sampling algorithms.
+
+use dmbs_comm::CommError;
+use dmbs_graph::GraphError;
+use dmbs_matrix::MatrixError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sampling algorithms and distributed sampling drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplingError {
+    /// The sampler was configured with invalid parameters (zero fanout, empty
+    /// batch, batch vertex out of range, …).
+    InvalidConfig(String),
+    /// An underlying matrix kernel failed.
+    Matrix(MatrixError),
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+    /// A distributed collective failed.
+    Comm(CommError),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidConfig(msg) => write!(f, "invalid sampling configuration: {msg}"),
+            SamplingError::Matrix(e) => write!(f, "matrix error during sampling: {e}"),
+            SamplingError::Graph(e) => write!(f, "graph error during sampling: {e}"),
+            SamplingError::Comm(e) => write!(f, "communication error during sampling: {e}"),
+        }
+    }
+}
+
+impl Error for SamplingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SamplingError::Matrix(e) => Some(e),
+            SamplingError::Graph(e) => Some(e),
+            SamplingError::Comm(e) => Some(e),
+            SamplingError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<MatrixError> for SamplingError {
+    fn from(e: MatrixError) -> Self {
+        SamplingError::Matrix(e)
+    }
+}
+
+impl From<GraphError> for SamplingError {
+    fn from(e: GraphError) -> Self {
+        SamplingError::Graph(e)
+    }
+}
+
+impl From<CommError> for SamplingError {
+    fn from(e: CommError) -> Self {
+        SamplingError::Comm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SamplingError::InvalidConfig("fanout must be positive".into());
+        assert!(e.to_string().contains("fanout"));
+        assert!(e.source().is_none());
+
+        let m: SamplingError = MatrixError::Empty("row").into();
+        assert!(m.source().is_some());
+        let g: SamplingError = GraphError::InvalidConfig("x".into()).into();
+        assert!(g.to_string().contains("graph error"));
+        let c: SamplingError = CommError::RankPanicked { rank: 1 }.into();
+        assert!(c.to_string().contains("communication"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SamplingError>();
+    }
+}

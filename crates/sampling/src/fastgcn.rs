@@ -1,0 +1,233 @@
+//! FastGCN layer-wise importance sampling.
+//!
+//! FastGCN (§2.2.2) samples `s` vertices per layer from a *global*
+//! distribution proportional to (squared) vertex degree, independent of the
+//! current batch.  It avoids neighborhood explosion like LADIES but may pick
+//! vertices outside the aggregated neighborhood, which hurts accuracy — the
+//! trade-off the paper describes.  It is included as the "additional sampling
+//! algorithm" the framework can express beyond GraphSAGE and LADIES.
+
+use crate::its::its_without_replacement;
+use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
+use crate::sampler::{validate_batches, BulkSamplerConfig, Sampler};
+use crate::{Result, SamplingError};
+use dmbs_comm::{Phase, PhaseProfile};
+use dmbs_matrix::CsrMatrix;
+use rand::RngCore;
+
+/// The FastGCN layer-wise importance sampler.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_sampling::{FastGcnSampler, Sampler};
+/// use dmbs_graph::generators::figure1_example;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+/// let sampler = FastGcnSampler::new(1, 3);
+/// let graph = figure1_example();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let sample = sampler.sample_minibatch(graph.adjacency(), &[1, 5], &mut rng)?;
+/// assert_eq!(sample.layers[0].cols.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastGcnSampler {
+    num_layers: usize,
+    samples_per_layer: usize,
+}
+
+impl FastGcnSampler {
+    /// Creates a FastGCN sampler with `num_layers` layers and `s` sampled
+    /// vertices per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0` or `samples_per_layer == 0`.
+    pub fn new(num_layers: usize, samples_per_layer: usize) -> Self {
+        assert!(num_layers > 0, "FastGCN needs at least one layer");
+        assert!(samples_per_layer > 0, "samples per layer must be positive");
+        FastGcnSampler { num_layers, samples_per_layer }
+    }
+
+    /// The FastGCN importance distribution: `q(v) ∝ deg_in(v)²`, computed
+    /// once from the adjacency matrix.
+    fn importance_weights(adjacency: &CsrMatrix) -> Vec<f64> {
+        adjacency.col_sums().into_iter().map(|d| d * d).collect()
+    }
+}
+
+impl Sampler for FastGcnSampler {
+    fn name(&self) -> &'static str {
+        "fastgcn"
+    }
+
+    fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    fn fanout(&self, _step: usize) -> usize {
+        self.samples_per_layer
+    }
+
+    fn sample_minibatch(
+        &self,
+        adjacency: &CsrMatrix,
+        batch: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<MinibatchSample> {
+        let config = BulkSamplerConfig::new(batch.len(), 1);
+        let mut out = self.sample_bulk(adjacency, &[batch.to_vec()], &config, rng)?;
+        Ok(out.minibatches.remove(0))
+    }
+
+    fn sample_bulk(
+        &self,
+        adjacency: &CsrMatrix,
+        batches: &[Vec<usize>],
+        _config: &BulkSamplerConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<BulkSampleOutput> {
+        let n = adjacency.rows();
+        if adjacency.cols() != n {
+            return Err(SamplingError::InvalidConfig("adjacency matrix must be square".into()));
+        }
+        validate_batches(batches, n)?;
+
+        let mut profile = PhaseProfile::new();
+        let weights =
+            profile.time_compute(Phase::Probability, || Self::importance_weights(adjacency));
+
+        let mut minibatches = Vec::with_capacity(batches.len());
+        for batch in batches {
+            let mut frontier = batch.clone();
+            let mut layers = Vec::with_capacity(self.num_layers);
+            for _step in 0..self.num_layers {
+                let sampled = profile.time_compute(Phase::Sampling, || {
+                    its_without_replacement(&weights, self.samples_per_layer, rng)
+                })?;
+                let layer = profile.time_compute(Phase::Extraction, || -> Result<LayerSample> {
+                    let rows_matrix = adjacency.gather_rows(&frontier)?;
+                    let a_s = rows_matrix.select_columns(&sampled)?;
+                    Ok(LayerSample::new(frontier.clone(), sampled.clone(), a_s))
+                })?;
+                frontier = layer.cols.clone();
+                layers.push(layer);
+            }
+            layers.reverse();
+            minibatches.push(MinibatchSample { batch: batch.clone(), layers });
+        }
+
+        Ok(BulkSampleOutput { minibatches, profile, comm_stats: Default::default() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbs_graph::generators::{figure1_example, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        FastGcnSampler::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_samples_panics() {
+        FastGcnSampler::new(1, 0);
+    }
+
+    #[test]
+    fn importance_weights_are_squared_in_degrees() {
+        let a = figure1_example().adjacency().clone();
+        let w = FastGcnSampler::importance_weights(&a);
+        // Vertex 4 has in-degree 3 in the Figure 1 graph.
+        assert_eq!(w[4], 9.0);
+        assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn sampled_edges_are_real_edges() {
+        let g = figure1_example();
+        let sampler = FastGcnSampler::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = sampler.sample_minibatch(g.adjacency(), &[1, 5], &mut rng).unwrap();
+        assert_eq!(sample.num_layers(), 2);
+        assert!(sample.frontiers_are_chained());
+        for layer in &sample.layers {
+            for (r, c, _) in layer.adjacency.iter() {
+                assert_eq!(g.adjacency().get(layer.rows[r], layer.cols[c]), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_vertex_dominates_sampling_on_star() {
+        // On a star graph the hub has in-degree n-1, so it is picked almost
+        // always when s = 1.
+        let g = star(12).unwrap();
+        let sampler = FastGcnSampler::new(1, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hub_count = 0;
+        for _ in 0..200 {
+            let sample = sampler.sample_minibatch(g.adjacency(), &[3], &mut rng).unwrap();
+            if sample.layers[0].cols == vec![0] {
+                hub_count += 1;
+            }
+        }
+        // P(hub) = 121/132 ≈ 0.92, so ~183 of 200 draws in expectation; use a
+        // loose lower bound to keep the test robust.
+        assert!(hub_count > 150, "hub sampled only {hub_count}/200 times");
+    }
+
+    #[test]
+    fn samples_may_fall_outside_neighborhood() {
+        // FastGCN ignores the batch when sampling, so on the Figure 1 graph a
+        // vertex that is not a neighbor of the batch can be selected (the
+        // accuracy caveat the paper mentions).  With s = 5 out of 6 vertices,
+        // at least one non-neighbor of {0} must be present.
+        let g = figure1_example();
+        let sampler = FastGcnSampler::new(1, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = sampler.sample_minibatch(g.adjacency(), &[0], &mut rng).unwrap();
+        let non_neighbors: Vec<usize> = sample.layers[0]
+            .cols
+            .iter()
+            .copied()
+            .filter(|&v| !g.neighbors(0).contains(&v))
+            .collect();
+        assert!(!non_neighbors.is_empty());
+    }
+
+    #[test]
+    fn bulk_and_validation() {
+        let g = figure1_example();
+        let sampler = FastGcnSampler::new(1, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = sampler
+            .sample_bulk(g.adjacency(), &[vec![0], vec![1]], &BulkSamplerConfig::new(1, 2), &mut rng)
+            .unwrap();
+        assert_eq!(out.num_batches(), 2);
+        assert!(sampler
+            .sample_bulk(g.adjacency(), &[], &BulkSamplerConfig::default(), &mut rng)
+            .is_err());
+        assert!(sampler
+            .sample_bulk(g.adjacency(), &[vec![100]], &BulkSamplerConfig::default(), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let s = FastGcnSampler::new(2, 64);
+        assert_eq!(s.name(), "fastgcn");
+        assert_eq!(s.num_layers(), 2);
+        assert_eq!(s.fanout(1), 64);
+    }
+}

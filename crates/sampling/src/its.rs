@@ -1,0 +1,319 @@
+//! Distribution sampling kernels.
+//!
+//! All GNN sampling algorithms reduce to drawing `s` elements from discrete
+//! probability distributions (§2.3).  The paper uses **inverse transform
+//! sampling (ITS)**: a prefix sum over the probability row followed by binary
+//! searches of uniform random numbers.  Rejection sampling is provided as the
+//! alternative the paper argues against (it may take many iterations), and is
+//! used by the `ablation_its_vs_rejection` bench.
+
+use crate::error::SamplingError;
+use crate::Result;
+use dmbs_matrix::prefix::{inclusive_scan, upper_bound};
+use dmbs_matrix::CsrMatrix;
+use rand::Rng;
+
+/// Draws up to `s` *distinct* positions (indices into `weights`) without
+/// replacement using inverse transform sampling.
+///
+/// If the row has `nnz <= s` candidates, every candidate is returned (the
+/// neighborhood is smaller than the fanout, so GraphSAGE keeps it whole).
+/// Weights must be non-negative; zero-weight candidates are never selected
+/// unless every weight is zero, in which case candidates are taken uniformly.
+///
+/// The returned positions are sorted in ascending order.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidConfig`] if `s == 0`.
+pub fn its_without_replacement<R: Rng + ?Sized>(
+    weights: &[f64],
+    s: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    if s == 0 {
+        return Err(SamplingError::InvalidConfig("sample count s must be positive".into()));
+    }
+    let candidates: Vec<usize> = (0..weights.len()).collect();
+    if weights.len() <= s {
+        return Ok(candidates);
+    }
+    // Work on a mutable copy: each selected position has its weight zeroed and
+    // the prefix sum is rebuilt.  s is small (the fanout), so the rebuild cost
+    // is acceptable and mirrors the "repeat to select s distinct nonzeros"
+    // description in §4.1.2 of the paper.
+    let mut working: Vec<f64> = weights.to_vec();
+    let all_zero = working.iter().all(|&w| w <= 0.0);
+    if all_zero {
+        for w in &mut working {
+            *w = 1.0;
+        }
+    }
+    let mut selected = Vec::with_capacity(s);
+    for _ in 0..s {
+        let scan = inclusive_scan(&working);
+        let total = *scan.last().expect("weights are non-empty");
+        if total <= 0.0 {
+            break;
+        }
+        let target = rng.gen::<f64>() * total;
+        let pos = upper_bound(&scan, target);
+        selected.push(pos);
+        working[pos] = 0.0;
+    }
+    selected.sort_unstable();
+    selected.dedup();
+    Ok(selected)
+}
+
+/// Draws `s` positions *with* replacement using inverse transform sampling
+/// (a single prefix sum, `s` binary searches).  Used by samplers that allow
+/// repeated picks (e.g. FastGCN-style importance sampling).
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidConfig`] if `s == 0` or `weights` is empty,
+/// or [`SamplingError::InvalidConfig`] if all weights are zero.
+pub fn its_with_replacement<R: Rng + ?Sized>(
+    weights: &[f64],
+    s: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    if s == 0 {
+        return Err(SamplingError::InvalidConfig("sample count s must be positive".into()));
+    }
+    if weights.is_empty() {
+        return Err(SamplingError::InvalidConfig("cannot sample from an empty distribution".into()));
+    }
+    let scan = inclusive_scan(weights);
+    let total = *scan.last().expect("non-empty");
+    if total <= 0.0 {
+        return Err(SamplingError::InvalidConfig("all weights are zero".into()));
+    }
+    Ok((0..s)
+        .map(|_| upper_bound(&scan, rng.gen::<f64>() * total))
+        .collect())
+}
+
+/// Draws up to `s` distinct positions without replacement using **rejection
+/// sampling**: repeatedly draw from the full distribution and discard
+/// duplicates.  Provided for the ITS-vs-rejection ablation; may loop many
+/// times when `s` approaches the support size, which is exactly the
+/// disadvantage the paper cites.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidConfig`] if `s == 0`.
+pub fn rejection_without_replacement<R: Rng + ?Sized>(
+    weights: &[f64],
+    s: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    if s == 0 {
+        return Err(SamplingError::InvalidConfig("sample count s must be positive".into()));
+    }
+    let support: Vec<usize> = (0..weights.len()).filter(|&i| weights[i] > 0.0).collect();
+    if support.len() <= s {
+        return Ok(support);
+    }
+    let scan = inclusive_scan(weights);
+    let total = *scan.last().expect("non-empty");
+    let mut chosen = std::collections::BTreeSet::new();
+    // Cap iterations to avoid pathological loops; fall back to ITS if hit.
+    let max_draws = 64 * s.max(1);
+    let mut draws = 0;
+    while chosen.len() < s && draws < max_draws {
+        let pos = upper_bound(&scan, rng.gen::<f64>() * total);
+        chosen.insert(pos);
+        draws += 1;
+    }
+    if chosen.len() < s {
+        return its_without_replacement(weights, s, rng);
+    }
+    Ok(chosen.into_iter().collect())
+}
+
+/// Samples `s` nonzero columns from every row of a CSR probability matrix
+/// `P`, returning the sampler matrix `Q` with (up to) `s` nonzeros of value
+/// `1.0` per row — the `SAMPLE` step of Algorithm 1.
+///
+/// Rows with no nonzeros stay empty.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidConfig`] if `s == 0`.
+pub fn sample_rows<R: Rng + ?Sized>(p: &CsrMatrix, s: usize, rng: &mut R) -> Result<CsrMatrix> {
+    if s == 0 {
+        return Err(SamplingError::InvalidConfig("sample count s must be positive".into()));
+    }
+    let mut row_data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(p.rows());
+    for r in 0..p.rows() {
+        let cols = p.row_indices(r);
+        let vals = p.row_values(r);
+        if cols.is_empty() {
+            row_data.push(Vec::new());
+            continue;
+        }
+        let picked = its_without_replacement(vals, s, rng)?;
+        row_data.push(picked.into_iter().map(|pos| (cols[pos], 1.0)).collect());
+    }
+    Ok(CsrMatrix::from_rows(p.rows(), p.cols(), row_data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbs_matrix::CooMatrix;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn without_replacement_returns_distinct_in_support() {
+        let weights = vec![0.0, 1.0, 2.0, 0.0, 3.0, 1.0, 4.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let picked = its_without_replacement(&weights, 3, &mut rng).unwrap();
+            assert_eq!(picked.len(), 3);
+            let mut sorted = picked.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicates in {picked:?}");
+            assert!(picked.iter().all(|&i| weights[i] > 0.0));
+        }
+    }
+
+    #[test]
+    fn without_replacement_small_support_returns_all() {
+        let weights = vec![1.0, 2.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let picked = its_without_replacement(&weights, 5, &mut rng).unwrap();
+        assert_eq!(picked, vec![0, 1]);
+    }
+
+    #[test]
+    fn without_replacement_zero_weights_fall_back_to_uniform() {
+        let weights = vec![0.0; 6];
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = its_without_replacement(&weights, 3, &mut rng).unwrap();
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn without_replacement_rejects_zero_s() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(its_without_replacement(&[1.0], 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn frequencies_track_probabilities() {
+        // Column 2 has 10x the weight of column 0; over many single draws it
+        // must be picked roughly 10x as often.
+        let weights = vec![1.0, 0.0, 10.0];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            let picked = its_without_replacement(&weights, 1, &mut rng).unwrap();
+            counts[picked[0]] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0].max(1) as f64;
+        assert!(ratio > 7.0 && ratio < 13.0, "ratio {ratio} outside expected band");
+    }
+
+    #[test]
+    fn with_replacement_allows_duplicates_and_validates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let picked = its_with_replacement(&[1.0, 1.0], 10, &mut rng).unwrap();
+        assert_eq!(picked.len(), 10);
+        assert!(its_with_replacement(&[], 2, &mut rng).is_err());
+        assert!(its_with_replacement(&[0.0, 0.0], 2, &mut rng).is_err());
+        assert!(its_with_replacement(&[1.0], 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn rejection_matches_its_semantics() {
+        let weights = vec![1.0, 2.0, 3.0, 4.0, 5.0, 0.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let picked = rejection_without_replacement(&weights, 3, &mut rng).unwrap();
+            assert_eq!(picked.len(), 3);
+            assert!(picked.iter().all(|&i| weights[i] > 0.0));
+            assert!(picked.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Small support returns everything.
+        let few = rejection_without_replacement(&[1.0, 0.0, 1.0], 5, &mut rng).unwrap();
+        assert_eq!(few, vec![0, 2]);
+        assert!(rejection_without_replacement(&[1.0], 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_rows_respects_fanout_and_support() {
+        // Figure 2a: P has the neighborhoods of vertices 1 and 5.
+        let p = CsrMatrix::from_coo(
+            &CooMatrix::from_triples(
+                2,
+                6,
+                vec![(0, 0, 1.0 / 3.0), (0, 2, 1.0 / 3.0), (0, 4, 1.0 / 3.0), (1, 3, 0.5), (1, 4, 0.5)],
+            )
+            .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = sample_rows(&p, 2, &mut rng).unwrap();
+        assert_eq!(q.shape(), (2, 6));
+        assert_eq!(q.row_nnz(0), 2);
+        assert_eq!(q.row_nnz(1), 2);
+        // Sampled columns are a subset of the row's support.
+        assert!(q.row_indices(0).iter().all(|c| [0, 2, 4].contains(c)));
+        assert_eq!(q.row_indices(1), &[3, 4]);
+        assert!(q.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn sample_rows_keeps_empty_rows_empty() {
+        let p = CsrMatrix::zeros(3, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = sample_rows(&p, 2, &mut rng).unwrap();
+        assert_eq!(q.nnz(), 0);
+        assert!(sample_rows(&p, 0, &mut rng).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_its_without_replacement_invariants(
+            weights in proptest::collection::vec(0.0f64..5.0, 1..40),
+            s in 1usize..10,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let picked = its_without_replacement(&weights, s, &mut rng).unwrap();
+            // Distinct and sorted.
+            prop_assert!(picked.windows(2).all(|w| w[0] < w[1]));
+            // Never more than requested (unless the whole support is returned).
+            prop_assert!(picked.len() <= s.max(weights.len()));
+            if weights.len() > s {
+                prop_assert!(picked.len() <= s);
+            }
+            // All indices valid.
+            prop_assert!(picked.iter().all(|&i| i < weights.len()));
+        }
+
+        #[test]
+        fn prop_sample_rows_subset_of_support(
+            entries in proptest::collection::vec((0usize..8, 0usize..12, 0.1f64..5.0), 1..60),
+            s in 1usize..5,
+            seed in 0u64..100,
+        ) {
+            let p = CsrMatrix::from_coo(&CooMatrix::from_triples(8, 12, entries).unwrap());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let q = sample_rows(&p, s, &mut rng).unwrap();
+            prop_assert_eq!(q.shape(), p.shape());
+            for r in 0..p.rows() {
+                let support: std::collections::HashSet<usize> = p.row_indices(r).iter().copied().collect();
+                prop_assert!(q.row_nnz(r) <= s.min(p.row_nnz(r)).max(p.row_nnz(r).min(s)));
+                prop_assert!(q.row_indices(r).iter().all(|c| support.contains(c)));
+                // Exactly min(s, nnz) picked.
+                prop_assert_eq!(q.row_nnz(r), s.min(p.row_nnz(r)));
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # dmbs-sampling
+//!
+//! Matrix-based bulk minibatch sampling for GNN training — the primary
+//! contribution of *Distributed Matrix-Based Sampling for Graph Neural
+//! Network Training* (MLSys 2024), reimplemented from scratch in Rust.
+//!
+//! The paper expresses GNN sampling algorithms as sparse matrix operations
+//! (Algorithm 1):
+//!
+//! ```text
+//! for l = L .. 1:
+//!     P       = Q^l · A            (SpGEMM)
+//!     P       = NORM(P)            (sampler-specific row normalization)
+//!     Q^(l-1) = SAMPLE(P, b, s)    (inverse transform sampling per row)
+//!     A^l     = EXTRACT(A, Q^l, Q^(l-1))
+//! ```
+//!
+//! and samples `k` minibatches *in bulk* by vertically stacking their `Q`,
+//! `P` and `A^l` matrices (Equation 1).  This crate implements:
+//!
+//! * [`its`] — inverse transform sampling (and rejection sampling, for the
+//!   ablation) over CSR probability rows;
+//! * [`GraphSageSampler`] — node-wise sampling (§4.1);
+//! * [`LadiesSampler`] — layer-wise dependency sampling (§4.2), including the
+//!   row/column extraction SpGEMMs;
+//! * [`FastGcnSampler`] — degree-based layer-wise sampling (an extension
+//!   mentioned in §2.2.2);
+//! * [`replicated`] — the Graph Replicated distributed algorithm (§5.1):
+//!   `Q` partitioned 1D, `A` replicated, no communication during sampling;
+//! * [`partitioned`] — the Graph Partitioned algorithm (§5.2): both matrices
+//!   partitioned on a `p/c × c` grid and multiplied with the sparsity-aware
+//!   1.5D SpGEMM of Algorithm 2;
+//! * [`baseline`] — per-vertex samplers standing in for Quiver/DGL (including
+//!   a UVA-style slow-memory model) and a reference per-batch CPU LADIES.
+//!
+//! # Example: bulk GraphSAGE sampling
+//!
+//! ```
+//! use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler, Sampler};
+//! use dmbs_graph::generators::figure1_example;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+//! let graph = figure1_example();
+//! let sampler = GraphSageSampler::new(vec![2]);
+//! let batches = vec![vec![1, 5], vec![0, 3]];
+//! let config = BulkSamplerConfig::new(2, 2);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let out = sampler.sample_bulk(graph.adjacency(), &batches, &config, &mut rng)?;
+//! assert_eq!(out.num_batches(), 2);
+//! // Layer L of the first minibatch has the batch vertices as rows.
+//! assert_eq!(out.minibatches[0].layers.last().unwrap().rows, vec![1, 5]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod error;
+pub mod fastgcn;
+pub mod its;
+pub mod ladies;
+pub mod partitioned;
+pub mod plan;
+pub mod replicated;
+pub mod sage;
+pub mod sampler;
+
+pub use error::SamplingError;
+pub use fastgcn::FastGcnSampler;
+pub use ladies::LadiesSampler;
+pub use plan::{BulkSampleOutput, LayerSample, MinibatchSample};
+pub use sage::GraphSageSampler;
+pub use sampler::{BulkSamplerConfig, Sampler};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, SamplingError>;

@@ -1,0 +1,197 @@
+//! Output types of the sampling step.
+//!
+//! Sampling a minibatch for an `L`-layer GNN produces one sampled adjacency
+//! matrix per layer (§4, Algorithm 1).  In this reproduction each layer's
+//! matrix is kept together with the *global vertex ids* of its rows and
+//! columns, which downstream feature fetching (§6.2) needs to know which rows
+//! of the feature matrix `H` to gather.
+
+use dmbs_comm::{CommStats, PhaseProfile};
+use dmbs_matrix::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// One layer's sampled adjacency matrix together with the global vertex ids
+/// of its rows and columns.
+///
+/// `adjacency` has shape `rows.len() x cols.len()`; entry `(i, j)` is an edge
+/// from global vertex `rows[i]` to global vertex `cols[j]` that survived
+/// sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSample {
+    /// Global vertex ids of the adjacency rows (the layer-`l` frontier).
+    pub rows: Vec<usize>,
+    /// Global vertex ids of the adjacency columns (the layer-`l-1` frontier).
+    pub cols: Vec<usize>,
+    /// The sampled adjacency matrix for this layer.
+    pub adjacency: CsrMatrix,
+}
+
+impl LayerSample {
+    /// Creates a layer sample, checking that the matrix shape matches the
+    /// vertex id lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adjacency.shape() != (rows.len(), cols.len())`.
+    pub fn new(rows: Vec<usize>, cols: Vec<usize>, adjacency: CsrMatrix) -> Self {
+        assert_eq!(
+            adjacency.shape(),
+            (rows.len(), cols.len()),
+            "sampled adjacency shape must match frontier sizes"
+        );
+        LayerSample { rows, cols, adjacency }
+    }
+
+    /// Number of sampled edges in this layer.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.nnz()
+    }
+}
+
+/// The complete sample for one minibatch: one [`LayerSample`] per GNN layer.
+///
+/// `layers[0]` is the **innermost** layer (layer 1 in the paper's numbering:
+/// the one whose columns are furthest from the batch) and
+/// `layers.last()` is the outermost layer `L`, whose rows are exactly the
+/// batch vertices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinibatchSample {
+    /// The batch vertices this sample was drawn for.
+    pub batch: Vec<usize>,
+    /// Per-layer samples, innermost first.
+    pub layers: Vec<LayerSample>,
+}
+
+impl MinibatchSample {
+    /// Number of GNN layers covered by the sample.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Global vertex ids whose input features are needed to train this
+    /// minibatch: the columns of the innermost layer.
+    pub fn input_vertices(&self) -> &[usize] {
+        self.layers.first().map(|l| l.cols.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of sampled edges across all layers.
+    pub fn total_edges(&self) -> usize {
+        self.layers.iter().map(LayerSample::num_edges).sum()
+    }
+
+    /// Checks the frontier chaining invariant: the rows of layer `l` equal
+    /// the columns of layer `l+1`, and the rows of the outermost layer equal
+    /// the batch.  Returns `true` when the invariant holds.
+    pub fn frontiers_are_chained(&self) -> bool {
+        if let Some(last) = self.layers.last() {
+            if last.rows != self.batch {
+                return false;
+            }
+        }
+        self.layers
+            .windows(2)
+            .all(|pair| pair[0].rows == pair[1].cols)
+    }
+}
+
+/// The result of bulk-sampling `k` minibatches, together with the phase
+/// breakdown and communication statistics the benchmark harnesses report.
+#[derive(Debug, Clone, Default)]
+pub struct BulkSampleOutput {
+    /// The sampled minibatches, in the order the batches were supplied.
+    pub minibatches: Vec<MinibatchSample>,
+    /// Per-phase timing breakdown (probability / sampling / extraction).
+    pub profile: PhaseProfile,
+    /// Communication volume and modeled time spent during sampling (zero for
+    /// single-device and graph-replicated sampling).
+    pub comm_stats: CommStats,
+}
+
+impl BulkSampleOutput {
+    /// Number of minibatches sampled.
+    pub fn num_batches(&self) -> usize {
+        self.minibatches.len()
+    }
+
+    /// Total number of sampled edges across all minibatches and layers.
+    pub fn total_edges(&self) -> usize {
+        self.minibatches.iter().map(MinibatchSample::total_edges).sum()
+    }
+
+    /// Concatenates another bulk output (e.g. the next bulk group of `k`
+    /// minibatches), summing profiles and communication statistics.
+    pub fn merge(&mut self, other: BulkSampleOutput) {
+        self.minibatches.extend(other.minibatches);
+        self.profile.merge_sum(&other.profile);
+        self.comm_stats.merge(&other.comm_stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbs_matrix::CooMatrix;
+
+    fn layer(rows: Vec<usize>, cols: Vec<usize>, edges: &[(usize, usize)]) -> LayerSample {
+        let coo = CooMatrix::from_triples(
+            rows.len(),
+            cols.len(),
+            edges.iter().map(|&(r, c)| (r, c, 1.0)),
+        )
+        .unwrap();
+        LayerSample::new(rows, cols, CsrMatrix::from_coo(&coo))
+    }
+
+    #[test]
+    fn layer_sample_counts_edges() {
+        let l = layer(vec![1, 5], vec![0, 4], &[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(l.num_edges(), 3);
+        assert_eq!(l.rows, vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must match")]
+    fn layer_sample_shape_mismatch_panics() {
+        let m = CsrMatrix::zeros(2, 3);
+        LayerSample::new(vec![0], vec![1, 2, 3], m);
+    }
+
+    #[test]
+    fn minibatch_invariants() {
+        let inner = layer(vec![0, 4], vec![2, 3], &[(0, 0), (1, 1)]);
+        let outer = layer(vec![1, 5], vec![0, 4], &[(0, 0), (1, 1)]);
+        let mb = MinibatchSample { batch: vec![1, 5], layers: vec![inner.clone(), outer.clone()] };
+        assert_eq!(mb.num_layers(), 2);
+        assert_eq!(mb.input_vertices(), &[2, 3]);
+        assert_eq!(mb.total_edges(), 4);
+        assert!(mb.frontiers_are_chained());
+
+        // Break the chain: outer cols no longer match inner rows.
+        let bad_outer = layer(vec![1, 5], vec![9, 4], &[(0, 0)]);
+        let bad = MinibatchSample { batch: vec![1, 5], layers: vec![inner, bad_outer] };
+        assert!(!bad.frontiers_are_chained());
+
+        // Batch mismatch.
+        let outer2 = layer(vec![1, 5], vec![0, 4], &[(0, 0)]);
+        let bad2 = MinibatchSample { batch: vec![2, 5], layers: vec![outer2] };
+        assert!(!bad2.frontiers_are_chained());
+    }
+
+    #[test]
+    fn empty_minibatch_is_consistent() {
+        let mb = MinibatchSample { batch: vec![3], layers: vec![] };
+        assert_eq!(mb.input_vertices(), &[] as &[usize]);
+        assert!(mb.frontiers_are_chained());
+    }
+
+    #[test]
+    fn bulk_output_merge() {
+        let l = layer(vec![0], vec![1], &[(0, 0)]);
+        let mb = MinibatchSample { batch: vec![0], layers: vec![l] };
+        let mut a = BulkSampleOutput { minibatches: vec![mb.clone()], ..Default::default() };
+        let b = BulkSampleOutput { minibatches: vec![mb.clone(), mb] , ..Default::default() };
+        a.merge(b);
+        assert_eq!(a.num_batches(), 3);
+        assert_eq!(a.total_edges(), 3);
+    }
+}

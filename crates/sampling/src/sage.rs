@@ -1,0 +1,382 @@
+//! GraphSAGE node-wise sampling expressed as matrix operations (§4.1).
+//!
+//! For one minibatch of `b` vertices, `Q^L ∈ {0,1}^{b×n}` has one nonzero per
+//! row at the batch vertex.  `P ← Q^L A` then contains each batch vertex's
+//! neighborhood as a row; row-normalizing turns each row into the uniform
+//! distribution over its neighbors, ITS draws `s` of them, and removing the
+//! empty columns of the sampled matrix yields the layer's sampled adjacency
+//! matrix.  Deeper layers repeat the process with the newly sampled frontier
+//! as the row set, and bulk sampling vertically stacks the matrices of `k`
+//! minibatches (Equation 1).
+
+use crate::its::sample_rows;
+use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
+use crate::sampler::{validate_batches, BulkSamplerConfig, Sampler};
+use crate::{Result, SamplingError};
+use dmbs_comm::{Phase, PhaseProfile};
+use dmbs_matrix::ops::row_selection_matrix;
+use dmbs_matrix::spgemm::spgemm;
+use dmbs_matrix::{CooMatrix, CsrMatrix};
+use rand::RngCore;
+
+/// The GraphSAGE node-wise sampler.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_sampling::{GraphSageSampler, Sampler, BulkSamplerConfig};
+/// use dmbs_graph::generators::figure1_example;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+/// let sampler = GraphSageSampler::new(vec![2, 2]);
+/// let graph = figure1_example();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let sample = sampler.sample_minibatch(graph.adjacency(), &[1, 5], &mut rng)?;
+/// assert_eq!(sample.num_layers(), 2);
+/// // The outermost layer's rows are the batch vertices.
+/// assert_eq!(sample.layers.last().unwrap().rows, vec![1, 5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSageSampler {
+    /// Fanout per sampling step, outermost (batch) step first — e.g.
+    /// `(15, 10, 5)` for the paper's 3-layer SAGE architecture.
+    fanouts: Vec<usize>,
+    include_self_loops: bool,
+}
+
+impl GraphSageSampler {
+    /// Creates a sampler with the given per-step fanouts (outermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanouts` is empty or contains a zero (checked eagerly
+    /// because these are programmer errors, not data errors).
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "GraphSAGE needs at least one layer fanout");
+        assert!(fanouts.iter().all(|&s| s > 0), "fanouts must be positive");
+        GraphSageSampler { fanouts, include_self_loops: false }
+    }
+
+    /// Enables self-loops: every frontier vertex is added to its own sampled
+    /// neighbor set.  This guarantees that each layer's rows are a subset of
+    /// its columns, which the GNN training substrate relies on for the
+    /// self-connection of the SAGE aggregator.  It is a standard practical
+    /// extension (DGL/PyG do the same) and does not change the matrix
+    /// formulation.
+    pub fn with_self_loops(mut self) -> Self {
+        self.include_self_loops = true;
+        self
+    }
+
+    /// The configured fanouts, outermost step first.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// Whether self-loops are added during extraction.
+    pub fn includes_self_loops(&self) -> bool {
+        self.include_self_loops
+    }
+
+    /// Extraction step for one minibatch block: optionally add self-loops,
+    /// then drop the empty columns of the block of `Q^{l-1}` (§4.1.3).
+    fn extract_block(
+        &self,
+        block: &CsrMatrix,
+        frontier: &[usize],
+    ) -> Result<(CsrMatrix, Vec<usize>)> {
+        let block = if self.include_self_loops {
+            let mut coo = CooMatrix::with_capacity(block.rows(), block.cols(), block.nnz() + frontier.len());
+            for (r, c, v) in block.iter() {
+                coo.push(r, c, v)?;
+            }
+            for (i, &v) in frontier.iter().enumerate() {
+                coo.push(i, v, 1.0)?;
+            }
+            let mut merged = CsrMatrix::from_coo(&coo);
+            merged.map_values_inplace(|_| 1.0);
+            merged
+        } else {
+            block.clone()
+        };
+        let (compacted, kept) = block.compact_columns();
+        Ok((compacted, kept))
+    }
+}
+
+impl Sampler for GraphSageSampler {
+    fn name(&self) -> &'static str {
+        "graphsage"
+    }
+
+    fn num_layers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    fn fanout(&self, step: usize) -> usize {
+        self.fanouts[step]
+    }
+
+    fn sample_minibatch(
+        &self,
+        adjacency: &CsrMatrix,
+        batch: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<MinibatchSample> {
+        let config = BulkSamplerConfig::new(batch.len(), 1);
+        let mut out = self.sample_bulk(adjacency, &[batch.to_vec()], &config, rng)?;
+        Ok(out.minibatches.remove(0))
+    }
+
+    fn sample_bulk(
+        &self,
+        adjacency: &CsrMatrix,
+        batches: &[Vec<usize>],
+        _config: &BulkSamplerConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<BulkSampleOutput> {
+        let n = adjacency.rows();
+        if adjacency.cols() != n {
+            return Err(SamplingError::InvalidConfig("adjacency matrix must be square".into()));
+        }
+        validate_batches(batches, n)?;
+
+        let k = batches.len();
+        let mut profile = PhaseProfile::new();
+        // Per-batch frontier (row vertex ids) for the current sampling step.
+        let mut frontiers: Vec<Vec<usize>> = batches.to_vec();
+        // Per-batch layers collected outermost-first.
+        let mut layers: Vec<Vec<LayerSample>> = vec![Vec::new(); k];
+
+        for step in 0..self.num_layers() {
+            let s = self.fanouts[step];
+
+            // ---- Generate probability distributions: P = Q^l A, normalized.
+            let (p, offsets) = profile.time_compute(Phase::Probability, || -> Result<_> {
+                let mut stacked: Vec<usize> = Vec::new();
+                let mut offsets: Vec<usize> = Vec::with_capacity(k + 1);
+                offsets.push(0);
+                for frontier in &frontiers {
+                    stacked.extend_from_slice(frontier);
+                    offsets.push(stacked.len());
+                }
+                let q = row_selection_matrix(&stacked, n)?;
+                let mut p = spgemm(&q, adjacency)?;
+                p.normalize_rows();
+                Ok((p, offsets))
+            })?;
+
+            // ---- Sample s columns per row with ITS.
+            let q_next = profile.time_compute(Phase::Sampling, || sample_rows(&p, s, rng))?;
+
+            // ---- Extraction: per minibatch block, drop empty columns.
+            profile.time_compute(Phase::Extraction, || -> Result<()> {
+                for (i, frontier) in frontiers.iter_mut().enumerate() {
+                    let block = q_next.row_block(offsets[i], offsets[i + 1]);
+                    let (compacted, kept) = self.extract_block(&block, frontier)?;
+                    layers[i].push(LayerSample::new(frontier.clone(), kept.clone(), compacted));
+                    *frontier = kept;
+                }
+                Ok(())
+            })?;
+        }
+
+        let minibatches = batches
+            .iter()
+            .zip(layers)
+            .map(|(batch, mut batch_layers)| {
+                batch_layers.reverse(); // innermost first
+                MinibatchSample { batch: batch.clone(), layers: batch_layers }
+            })
+            .collect();
+
+        Ok(BulkSampleOutput { minibatches, profile, comm_stats: Default::default() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbs_graph::generators::{complete, figure1_example, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adjacency() -> CsrMatrix {
+        figure1_example().adjacency().clone()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_fanouts_panic() {
+        GraphSageSampler::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fanout_panics() {
+        GraphSageSampler::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn single_layer_sample_matches_paper_example() {
+        // Batch {1, 5} with s = 2: vertex 1 samples 2 of {0, 2, 4}; vertex 5
+        // keeps its whole neighborhood {3, 4}.
+        let sampler = GraphSageSampler::new(vec![2]);
+        let a = adjacency();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = sampler.sample_minibatch(&a, &[1, 5], &mut rng).unwrap();
+        assert_eq!(sample.num_layers(), 1);
+        let layer = &sample.layers[0];
+        assert_eq!(layer.rows, vec![1, 5]);
+        // Row 0 (vertex 1) has exactly 2 sampled neighbors from {0, 2, 4}.
+        assert_eq!(layer.adjacency.row_nnz(0), 2);
+        // Row 1 (vertex 5) has both of its neighbors {3, 4}.
+        assert_eq!(layer.adjacency.row_nnz(1), 2);
+        // Columns are global ids of sampled vertices.
+        for &c in &layer.cols {
+            assert!(c < 6);
+        }
+        // Every sampled edge exists in the original graph.
+        for (r, c, _) in layer.adjacency.iter() {
+            assert_eq!(a.get(layer.rows[r], layer.cols[c]), 1.0);
+        }
+        assert!(sample.frontiers_are_chained());
+    }
+
+    #[test]
+    fn multi_layer_frontiers_chain() {
+        let sampler = GraphSageSampler::new(vec![2, 2, 2]);
+        let a = adjacency();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = sampler.sample_minibatch(&a, &[1, 5], &mut rng).unwrap();
+        assert_eq!(sample.num_layers(), 3);
+        assert!(sample.frontiers_are_chained());
+        // Frontier sizes never exceed b * s^depth.
+        let mut bound = 2usize;
+        for layer in sample.layers.iter().rev() {
+            assert!(layer.rows.len() <= bound);
+            bound *= 2;
+            assert!(layer.cols.len() <= bound);
+        }
+    }
+
+    #[test]
+    fn fanout_larger_than_degree_keeps_whole_neighborhood() {
+        let sampler = GraphSageSampler::new(vec![100]);
+        let a = adjacency();
+        let mut rng = StdRng::seed_from_u64(4);
+        let sample = sampler.sample_minibatch(&a, &[1], &mut rng).unwrap();
+        let layer = &sample.layers[0];
+        assert_eq!(layer.cols, vec![0, 2, 4]);
+        assert_eq!(layer.adjacency.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn self_loops_put_rows_into_cols() {
+        let sampler = GraphSageSampler::new(vec![1, 1]).with_self_loops();
+        assert!(sampler.includes_self_loops());
+        let a = adjacency();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample = sampler.sample_minibatch(&a, &[1, 5], &mut rng).unwrap();
+        for layer in &sample.layers {
+            for r in &layer.rows {
+                assert!(layer.cols.contains(r), "row vertex {r} missing from cols");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_sampling_keeps_batches_independent() {
+        let sampler = GraphSageSampler::new(vec![2]);
+        let a = adjacency();
+        let batches = vec![vec![1, 5], vec![0, 3], vec![2, 4]];
+        let config = BulkSamplerConfig::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = sampler.sample_bulk(&a, &batches, &config, &mut rng).unwrap();
+        assert_eq!(out.num_batches(), 3);
+        for (mb, batch) in out.minibatches.iter().zip(&batches) {
+            assert_eq!(&mb.batch, batch);
+            assert_eq!(&mb.layers.last().unwrap().rows, batch);
+            assert!(mb.frontiers_are_chained());
+            assert!(mb.total_edges() > 0);
+        }
+        // Profile recorded all three sampling phases.
+        assert!(out.profile.compute(Phase::Probability) >= 0.0);
+        assert!(out.profile.total_compute() > 0.0);
+        assert_eq!(out.comm_stats.messages, 0);
+    }
+
+    #[test]
+    fn sampled_edges_subset_of_graph_on_random_graphs() {
+        let g = complete(12).unwrap();
+        let sampler = GraphSageSampler::new(vec![3, 2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = sampler
+            .sample_bulk(g.adjacency(), &[vec![0, 1, 2], vec![3, 4, 5]], &BulkSamplerConfig::new(3, 2), &mut rng)
+            .unwrap();
+        for mb in &out.minibatches {
+            for layer in &mb.layers {
+                assert!(layer.adjacency.rows() == layer.rows.len());
+                for (r, c, _) in layer.adjacency.iter() {
+                    assert_eq!(g.adjacency().get(layer.rows[r], layer.cols[c]), 1.0);
+                }
+                // Fanout respected.
+                for r in 0..layer.adjacency.rows() {
+                    assert!(layer.adjacency.row_nnz(r) <= 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_graph_low_degree_vertices() {
+        // Leaves have degree 1; sampling keeps their single neighbor.
+        let g = star(8).unwrap();
+        let sampler = GraphSageSampler::new(vec![3]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let sample = sampler.sample_minibatch(g.adjacency(), &[3, 5], &mut rng).unwrap();
+        let layer = &sample.layers[0];
+        assert_eq!(layer.cols, vec![0]);
+        assert_eq!(layer.adjacency.row_nnz(0), 1);
+        assert_eq!(layer.adjacency.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let sampler = GraphSageSampler::new(vec![2]);
+        let a = adjacency();
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(sampler.sample_bulk(&a, &[], &BulkSamplerConfig::default(), &mut rng).is_err());
+        assert!(sampler.sample_bulk(&a, &[vec![]], &BulkSamplerConfig::default(), &mut rng).is_err());
+        assert!(sampler.sample_bulk(&a, &[vec![17]], &BulkSamplerConfig::default(), &mut rng).is_err());
+        let rect = CsrMatrix::zeros(3, 4);
+        assert!(sampler.sample_bulk(&rect, &[vec![0]], &BulkSamplerConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sampler = GraphSageSampler::new(vec![2, 2]);
+        let a = adjacency();
+        let s1 = sampler
+            .sample_minibatch(&a, &[1, 5], &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        let s2 = sampler
+            .sample_minibatch(&a, &[1, 5], &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let sampler = GraphSageSampler::new(vec![15, 10, 5]);
+        assert_eq!(sampler.name(), "graphsage");
+        assert_eq!(sampler.num_layers(), 3);
+        assert_eq!(sampler.fanout(0), 15);
+        assert_eq!(sampler.fanout(2), 5);
+        assert_eq!(sampler.fanouts(), &[15, 10, 5]);
+    }
+}

@@ -1,0 +1,129 @@
+//! The sampler abstraction (Algorithm 1 of the paper) and bulk-sampling
+//! configuration.
+
+use crate::plan::{BulkSampleOutput, MinibatchSample};
+use crate::Result;
+use dmbs_matrix::CsrMatrix;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the bulk sampling step (§4.1.4, §6.1).
+///
+/// `batch_size` is `b` and `bulk_size` is `k`: the number of minibatches whose
+/// `Q`, `P` and `A^l` matrices are vertically stacked and processed by a
+/// single sequence of matrix operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BulkSamplerConfig {
+    /// Minibatch size `b`.
+    pub batch_size: usize,
+    /// Number of minibatches `k` sampled in one bulk operation.
+    pub bulk_size: usize,
+}
+
+impl BulkSamplerConfig {
+    /// Creates a configuration with batch size `b` and bulk minibatch count
+    /// `k`.
+    pub fn new(batch_size: usize, bulk_size: usize) -> Self {
+        BulkSamplerConfig { batch_size, bulk_size }
+    }
+}
+
+impl Default for BulkSamplerConfig {
+    fn default() -> Self {
+        // The paper's GraphSAGE defaults (Table 4): b = 1024; k is chosen per
+        // run, 1 bulk group by default.
+        BulkSamplerConfig { batch_size: 1024, bulk_size: 1 }
+    }
+}
+
+/// A GNN minibatch sampling algorithm expressed through the matrix framework
+/// of Algorithm 1.
+///
+/// Implementations provide the sampler-specific pieces (the structure of
+/// `Q^L`, the `NORM` step and the `EXTRACT` step); the shared machinery (ITS
+/// sampling, bulk stacking) lives in the implementations of
+/// [`Sampler::sample_bulk`].
+pub trait Sampler {
+    /// Short human-readable name (used by benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Number of GNN layers the sampler produces adjacency matrices for.
+    fn num_layers(&self) -> usize;
+
+    /// The sampling parameter `s` used at sampling step `step`
+    /// (`step = 0` expands the batch vertices, `step = num_layers() - 1` is
+    /// the innermost expansion).
+    fn fanout(&self, step: usize) -> usize;
+
+    /// Samples the `L`-hop neighborhood of a single minibatch on a fully
+    /// local adjacency matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SamplingError::InvalidConfig`] if the batch is empty
+    /// or references vertices outside the graph.
+    fn sample_minibatch(
+        &self,
+        adjacency: &CsrMatrix,
+        batch: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<MinibatchSample>;
+
+    /// Samples `batches.len()` minibatches in bulk by stacking their sampler
+    /// matrices (Equation 1 of the paper) and running the matrix pipeline
+    /// once per layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SamplingError::InvalidConfig`] if any batch is empty
+    /// or references vertices outside the graph.
+    fn sample_bulk(
+        &self,
+        adjacency: &CsrMatrix,
+        batches: &[Vec<usize>],
+        config: &BulkSamplerConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<BulkSampleOutput>;
+}
+
+/// Validates that every batch is non-empty and references vertices inside the
+/// graph.  Shared by all sampler implementations.
+pub(crate) fn validate_batches(batches: &[Vec<usize>], num_vertices: usize) -> Result<()> {
+    if batches.is_empty() {
+        return Err(crate::SamplingError::InvalidConfig("at least one batch is required".into()));
+    }
+    for (i, batch) in batches.iter().enumerate() {
+        if batch.is_empty() {
+            return Err(crate::SamplingError::InvalidConfig(format!("batch {i} is empty")));
+        }
+        if let Some(&bad) = batch.iter().find(|&&v| v >= num_vertices) {
+            return Err(crate::SamplingError::InvalidConfig(format!(
+                "batch {i} references vertex {bad} outside the graph ({num_vertices} vertices)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        let c = BulkSamplerConfig::new(512, 8);
+        assert_eq!(c.batch_size, 512);
+        assert_eq!(c.bulk_size, 8);
+        let d = BulkSamplerConfig::default();
+        assert_eq!(d.batch_size, 1024);
+        assert_eq!(d.bulk_size, 1);
+    }
+
+    #[test]
+    fn batch_validation() {
+        assert!(validate_batches(&[], 10).is_err());
+        assert!(validate_batches(&[vec![]], 10).is_err());
+        assert!(validate_batches(&[vec![1, 11]], 10).is_err());
+        assert!(validate_batches(&[vec![0, 9], vec![3]], 10).is_ok());
+    }
+}

@@ -1,0 +1,49 @@
+//! # dmbs — Distributed Matrix-Based Sampling for GNN Training
+//!
+//! Umbrella crate re-exporting the full public API of the `dmbs` workspace, a
+//! from-scratch Rust reproduction of *Distributed Matrix-Based Sampling for
+//! Graph Neural Network Training* (Tripathy, Yelick, Buluç — MLSys 2024).
+//!
+//! The workspace is organised as:
+//!
+//! * [`matrix`] — sparse (COO/CSR/CSC) and dense matrices, SpGEMM, SpMM;
+//! * [`graph`] — synthetic graph generators, OGB-like dataset stand-ins,
+//!   1D / 1.5D partitioning and minibatch construction;
+//! * [`comm`] — a simulated multi-rank runtime (threads + channels) with
+//!   collectives and an α–β communication cost model;
+//! * [`sampling`] — the paper's contribution: matrix-based bulk minibatch
+//!   sampling (GraphSAGE, LADIES, FastGCN) with graph-replicated and 1.5D
+//!   graph-partitioned distributed algorithms, plus per-vertex baselines;
+//! * [`gnn`] — GraphSAGE layers with explicit gradients, losses, optimizers,
+//!   distributed feature fetching and the end-to-end training pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dmbs::graph::generators::{rmat, RmatConfig};
+//! use dmbs::sampling::{BulkSamplerConfig, GraphSageSampler, Sampler};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // A small synthetic power-law graph.
+//! let graph = rmat(&RmatConfig::new(10, 8), &mut rng)?;
+//!
+//! // Sample two minibatches of 16 vertices with fanout (5, 5) in bulk.
+//! let sampler = GraphSageSampler::new(vec![5, 5]);
+//! let config = BulkSamplerConfig::new(16, 2);
+//! let batches: Vec<Vec<usize>> = (0..2)
+//!     .map(|b| (b * 16..(b + 1) * 16).collect())
+//!     .collect();
+//! let output = sampler.sample_bulk(graph.adjacency(), &batches, &config, &mut rng)?;
+//! assert_eq!(output.num_batches(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dmbs_comm as comm;
+pub use dmbs_gnn as gnn;
+pub use dmbs_graph as graph;
+pub use dmbs_matrix as matrix;
+pub use dmbs_sampling as sampling;

@@ -1,0 +1,97 @@
+//! Cross-crate integration tests for the end-to-end training pipeline:
+//! learning above chance level, matching accuracy between bulk matrix
+//! sampling and per-vertex sampling, and consistent phase accounting in the
+//! distributed pipeline.
+
+use dmbs::comm::Runtime;
+use dmbs::gnn::trainer::{train_distributed, train_single_device, SamplerChoice};
+use dmbs::gnn::TrainingConfig;
+use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(seed: u64) -> Dataset {
+    let mut cfg = DatasetConfig::products_like(8); // 256 vertices
+    cfg.feature_dim = 16;
+    cfg.num_classes = 4;
+    cfg.train_fraction = 0.5;
+    cfg.homophily = 0.6;
+    build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn config() -> TrainingConfig {
+    TrainingConfig {
+        fanouts: vec![8, 4],
+        hidden_dim: 24,
+        batch_size: 32,
+        bulk_size: 4,
+        learning_rate: 0.05,
+        epochs: 4,
+        seed: 11,
+    }
+}
+
+#[test]
+fn single_device_training_learns_above_chance() {
+    let ds = dataset(1);
+    let report = train_single_device(&ds, &config(), SamplerChoice::MatrixSage).unwrap();
+    let accuracy = report.test_accuracy.unwrap();
+    let chance = 1.0 / ds.graph.num_classes() as f64;
+    assert!(accuracy > chance * 1.5, "accuracy {accuracy} vs chance {chance}");
+    // Loss decreased.
+    assert!(report.epochs.last().unwrap().mean_loss < report.epochs[0].mean_loss);
+}
+
+#[test]
+fn bulk_matrix_sampling_does_not_hurt_accuracy() {
+    // The §8.1.3 claim, end to end across crates.
+    let ds = dataset(2);
+    let cfg = config();
+    let matrix = train_single_device(&ds, &cfg, SamplerChoice::MatrixSage).unwrap();
+    let baseline = train_single_device(&ds, &cfg, SamplerChoice::PerVertexSage).unwrap();
+    let a = matrix.test_accuracy.unwrap();
+    let b = baseline.test_accuracy.unwrap();
+    assert!((a - b).abs() < 0.25, "matrix sampling accuracy {a} vs per-vertex {b}");
+}
+
+#[test]
+fn distributed_pipeline_phases_and_scaling_bookkeeping() {
+    let ds = dataset(3);
+    let mut cfg = config();
+    cfg.epochs = 2;
+    for (p, c) in [(2usize, 2usize), (4, 2)] {
+        let runtime = Runtime::new(p).unwrap();
+        let epochs =
+            train_distributed(&runtime, &ds, &cfg, c, true, SamplerChoice::MatrixSage).unwrap();
+        assert_eq!(epochs.len(), 2);
+        for e in &epochs {
+            // Every phase of Figure 3 is accounted for.
+            assert!(e.sampling_time() > 0.0, "p={p}");
+            assert!(e.feature_fetch_time() > 0.0, "p={p}");
+            assert!(e.propagation_time() > 0.0, "p={p}");
+            assert!(e.total_time() >= e.sampling_time() + e.propagation_time());
+            // Gradient all-reduce and feature fetching moved data.
+            assert!(e.comm.messages > 0, "p={p}");
+            assert!(e.mean_loss.is_finite());
+        }
+    }
+}
+
+#[test]
+fn distributed_and_single_device_losses_are_comparable() {
+    // Data-parallel training over simulated ranks should optimize the same
+    // objective: final epoch losses must be in the same ballpark.
+    let ds = dataset(4);
+    let mut cfg = config();
+    cfg.epochs = 3;
+    let single = train_single_device(&ds, &cfg, SamplerChoice::MatrixSage).unwrap();
+    let runtime = Runtime::new(4).unwrap();
+    let distributed =
+        train_distributed(&runtime, &ds, &cfg, 2, true, SamplerChoice::MatrixSage).unwrap();
+    let s = single.epochs.last().unwrap().mean_loss;
+    let d = distributed.last().unwrap().mean_loss;
+    assert!(
+        (s - d).abs() < 1.0,
+        "single-device final loss {s} vs distributed {d} diverged"
+    );
+}

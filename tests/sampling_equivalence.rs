@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the distributed sampling algorithms must
+//! produce the same samples as the single-device matrix formulation, and all
+//! sampler outputs must satisfy the structural invariants the GNN layer
+//! relies on.
+
+use dmbs::comm::Runtime;
+use dmbs::graph::generators::{figure1_example, rmat, RmatConfig};
+use dmbs::sampling::partitioned::{flatten_row_outputs, run_partitioned_ladies, run_partitioned_sage};
+use dmbs::sampling::replicated::sample_replicated_flat;
+use dmbs::sampling::{BulkSamplerConfig, GraphSageSampler, LadiesSampler, Sampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_batches(n: usize, k: usize, b: usize) -> Vec<Vec<usize>> {
+    (0..k).map(|i| (0..b).map(|j| (i * 257 + j * 31) % n).collect()).collect()
+}
+
+#[test]
+fn replicated_sampling_equals_single_device_with_full_fanout() {
+    // With fanout >= max degree nothing is random: the replicated algorithm
+    // must agree exactly with a single-device run on the same batches.
+    let graph = figure1_example();
+    let batches = vec![vec![1, 5], vec![0, 3], vec![2, 4], vec![5, 0]];
+    let fanout = vec![10, 10];
+    let config = BulkSamplerConfig::new(2, batches.len());
+
+    let sampler = GraphSageSampler::new(fanout.clone());
+    let single = sampler
+        .sample_bulk(graph.adjacency(), &batches, &config, &mut StdRng::seed_from_u64(1))
+        .unwrap();
+
+    for p in [1usize, 2, 3, 4] {
+        let runtime = Runtime::new(p).unwrap();
+        let distributed =
+            sample_replicated_flat(&runtime, &sampler, graph.adjacency(), &batches, &config, 99).unwrap();
+        assert_eq!(distributed.num_batches(), single.num_batches());
+        for (d, s) in distributed.minibatches.iter().zip(&single.minibatches) {
+            assert_eq!(d.batch, s.batch);
+            for (dl, sl) in d.layers.iter().zip(&s.layers) {
+                assert_eq!(dl.rows, sl.rows);
+                assert_eq!(dl.cols, sl.cols);
+                assert_eq!(dl.adjacency, sl.adjacency);
+            }
+        }
+    }
+}
+
+#[test]
+fn partitioned_sampling_equals_single_device_with_full_fanout() {
+    let graph = rmat(&RmatConfig::new(7, 4), &mut StdRng::seed_from_u64(3)).unwrap();
+    let n = graph.num_vertices();
+    let batches = random_batches(n, 6, 8);
+    let fanout = vec![n]; // keep whole neighborhoods: deterministic
+    let config = BulkSamplerConfig::new(8, batches.len());
+    let single = GraphSageSampler::new(fanout.clone())
+        .sample_bulk(graph.adjacency(), &batches, &config, &mut StdRng::seed_from_u64(5))
+        .unwrap();
+
+    for (p, c) in [(4usize, 2usize), (6, 2), (8, 4)] {
+        let runtime = Runtime::new(p).unwrap();
+        let per_row =
+            run_partitioned_sage(&runtime, c, graph.adjacency(), &batches, &fanout, false, 7).unwrap();
+        let flat = flatten_row_outputs(per_row, batches.len()).unwrap();
+        for (d, s) in flat.minibatches.iter().zip(&single.minibatches) {
+            assert_eq!(d.layers[0].rows, s.layers[0].rows, "p={p} c={c}");
+            assert_eq!(d.layers[0].cols, s.layers[0].cols, "p={p} c={c}");
+            assert_eq!(d.layers[0].adjacency, s.layers[0].adjacency, "p={p} c={c}");
+        }
+    }
+}
+
+#[test]
+fn partitioned_ladies_equals_single_device_when_sample_covers_support() {
+    let graph = figure1_example();
+    let batches = vec![vec![1, 5], vec![0, 2], vec![3, 4]];
+    let config = BulkSamplerConfig::new(2, batches.len());
+    let single = LadiesSampler::new(1, 10)
+        .sample_bulk(graph.adjacency(), &batches, &config, &mut StdRng::seed_from_u64(2))
+        .unwrap();
+    let runtime = Runtime::new(6).unwrap();
+    let per_row = run_partitioned_ladies(&runtime, 2, graph.adjacency(), &batches, 1, 10, 17).unwrap();
+    let flat = flatten_row_outputs(per_row, batches.len()).unwrap();
+    for (d, s) in flat.minibatches.iter().zip(&single.minibatches) {
+        assert_eq!(d.layers[0].rows, s.layers[0].rows);
+        assert_eq!(d.layers[0].cols, s.layers[0].cols);
+        assert!(d.layers[0].adjacency.approx_eq(&s.layers[0].adjacency, 1e-12));
+    }
+}
+
+#[test]
+fn all_samplers_produce_valid_edges_and_chained_frontiers() {
+    let graph = rmat(&RmatConfig::new(8, 6), &mut StdRng::seed_from_u64(9)).unwrap();
+    let a = graph.adjacency();
+    let batches = random_batches(graph.num_vertices(), 4, 16);
+    let config = BulkSamplerConfig::new(16, 4);
+    let mut rng = StdRng::seed_from_u64(10);
+
+    let samplers: Vec<Box<dyn Sampler>> = vec![
+        Box::new(GraphSageSampler::new(vec![5, 3])),
+        Box::new(GraphSageSampler::new(vec![5, 3]).with_self_loops()),
+        Box::new(LadiesSampler::new(2, 12)),
+        Box::new(dmbs::sampling::FastGcnSampler::new(2, 12)),
+    ];
+    for sampler in samplers {
+        let out = sampler.sample_bulk(a, &batches, &config, &mut rng).unwrap();
+        assert_eq!(out.num_batches(), 4, "{}", sampler.name());
+        for mb in &out.minibatches {
+            assert!(mb.frontiers_are_chained(), "{}", sampler.name());
+            for layer in &mb.layers {
+                for (r, c, _) in layer.adjacency.iter() {
+                    let from = layer.rows[r];
+                    let to = layer.cols[c];
+                    assert!(
+                        a.get(from, to) > 0.0 || from == to,
+                        "{}: sampled edge ({from}, {to}) not in the graph",
+                        sampler.name()
+                    );
+                }
+            }
+        }
+    }
+}
