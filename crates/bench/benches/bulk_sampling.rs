@@ -18,9 +18,8 @@ fn bench_bulk_sampling(criterion: &mut Criterion) {
 
     let batch_size = 64usize;
     for &k in &[1usize, 8, 16] {
-        let batches: Vec<Vec<usize>> = (0..k)
-            .map(|_| (0..batch_size).map(|_| rng.gen_range(0..n)).collect())
-            .collect();
+        let batches: Vec<Vec<usize>> =
+            (0..k).map(|_| (0..batch_size).map(|_| rng.gen_range(0..n)).collect()).collect();
         let config = BulkSamplerConfig::new(batch_size, k);
 
         let matrix = GraphSageSampler::new(vec![15, 10, 5]);

@@ -2,8 +2,8 @@
 //! sampling (the §2.3 design choice and the ITS-vs-rejection ablation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmbs_sampling::its::{its_without_replacement, rejection_without_replacement, sample_rows};
 use dmbs_matrix::{CooMatrix, CsrMatrix};
+use dmbs_sampling::its::{its_without_replacement, rejection_without_replacement, sample_rows};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,7 +21,9 @@ fn bench_its(criterion: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("rejection_s15", support), &support, |bench, _| {
             let mut local = StdRng::seed_from_u64(3);
-            bench.iter(|| rejection_without_replacement(&weights, 15, &mut local).expect("rejection"));
+            bench.iter(|| {
+                rejection_without_replacement(&weights, 15, &mut local).expect("rejection")
+            });
         });
     }
 

@@ -3,8 +3,8 @@
 //! and distributed over 4 simulated ranks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dmbs_comm::Runtime;
-use dmbs_gnn::trainer::{train_distributed, train_single_device, SamplerChoice};
+use dmbs_bench::{train_local, train_replicated};
+use dmbs_gnn::trainer::SamplerChoice;
 use dmbs_gnn::TrainingConfig;
 use dmbs_graph::datasets::{build_dataset, DatasetConfig};
 use rand::rngs::StdRng;
@@ -18,7 +18,8 @@ fn bench_pipeline(criterion: &mut Criterion) {
     cfg.feature_dim = 32;
     cfg.num_classes = 8;
     cfg.train_fraction = 0.5;
-    let dataset = build_dataset(&cfg, &mut StdRng::seed_from_u64(7)).expect("dataset");
+    let dataset =
+        std::sync::Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(7)).expect("dataset"));
     let config = TrainingConfig {
         fanouts: vec![10, 5],
         hidden_dim: 32,
@@ -30,17 +31,11 @@ fn bench_pipeline(criterion: &mut Criterion) {
     };
 
     group.bench_function("single_device_epoch", |bench| {
-        bench.iter(|| {
-            train_single_device(&dataset, &config, SamplerChoice::MatrixSage).expect("training")
-        });
+        bench.iter(|| train_local(&dataset, &config, SamplerChoice::MatrixSage));
     });
 
-    let runtime = Runtime::new(4).expect("runtime");
     group.bench_function("distributed_epoch_4ranks_c2", |bench| {
-        bench.iter(|| {
-            train_distributed(&runtime, &dataset, &config, 2, true, SamplerChoice::MatrixSage)
-                .expect("training")
-        });
+        bench.iter(|| train_replicated(&dataset, &config, 4, 2, true, SamplerChoice::MatrixSage));
     });
     group.finish();
 }

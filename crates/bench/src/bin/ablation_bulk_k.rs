@@ -16,7 +16,8 @@ fn main() {
     let scale = Scale::from_env();
     let ds = dataset(DatasetKind::Products, scale);
     let batch_size = (ds.train_set.len() / 32).clamp(8, 64);
-    let plan = MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
+    let plan =
+        MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
     let batches = plan.batches().to_vec();
     let sampler = GraphSageSampler::new(vec![15, 10, 5]);
 

@@ -5,34 +5,43 @@
 //! predicts should improve as `c` grows (the k·b·d/c row-data term shrinks).
 
 use dmbs_bench::{dataset, print_table, secs, Scale};
-use dmbs_comm::{CostModel, Phase, Runtime};
+use dmbs_comm::{CostModel, Phase};
 use dmbs_graph::datasets::DatasetKind;
 use dmbs_graph::minibatch::MinibatchPlan;
-use dmbs_sampling::partitioned::run_partitioned_sage;
+use dmbs_sampling::{
+    BulkSamplerConfig, DistConfig, GraphSageSampler, Partitioned1p5dBackend, SamplingBackend,
+};
 
 fn main() {
     let scale = Scale::from_env();
     let ds = dataset(DatasetKind::Papers, scale);
     let a = ds.graph.adjacency();
     let batch_size = (ds.train_set.len() / 16).clamp(8, 128);
-    let plan = MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
+    let plan =
+        MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
     let batches = plan.batches().to_vec();
     let p = *scale.rank_counts().last().unwrap_or(&16);
-    let runtime = Runtime::new(p).expect("rank count is positive");
     let model = CostModel::default();
     let avg_degree = ds.graph.average_degree();
 
     let mut rows = Vec::new();
     for &c in &[1usize, 2, 4, 8] {
-        if p % c != 0 || c > p {
+        if !p.is_multiple_of(c) || c > p {
             continue;
         }
-        let per_row = run_partitioned_sage(&runtime, c, a, &batches, &[15, 10, 5], false, 29)
+        let backend = Partitioned1p5dBackend::new(DistConfig::new(
+            p,
+            c,
+            BulkSamplerConfig::new(batch_size, batches.len()),
+        ))
+        .expect("valid distribution configuration");
+        let epoch = backend
+            .sample_epoch(&GraphSageSampler::new(vec![15, 10, 5]), a, &batches, 29)
             .expect("partitioned sampling failed");
-        let comm_time: f64 = per_row.iter().map(|o| o.profile.total_comm()).fold(0.0, f64::max);
+        let comm_time: f64 = epoch.max_total_comm();
         let prob_comm: f64 =
-            per_row.iter().map(|o| o.profile.comm(Phase::Probability)).fold(0.0, f64::max);
-        let words: usize = per_row.iter().map(|o| o.comm_stats.words_sent).sum();
+            epoch.per_unit.iter().map(|u| u.profile.comm(Phase::Probability)).fold(0.0, f64::max);
+        let words: usize = epoch.total_words_sent();
         let predicted = model.predict_prob_cost(p, c, batches.len(), batch_size, avg_degree);
         rows.push(vec![
             format!("{c}"),
@@ -44,7 +53,13 @@ fn main() {
     }
     print_table(
         &format!("Ablation — replication factor c (Papers stand-in, p = {p})"),
-        &["c", "words sent (all rows)", "prob comm (modeled)", "total comm (modeled)", "T_prob predicted (§5.2.1)"],
+        &[
+            "c",
+            "words sent (all rows)",
+            "prob comm (modeled)",
+            "total comm (modeled)",
+            "T_prob predicted (§5.2.1)",
+        ],
         &rows,
     );
     println!("\nExpected shape: the measured probability-phase communication follows the analytical T_prob trend — improving with c until the c·k·b·d/p all-reduce term takes over.");

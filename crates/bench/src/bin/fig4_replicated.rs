@@ -7,27 +7,24 @@
 //! world), which are the two properties the paper attributes to Quiver's
 //! scaling behaviour.
 
-use dmbs_bench::{dataset, print_table, replication_for, sage_training_config, secs, Scale};
-use dmbs_comm::Runtime;
-use dmbs_gnn::trainer::{train_distributed, SamplerChoice};
+use dmbs_bench::{
+    dataset, print_table, replication_for, sage_training_config, secs, train_replicated, Scale,
+};
+use dmbs_gnn::trainer::SamplerChoice;
 use dmbs_graph::datasets::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
     for kind in [DatasetKind::Products, DatasetKind::Papers, DatasetKind::Protein] {
-        let ds = dataset(kind, scale);
+        let ds = std::sync::Arc::new(dataset(kind, scale));
         let mut config = sage_training_config(&ds);
         config.epochs = 1;
         let mut rows = Vec::new();
         for &p in &scale.rank_counts() {
             let c = replication_for(p).min(p);
-            let runtime = Runtime::new(p).expect("rank count is positive");
 
-            let ours = train_distributed(&runtime, &ds, &config, c, true, SamplerChoice::MatrixSage)
-                .expect("pipeline run failed");
-            let quiver =
-                train_distributed(&runtime, &ds, &config, 1, false, SamplerChoice::PerVertexSage)
-                    .expect("baseline run failed");
+            let ours = train_replicated(&ds, &config, p, c, true, SamplerChoice::MatrixSage);
+            let quiver = train_replicated(&ds, &config, p, 1, false, SamplerChoice::PerVertexSage);
             let o = &ours[0];
             let q = &quiver[0];
             rows.push(vec![
@@ -42,8 +39,20 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 4 — {} (Graph Replicated pipeline vs Quiver-like baseline)", kind.name()),
-            &["ranks", "repl", "sampling", "feat fetch", "propagation", "ours total", "quiver total", "speedup"],
+            &format!(
+                "Figure 4 — {} (Graph Replicated pipeline vs Quiver-like baseline)",
+                kind.name()
+            ),
+            &[
+                "ranks",
+                "repl",
+                "sampling",
+                "feat fetch",
+                "propagation",
+                "ours total",
+                "quiver total",
+                "speedup",
+            ],
             &rows,
         );
     }

@@ -20,7 +20,8 @@ fn main() {
     for kind in [DatasetKind::Papers, DatasetKind::Protein] {
         let ds = dataset(kind, scale);
         let batch_size = (ds.train_set.len() / 8).clamp(8, 256);
-        let plan = MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
+        let plan =
+            MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
         let batches = plan.batches().to_vec();
         let mut rows = Vec::new();
         for &p in &scale.rank_counts() {
@@ -48,7 +49,10 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 5 — {} (Quiver-GPU vs Quiver-UVA sampling time per epoch)", kind.name()),
+            &format!(
+                "Figure 5 — {} (Quiver-GPU vs Quiver-UVA sampling time per epoch)",
+                kind.name()
+            ),
             &["ranks", "gpu sampling", "uva sampling", "uva/gpu"],
             &rows,
         );

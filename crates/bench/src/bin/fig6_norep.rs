@@ -5,25 +5,23 @@
 //! so feature fetching spans the whole world instead of one process column —
 //! the degradation the paper reports (over 2x slower on Papers).
 
-use dmbs_bench::{dataset, print_table, replication_for, sage_training_config, secs, Scale};
-use dmbs_comm::Runtime;
-use dmbs_gnn::trainer::{train_distributed, SamplerChoice};
+use dmbs_bench::{
+    dataset, print_table, replication_for, sage_training_config, secs, train_replicated, Scale,
+};
+use dmbs_gnn::trainer::SamplerChoice;
 use dmbs_graph::datasets::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
     for kind in [DatasetKind::Papers, DatasetKind::Protein] {
-        let ds = dataset(kind, scale);
+        let ds = std::sync::Arc::new(dataset(kind, scale));
         let mut config = sage_training_config(&ds);
         config.epochs = 1;
         let mut rows = Vec::new();
         for &p in &scale.rank_counts() {
             let c = replication_for(p).min(p);
-            let runtime = Runtime::new(p).expect("rank count is positive");
-            let rep = train_distributed(&runtime, &ds, &config, c, true, SamplerChoice::MatrixSage)
-                .expect("replicated run failed");
-            let norep = train_distributed(&runtime, &ds, &config, 1, false, SamplerChoice::MatrixSage)
-                .expect("norep run failed");
+            let rep = train_replicated(&ds, &config, p, c, true, SamplerChoice::MatrixSage);
+            let norep = train_replicated(&ds, &config, p, 1, false, SamplerChoice::MatrixSage);
             let r = &rep[0];
             let n = &norep[0];
             rows.push(vec![

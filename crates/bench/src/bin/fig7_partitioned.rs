@@ -5,31 +5,27 @@
 //! the paper compares against (§8.2.2).
 
 use dmbs_bench::{dataset, print_table, secs, Scale};
-use dmbs_comm::{Phase, Runtime};
+use dmbs_comm::Phase;
 use dmbs_graph::datasets::DatasetKind;
 use dmbs_graph::minibatch::MinibatchPlan;
 use dmbs_sampling::baseline::ladies_reference;
-use dmbs_sampling::partitioned::{run_partitioned_ladies, run_partitioned_sage};
-use dmbs_sampling::plan::BulkSampleOutput;
+use dmbs_sampling::{
+    BulkSamplerConfig, DistConfig, EpochSamples, GraphSageSampler, LadiesSampler,
+    Partitioned1p5dBackend, SamplingBackend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn breakdown_row(p: usize, c: usize, per_row: &[BulkSampleOutput]) -> Vec<String> {
+fn breakdown_row(p: usize, c: usize, epoch: &EpochSamples) -> Vec<String> {
     // Bulk-synchronous: each phase is as slow as the slowest process row.
-    let max = |f: &dyn Fn(&BulkSampleOutput) -> f64| {
-        per_row.iter().map(f).fold(0.0f64, f64::max)
-    };
-    let prob = max(&|o| o.profile.total(Phase::Probability));
-    let samp = max(&|o| o.profile.total(Phase::Sampling));
-    let extr = max(&|o| o.profile.total(Phase::Extraction));
-    let comp = max(&|o| o.profile.total_compute());
-    let comm = max(&|o| o.profile.total_comm());
+    let comp = epoch.max_total_compute();
+    let comm = epoch.max_total_comm();
     vec![
         format!("{p}"),
         format!("{c}"),
-        secs(prob),
-        secs(samp),
-        secs(extr),
+        secs(epoch.max_phase_total(Phase::Probability)),
+        secs(epoch.max_phase_total(Phase::Sampling)),
+        secs(epoch.max_phase_total(Phase::Extraction)),
         secs(comp),
         secs(comm),
         secs(comp + comm),
@@ -38,12 +34,22 @@ fn breakdown_row(p: usize, c: usize, per_row: &[BulkSampleOutput]) -> Vec<String
 
 fn main() {
     let scale = Scale::from_env();
-    let header = ["ranks", "c", "probability", "sampling", "extraction", "computation", "communication", "total"];
+    let header = [
+        "ranks",
+        "c",
+        "probability",
+        "sampling",
+        "extraction",
+        "computation",
+        "communication",
+        "total",
+    ];
     for kind in [DatasetKind::Protein, DatasetKind::Papers] {
         let ds = dataset(kind, scale);
         let a = ds.graph.adjacency();
         let batch_size = (ds.train_set.len() / 16).clamp(8, 128);
-        let plan = MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
+        let plan =
+            MinibatchPlan::sequential(&ds.train_set, batch_size).expect("non-empty training set");
         let batches = plan.batches().to_vec();
 
         // --- GraphSAGE (fanout 15,10,5) on the partitioned graph.
@@ -53,10 +59,16 @@ fn main() {
                 if p % c != 0 || c > p {
                     continue;
                 }
-                let runtime = Runtime::new(p).expect("rank count is positive");
-                let per_row = run_partitioned_sage(&runtime, c, a, &batches, &[15, 10, 5], false, 13)
+                let backend = Partitioned1p5dBackend::new(DistConfig::new(
+                    p,
+                    c,
+                    BulkSamplerConfig::new(batch_size, batches.len()),
+                ))
+                .expect("valid distribution configuration");
+                let epoch = backend
+                    .sample_epoch(&GraphSageSampler::new(vec![15, 10, 5]), a, &batches, 13)
                     .expect("partitioned GraphSAGE failed");
-                sage_rows.push(breakdown_row(p, c, &per_row));
+                sage_rows.push(breakdown_row(p, c, &epoch));
             }
         }
         print_table(
@@ -73,14 +85,23 @@ fn main() {
                 if p % c != 0 || c > p {
                     continue;
                 }
-                let runtime = Runtime::new(p).expect("rank count is positive");
-                let per_row = run_partitioned_ladies(&runtime, c, a, &batches, 1, s, 13)
+                let backend = Partitioned1p5dBackend::new(DistConfig::new(
+                    p,
+                    c,
+                    BulkSamplerConfig::new(batch_size, batches.len()),
+                ))
+                .expect("valid distribution configuration");
+                let epoch = backend
+                    .sample_epoch(&LadiesSampler::new(1, s), a, &batches, 13)
                     .expect("partitioned LADIES failed");
-                ladies_rows.push(breakdown_row(p, c, &per_row));
+                ladies_rows.push(breakdown_row(p, c, &epoch));
             }
         }
         print_table(
-            &format!("Figure 7 (bottom) — {} LADIES partitioned sampling breakdown (s = {s})", kind.name()),
+            &format!(
+                "Figure 7 (bottom) — {} LADIES partitioned sampling breakdown (s = {s})",
+                kind.name()
+            ),
             &header,
             &ladies_rows,
         );

@@ -4,19 +4,18 @@
 //! (b) the conventional per-vertex sampler on the Products stand-in, and
 //! reports test accuracy for both, plus the chance level.
 
-use dmbs_bench::{dataset, print_table, sage_training_config, Scale};
-use dmbs_gnn::trainer::{train_single_device, SamplerChoice};
+use dmbs_bench::{dataset, print_table, sage_training_config, train_local, Scale};
+use dmbs_gnn::trainer::SamplerChoice;
 use dmbs_graph::datasets::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let ds = dataset(DatasetKind::Products, scale);
+    let ds = std::sync::Arc::new(dataset(DatasetKind::Products, scale));
     let mut config = sage_training_config(&ds);
     config.epochs = 5;
 
-    let matrix = train_single_device(&ds, &config, SamplerChoice::MatrixSage).expect("training failed");
-    let pervertex =
-        train_single_device(&ds, &config, SamplerChoice::PerVertexSage).expect("training failed");
+    let matrix = train_local(&ds, &config, SamplerChoice::MatrixSage);
+    let pervertex = train_local(&ds, &config, SamplerChoice::PerVertexSage);
 
     let rows = vec![
         vec![

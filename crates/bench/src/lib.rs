@@ -12,9 +12,16 @@
 //! sweep; `DMBS_SCALE=small` (default) keeps every harness under a few
 //! minutes.
 
+use dmbs_gnn::trainer::SamplerChoice;
+use dmbs_gnn::{EpochStats, TrainingConfig, TrainingReport, TrainingSession};
 use dmbs_graph::datasets::{build_dataset, Dataset, DatasetConfig, DatasetKind};
+use dmbs_sampling::baseline::PerVertexSageSampler;
+use dmbs_sampling::{
+    BulkSamplerConfig, DistConfig, GraphSageSampler, LocalBackend, ReplicatedBackend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Scale of a harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,8 +91,99 @@ pub fn sage_training_config(dataset: &Dataset) -> dmbs_gnn::TrainingConfig {
         learning_rate: 0.02,
         epochs: 2,
         seed: 7,
-        ..Default::default()
     }
+}
+
+/// Trains on a single device through a [`TrainingSession`] with a
+/// [`LocalBackend`] (streaming bulk prefetch), mirroring the legacy
+/// `train_single_device` harness entry point.
+///
+/// # Panics
+///
+/// Panics when the session cannot be built or training fails — harnesses
+/// treat that as a fatal setup error.
+pub fn train_local(
+    dataset: &Arc<Dataset>,
+    config: &TrainingConfig,
+    choice: SamplerChoice,
+) -> TrainingReport {
+    let backend = LocalBackend::new(BulkSamplerConfig::new(config.batch_size, config.bulk_size))
+        .expect("valid bulk configuration");
+    let report = match choice {
+        SamplerChoice::MatrixSage => TrainingSession::builder()
+            .dataset(Arc::clone(dataset))
+            .sampler(GraphSageSampler::new(config.fanouts.clone()).with_self_loops())
+            .backend(backend)
+            .hidden_dim(config.hidden_dim)
+            .learning_rate(config.learning_rate)
+            .epochs(config.epochs)
+            .seed(config.seed)
+            .build()
+            .and_then(|s| s.train()),
+        SamplerChoice::PerVertexSage => TrainingSession::builder()
+            .dataset(Arc::clone(dataset))
+            .sampler(PerVertexSageSampler::new(config.fanouts.clone()).with_self_loops())
+            .backend(backend)
+            .hidden_dim(config.hidden_dim)
+            .learning_rate(config.learning_rate)
+            .epochs(config.epochs)
+            .seed(config.seed)
+            .build()
+            .and_then(|s| s.train()),
+    };
+    report.expect("single-device training failed")
+}
+
+/// Trains data-parallel over `p` simulated ranks through a
+/// [`TrainingSession`] with a [`ReplicatedBackend`], mirroring the legacy
+/// `train_distributed` harness entry point.
+///
+/// # Panics
+///
+/// Panics when the session cannot be built or training fails.
+pub fn train_replicated(
+    dataset: &Arc<Dataset>,
+    config: &TrainingConfig,
+    p: usize,
+    c: usize,
+    replicate_features: bool,
+    choice: SamplerChoice,
+) -> Vec<EpochStats> {
+    let dist = DistConfig::new(p, c, BulkSamplerConfig::new(config.batch_size, config.bulk_size));
+    let backend = ReplicatedBackend::new(dist).expect("valid distribution configuration");
+    let report = match choice {
+        SamplerChoice::MatrixSage => {
+            let builder = TrainingSession::builder()
+                .dataset(Arc::clone(dataset))
+                .sampler(GraphSageSampler::new(config.fanouts.clone()).with_self_loops())
+                .backend(backend)
+                .partition(c)
+                .hidden_dim(config.hidden_dim)
+                .learning_rate(config.learning_rate)
+                .epochs(config.epochs)
+                .seed(config.seed)
+                .without_evaluation();
+            let builder =
+                if replicate_features { builder } else { builder.without_feature_replication() };
+            builder.build().and_then(|s| s.train())
+        }
+        SamplerChoice::PerVertexSage => {
+            let builder = TrainingSession::builder()
+                .dataset(Arc::clone(dataset))
+                .sampler(PerVertexSageSampler::new(config.fanouts.clone()).with_self_loops())
+                .backend(backend)
+                .partition(c)
+                .hidden_dim(config.hidden_dim)
+                .learning_rate(config.learning_rate)
+                .epochs(config.epochs)
+                .seed(config.seed)
+                .without_evaluation();
+            let builder =
+                if replicate_features { builder } else { builder.without_feature_replication() };
+            builder.build().and_then(|s| s.train())
+        }
+    };
+    report.expect("distributed training failed").epochs
 }
 
 /// The replication factor used for a given rank count, mirroring the paper's
@@ -93,8 +191,6 @@ pub fn sage_training_config(dataset: &Dataset) -> dmbs_gnn::TrainingConfig {
 pub fn replication_for(p: usize) -> usize {
     if p >= 16 {
         4
-    } else if p >= 8 {
-        2
     } else if p >= 2 {
         2
     } else {
@@ -111,12 +207,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         .map(|(i, h)| rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(h.len()))
         .collect();
     let fmt_row = |cells: &[String]| {
-        cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
     for row in rows {

@@ -209,9 +209,7 @@ impl Communicator {
             return Err(CommError::RankOutOfRange { rank: to, size: self.size });
         }
         self.stats.record(value.word_count(), &self.cost);
-        self.senders[to]
-            .send(Box::new(value))
-            .map_err(|_| CommError::Disconnected { from: to })
+        self.senders[to].send(Box::new(value)).map_err(|_| CommError::Disconnected { from: to })
     }
 
     /// Receives a value of type `T` from rank `from`, blocking until it
@@ -227,13 +225,8 @@ impl Communicator {
         if from >= self.size {
             return Err(CommError::RankOutOfRange { rank: from, size: self.size });
         }
-        let message = self.receivers[from]
-            .recv()
-            .map_err(|_| CommError::Disconnected { from })?;
-        message
-            .downcast::<T>()
-            .map(|b| *b)
-            .map_err(|_| CommError::TypeMismatch { from })
+        let message = self.receivers[from].recv().map_err(|_| CommError::Disconnected { from })?;
+        message.downcast::<T>().map(|b| *b).map_err(|_| CommError::TypeMismatch { from })
     }
 
     /// Synchronizes all ranks in the world.
@@ -379,7 +372,11 @@ impl Communicator {
     ///
     /// Returns [`CommError::NotInGroup`] if the caller is not a member, plus
     /// any point-to-point error.
-    pub fn group_allgather<T: Payload + Clone>(&mut self, group: &Group, value: T) -> Result<Vec<T>> {
+    pub fn group_allgather<T: Payload + Clone>(
+        &mut self,
+        group: &Group,
+        value: T,
+    ) -> Result<Vec<T>> {
         self.require_member(group)?;
         let root = group.ranks()[0];
         let gathered = self.group_gather(group, root, value)?;
@@ -417,7 +414,11 @@ impl Communicator {
     /// Returns [`CommError::NotInGroup`] if the caller is not a member,
     /// [`CommError::InvalidConfig`] if `sends.len() != group.len()`, plus any
     /// point-to-point error.
-    pub fn group_all_to_allv<T: Payload>(&mut self, group: &Group, sends: Vec<T>) -> Result<Vec<T>> {
+    pub fn group_all_to_allv<T: Payload>(
+        &mut self,
+        group: &Group,
+        sends: Vec<T>,
+    ) -> Result<Vec<T>> {
         self.require_member(group)?;
         if sends.len() != group.len() {
             return Err(CommError::InvalidConfig(format!(
@@ -446,10 +447,7 @@ impl Communicator {
                 received[pos] = Some(self.recv(peer)?);
             }
         }
-        Ok(received
-            .into_iter()
-            .map(|v| v.expect("every member sends exactly one value"))
-            .collect())
+        Ok(received.into_iter().map(|v| v.expect("every member sends exactly one value")).collect())
     }
 
     fn require_member(&self, group: &Group) -> Result<()> {

@@ -135,8 +135,12 @@ mod tests {
         // NVLink is faster than Slingshot which is faster than PCIe for a
         // large message.
         let words = 1_000_000;
-        assert!(CostModel::nvlink().message_cost(words) < CostModel::slingshot().message_cost(words));
-        assert!(CostModel::slingshot().message_cost(words) <= CostModel::pcie().message_cost(words));
+        assert!(
+            CostModel::nvlink().message_cost(words) < CostModel::slingshot().message_cost(words)
+        );
+        assert!(
+            CostModel::slingshot().message_cost(words) <= CostModel::pcie().message_cost(words)
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl ProcessGrid {
         if p == 0 || c == 0 {
             return Err(CommError::InvalidConfig("p and c must be positive".into()));
         }
-        if p % c != 0 {
+        if !p.is_multiple_of(c) {
             return Err(CommError::InvalidConfig(format!(
                 "replication factor {c} must divide process count {p}"
             )));

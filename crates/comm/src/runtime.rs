@@ -109,9 +109,7 @@ impl Runtime {
         }
 
         let mut communicators: Vec<Communicator> = Vec::with_capacity(p);
-        for (rank, (sender_row, receiver_row)) in
-            senders.into_iter().zip(receivers.into_iter()).enumerate()
-        {
+        for (rank, (sender_row, receiver_row)) in senders.into_iter().zip(receivers).enumerate() {
             let sends: Vec<_> = sender_row.into_iter().map(|s| s.expect("filled above")).collect();
             let recvs: Vec<_> =
                 receiver_row.into_iter().map(|r| r.expect("filled above")).collect();
@@ -119,19 +117,20 @@ impl Runtime {
         }
 
         let f = &f;
-        let results: Vec<std::thread::Result<(usize, T, CommStats)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = communicators
-                .into_iter()
-                .enumerate()
-                .map(|(rank, mut comm)| {
-                    scope.spawn(move || {
-                        let value = f(&mut comm);
-                        (rank, value, comm.stats())
+        let results: Vec<std::thread::Result<(usize, T, CommStats)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = communicators
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, mut comm)| {
+                        scope.spawn(move || {
+                            let value = f(&mut comm);
+                            (rank, value, comm.stats())
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join()).collect()
-        });
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
 
         let mut outputs = Vec::with_capacity(p);
         for (rank, result) in results.into_iter().enumerate() {
@@ -160,12 +159,14 @@ mod tests {
     #[test]
     fn single_rank_runs_locally() {
         let rt = Runtime::new(1).unwrap();
-        let out = rt.run(|comm| {
-            let g = comm.allgather(comm.rank()).unwrap();
-            let r = comm.allreduce(5.0f64, |a, b| a + b).unwrap();
-            comm.barrier().unwrap();
-            (g, r)
-        }).unwrap();
+        let out = rt
+            .run(|comm| {
+                let g = comm.allgather(comm.rank()).unwrap();
+                let r = comm.allreduce(5.0f64, |a, b| a + b).unwrap();
+                comm.barrier().unwrap();
+                (g, r)
+            })
+            .unwrap();
         assert_eq!(out[0].value.0, vec![0]);
         assert_eq!(out[0].value.1, 5.0);
         assert_eq!(out[0].stats.messages, 0);
@@ -174,12 +175,14 @@ mod tests {
     #[test]
     fn point_to_point_ring() {
         let rt = Runtime::new(4).unwrap();
-        let outs = rt.run(|comm| {
-            let next = (comm.rank() + 1) % comm.size();
-            let prev = (comm.rank() + comm.size() - 1) % comm.size();
-            comm.send(next, comm.rank()).unwrap();
-            comm.recv::<usize>(prev).unwrap()
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.send(next, comm.rank()).unwrap();
+                comm.recv::<usize>(prev).unwrap()
+            })
+            .unwrap();
         let values: Vec<usize> = outs.iter().map(|o| o.value).collect();
         assert_eq!(values, vec![3, 0, 1, 2]);
         // Each rank sent exactly one single-word message.
@@ -189,10 +192,12 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let rt = Runtime::new(4).unwrap();
-        let outs = rt.run(|comm| {
-            let value = if comm.rank() == 2 { Some(vec![1.0f64, 2.0, 3.0]) } else { None };
-            comm.broadcast(2, value).unwrap()
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                let value = if comm.rank() == 2 { Some(vec![1.0f64, 2.0, 3.0]) } else { None };
+                comm.broadcast(2, value).unwrap()
+            })
+            .unwrap();
         for o in outs {
             assert_eq!(o.value, vec![1.0, 2.0, 3.0]);
         }
@@ -211,13 +216,17 @@ mod tests {
     #[test]
     fn allgather_and_allreduce() {
         let rt = Runtime::new(4).unwrap();
-        let outs = rt.run(|comm| {
-            let all = comm.allgather(comm.rank()).unwrap();
-            let sum = comm.allreduce(vec![comm.rank() as f64, 1.0], |a, b| {
-                a.iter().zip(b).map(|(x, y)| x + y).collect()
-            }).unwrap();
-            (all, sum)
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                let all = comm.allgather(comm.rank()).unwrap();
+                let sum = comm
+                    .allreduce(vec![comm.rank() as f64, 1.0], |a, b| {
+                        a.iter().zip(b).map(|(x, y)| x + y).collect()
+                    })
+                    .unwrap();
+                (all, sum)
+            })
+            .unwrap();
         for o in outs {
             assert_eq!(o.value.0, vec![0, 1, 2, 3]);
             assert_eq!(o.value.1, vec![6.0, 4.0]);
@@ -227,11 +236,13 @@ mod tests {
     #[test]
     fn all_to_allv_exchanges_personalized_data() {
         let rt = Runtime::new(3).unwrap();
-        let outs = rt.run(|comm| {
-            // Rank r sends the value r*10 + destination to each destination.
-            let sends: Vec<usize> = (0..comm.size()).map(|d| comm.rank() * 10 + d).collect();
-            comm.all_to_allv(sends).unwrap()
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                // Rank r sends the value r*10 + destination to each destination.
+                let sends: Vec<usize> = (0..comm.size()).map(|d| comm.rank() * 10 + d).collect();
+                comm.all_to_allv(sends).unwrap()
+            })
+            .unwrap();
         assert_eq!(outs[0].value, vec![0, 10, 20]);
         assert_eq!(outs[1].value, vec![1, 11, 21]);
         assert_eq!(outs[2].value, vec![2, 12, 22]);
@@ -240,14 +251,16 @@ mod tests {
     #[test]
     fn group_collectives_follow_grid_rows_and_cols() {
         let rt = Runtime::new(4).unwrap();
-        let outs = rt.run(|comm| {
-            let grid = ProcessGrid::new(comm.size(), 2).unwrap();
-            let row = Group::new(&grid.row_ranks(comm.rank())).unwrap();
-            let col = Group::new(&grid.col_ranks(comm.rank())).unwrap();
-            let row_sum = comm.group_allreduce(&row, comm.rank(), |a, b| a + b).unwrap();
-            let col_members = comm.group_allgather(&col, comm.rank()).unwrap();
-            (row_sum, col_members)
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                let grid = ProcessGrid::new(comm.size(), 2).unwrap();
+                let row = Group::new(&grid.row_ranks(comm.rank())).unwrap();
+                let col = Group::new(&grid.col_ranks(comm.rank())).unwrap();
+                let row_sum = comm.group_allreduce(&row, comm.rank(), |a, b| a + b).unwrap();
+                let col_members = comm.group_allgather(&col, comm.rank()).unwrap();
+                (row_sum, col_members)
+            })
+            .unwrap();
         // Grid 2x2: rows {0,1}, {2,3}; cols {0,2}, {1,3}.
         assert_eq!(outs[0].value.0, 1);
         assert_eq!(outs[3].value.0, 5);
@@ -258,12 +271,14 @@ mod tests {
     #[test]
     fn group_all_to_allv_within_column() {
         let rt = Runtime::new(4).unwrap();
-        let outs = rt.run(|comm| {
-            let grid = ProcessGrid::new(comm.size(), 2).unwrap();
-            let col = Group::new(&grid.col_ranks(comm.rank())).unwrap();
-            let sends: Vec<Vec<usize>> = (0..col.len()).map(|i| vec![comm.rank(), i]).collect();
-            comm.group_all_to_allv(&col, sends).unwrap()
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                let grid = ProcessGrid::new(comm.size(), 2).unwrap();
+                let col = Group::new(&grid.col_ranks(comm.rank())).unwrap();
+                let sends: Vec<Vec<usize>> = (0..col.len()).map(|i| vec![comm.rank(), i]).collect();
+                comm.group_all_to_allv(&col, sends).unwrap()
+            })
+            .unwrap();
         // Column {0, 2}: rank 0 receives from itself and rank 2.
         assert_eq!(outs[0].value, vec![vec![0, 0], vec![2, 0]]);
         assert_eq!(outs[2].value, vec![vec![0, 1], vec![2, 1]]);
@@ -272,15 +287,17 @@ mod tests {
     #[test]
     fn stats_accumulate_modeled_time() {
         let rt = Runtime::with_cost_model(2, CostModel::new(1.0, 0.5)).unwrap();
-        let outs = rt.run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, vec![0.0f64; 10]).unwrap();
-                0.0
-            } else {
-                comm.recv::<Vec<f64>>(0).unwrap();
-                comm.stats().modeled_time
-            }
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, vec![0.0f64; 10]).unwrap();
+                    0.0
+                } else {
+                    comm.recv::<Vec<f64>>(0).unwrap();
+                    comm.stats().modeled_time
+                }
+            })
+            .unwrap();
         // Rank 0 sent 10 words: modeled time = 1 + 0.5 * 10 = 6.
         assert!((outs[0].stats.modeled_time - 6.0).abs() < 1e-12);
         assert_eq!(outs[0].stats.words_sent, 10);
@@ -291,54 +308,65 @@ mod tests {
     #[test]
     fn type_mismatch_is_detected() {
         let rt = Runtime::new(2).unwrap();
-        let outs = rt.run(|comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 42usize).unwrap();
-                Ok(())
-            } else {
-                match comm.recv::<f64>(0) {
-                    Err(CommError::TypeMismatch { from: 0 }) => Err("mismatch detected"),
-                    other => panic!("expected type mismatch, got {other:?}"),
+        let outs = rt
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 42usize).unwrap();
+                    Ok(())
+                } else {
+                    match comm.recv::<f64>(0) {
+                        Err(CommError::TypeMismatch { from: 0 }) => Err("mismatch detected"),
+                        other => panic!("expected type mismatch, got {other:?}"),
+                    }
                 }
-            }
-        }).unwrap();
+            })
+            .unwrap();
         assert_eq!(outs[1].value, Err("mismatch detected"));
     }
 
     #[test]
     fn invalid_destination_is_rejected() {
         let rt = Runtime::new(2).unwrap();
-        let outs = rt.run(|comm| {
-            if comm.rank() == 0 {
-                matches!(comm.send(5, 1usize), Err(CommError::RankOutOfRange { rank: 5, size: 2 }))
-            } else {
-                true
-            }
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    matches!(
+                        comm.send(5, 1usize),
+                        Err(CommError::RankOutOfRange { rank: 5, size: 2 })
+                    )
+                } else {
+                    true
+                }
+            })
+            .unwrap();
         assert!(outs.iter().all(|o| o.value));
     }
 
     #[test]
     fn barrier_synchronizes_without_error() {
         let rt = Runtime::new(6).unwrap();
-        let outs = rt.run(|comm| {
-            for _ in 0..3 {
-                comm.barrier().unwrap();
-            }
-            true
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                for _ in 0..3 {
+                    comm.barrier().unwrap();
+                }
+                true
+            })
+            .unwrap();
         assert!(outs.iter().all(|o| o.value));
     }
 
     #[test]
     fn reset_stats_clears_counters() {
         let rt = Runtime::new(2).unwrap();
-        let outs = rt.run(|comm| {
-            comm.allgather(comm.rank()).unwrap();
-            let before = comm.reset_stats();
-            let after = comm.stats();
-            (before.messages, after.messages)
-        }).unwrap();
+        let outs = rt
+            .run(|comm| {
+                comm.allgather(comm.rank()).unwrap();
+                let before = comm.reset_stats();
+                let after = comm.stats();
+                (before.messages, after.messages)
+            })
+            .unwrap();
         for o in outs {
             assert_eq!(o.value.1, 0);
         }

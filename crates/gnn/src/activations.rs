@@ -58,7 +58,8 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one_and_order_preserved() {
-        let x = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![1000.0, 1000.0, 1000.0]]).unwrap();
+        let x =
+            DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![1000.0, 1000.0, 1000.0]]).unwrap();
         let s = softmax_rows(&x);
         for r in 0..2 {
             let sum: f64 = s.row(r).iter().sum();

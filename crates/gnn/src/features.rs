@@ -35,7 +35,11 @@ impl FeatureStore {
     ///
     /// Returns [`GnnError::InvalidConfig`] if `block_index >= num_blocks` or
     /// the partition cannot be built.
-    pub fn from_full(features: &DenseMatrix, num_blocks: usize, block_index: usize) -> Result<Self> {
+    pub fn from_full(
+        features: &DenseMatrix,
+        num_blocks: usize,
+        block_index: usize,
+    ) -> Result<Self> {
         if block_index >= num_blocks {
             return Err(GnnError::InvalidConfig(format!(
                 "block index {block_index} out of range for {num_blocks} blocks"
@@ -158,7 +162,9 @@ mod tests {
     fn full_features(n: usize, f: usize) -> DenseMatrix {
         // Row v = [v, v+0.5, v+1.0, ...] so fetched rows are easy to verify.
         DenseMatrix::from_rows(
-            &(0..n).map(|v| (0..f).map(|j| v as f64 + j as f64 * 0.5).collect()).collect::<Vec<_>>(),
+            &(0..n)
+                .map(|v| (0..f).map(|j| v as f64 + j as f64 * 0.5).collect())
+                .collect::<Vec<_>>(),
         )
         .unwrap()
     }

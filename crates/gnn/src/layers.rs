@@ -114,7 +114,10 @@ pub struct LinearCache {
 /// # Errors
 ///
 /// Returns [`crate::GnnError::Matrix`] on dimension mismatches.
-pub fn linear_forward(input: &DenseMatrix, weight: &DenseMatrix) -> Result<(DenseMatrix, LinearCache)> {
+pub fn linear_forward(
+    input: &DenseMatrix,
+    weight: &DenseMatrix,
+) -> Result<(DenseMatrix, LinearCache)> {
     let logits = input.matmul(weight)?;
     Ok((logits, LinearCache { input: input.clone() }))
 }
@@ -199,7 +202,8 @@ mod tests {
         let grads = sage_backward(&cache, &w_self, &w_neigh, &upstream).unwrap();
 
         let eps = 1e-6;
-        let check = |analytic: &DenseMatrix, mut perturb: Box<dyn FnMut(usize, usize, f64) -> f64>| {
+        let check = |analytic: &DenseMatrix,
+                     mut perturb: Box<dyn FnMut(usize, usize, f64) -> f64>| {
             for r in 0..analytic.rows() {
                 for c in 0..analytic.cols() {
                     let num = (perturb(r, c, eps) - perturb(r, c, -eps)) / (2.0 * eps);
@@ -213,29 +217,41 @@ mod tests {
         };
 
         let (hn, hs, ws, wn) = (h_neigh.clone(), h_self.clone(), w_self.clone(), w_neigh.clone());
-        check(&grads.d_w_self, Box::new(move |r, c, d| {
-            let mut w = ws.clone();
-            w.set(r, c, w.get(r, c) + d);
-            objective(&hn, &hs, &w, &wn)
-        }));
+        check(
+            &grads.d_w_self,
+            Box::new(move |r, c, d| {
+                let mut w = ws.clone();
+                w.set(r, c, w.get(r, c) + d);
+                objective(&hn, &hs, &w, &wn)
+            }),
+        );
         let (hn, hs, ws, wn) = (h_neigh.clone(), h_self.clone(), w_self.clone(), w_neigh.clone());
-        check(&grads.d_w_neigh, Box::new(move |r, c, d| {
-            let mut w = wn.clone();
-            w.set(r, c, w.get(r, c) + d);
-            objective(&hn, &hs, &ws, &w)
-        }));
+        check(
+            &grads.d_w_neigh,
+            Box::new(move |r, c, d| {
+                let mut w = wn.clone();
+                w.set(r, c, w.get(r, c) + d);
+                objective(&hn, &hs, &ws, &w)
+            }),
+        );
         let (hn, hs, ws, wn) = (h_neigh.clone(), h_self.clone(), w_self.clone(), w_neigh.clone());
-        check(&grads.d_h_neigh, Box::new(move |r, c, d| {
-            let mut h = hn.clone();
-            h.set(r, c, h.get(r, c) + d);
-            objective(&h, &hs, &ws, &wn)
-        }));
+        check(
+            &grads.d_h_neigh,
+            Box::new(move |r, c, d| {
+                let mut h = hn.clone();
+                h.set(r, c, h.get(r, c) + d);
+                objective(&h, &hs, &ws, &wn)
+            }),
+        );
         let (hn, hs, ws, wn) = (h_neigh, h_self, w_self, w_neigh);
-        check(&grads.d_h_self, Box::new(move |r, c, d| {
-            let mut h = hs.clone();
-            h.set(r, c, h.get(r, c) + d);
-            objective(&hn, &h, &ws, &wn)
-        }));
+        check(
+            &grads.d_h_self,
+            Box::new(move |r, c, d| {
+                let mut h = hs.clone();
+                h.set(r, c, h.get(r, c) + d);
+                objective(&hn, &h, &ws, &wn)
+            }),
+        );
     }
 
     #[test]

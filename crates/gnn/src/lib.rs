@@ -32,11 +32,13 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod optim;
+pub mod session;
 pub mod trainer;
 
 pub use error::GnnError;
 pub use model::SageModel;
-pub use trainer::{EpochStats, TrainingConfig};
+pub use session::{Minibatch, MinibatchStream, Session, SessionBuilder, TrainingSession};
+pub use trainer::{EpochStats, TrainingConfig, TrainingReport};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, GnnError>;

@@ -26,7 +26,9 @@ pub fn cross_entropy(logits: &DenseMatrix, labels: &[usize]) -> Result<(f64, Den
     }
     let classes = logits.cols();
     if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
-        return Err(GnnError::InvalidConfig(format!("label {bad} out of range for {classes} classes")));
+        return Err(GnnError::InvalidConfig(format!(
+            "label {bad} out of range for {classes} classes"
+        )));
     }
     let probs = softmax_rows(logits);
     let n = logits.rows() as f64;

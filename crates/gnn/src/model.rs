@@ -8,7 +8,9 @@
 //! gradients with a single flattened buffer.
 
 use crate::error::GnnError;
-use crate::layers::{linear_backward, linear_forward, sage_backward, sage_forward, LinearCache, SageCache};
+use crate::layers::{
+    linear_backward, linear_forward, sage_backward, sage_forward, LinearCache, SageCache,
+};
 use crate::loss::cross_entropy;
 use crate::Result;
 use dmbs_matrix::DenseMatrix;
@@ -126,7 +128,11 @@ impl SageModel {
         let mut offset = 0;
         for p in &self.params {
             let len = p.rows() * p.cols();
-            grads.push(DenseMatrix::from_vec(p.rows(), p.cols(), flat[offset..offset + len].to_vec())?);
+            grads.push(DenseMatrix::from_vec(
+                p.rows(),
+                p.cols(),
+                flat[offset..offset + len].to_vec(),
+            )?);
             offset += len;
         }
         Ok(grads)
@@ -204,7 +210,7 @@ impl SageModel {
                 })
                 .collect::<Result<_>>()?;
             let h_self = h.gather_rows(&positions)?;
-            let apply_relu = l + 1 < self.num_layers || true; // ReLU on every SAGE layer.
+            let apply_relu = true; // ReLU on every SAGE layer.
             let (out, cache) = sage_forward(
                 &layer.adjacency,
                 &h,
@@ -227,7 +233,11 @@ impl SageModel {
     /// # Errors
     ///
     /// Returns [`GnnError::Matrix`] on dimension mismatches.
-    pub fn backward(&self, cache: &ForwardCache, d_logits: &DenseMatrix) -> Result<Vec<DenseMatrix>> {
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        d_logits: &DenseMatrix,
+    ) -> Result<Vec<DenseMatrix>> {
         let mut grads: Vec<DenseMatrix> =
             self.params.iter().map(|p| DenseMatrix::zeros(p.rows(), p.cols())).collect();
         let (d_w_out, mut d_h) = linear_backward(&cache.linear_cache, self.w_out(), d_logits)?;
@@ -274,7 +284,11 @@ impl SageModel {
     /// # Errors
     ///
     /// Propagates forward-pass errors.
-    pub fn predict(&self, sample: &MinibatchSample, input_features: &DenseMatrix) -> Result<Vec<usize>> {
+    pub fn predict(
+        &self,
+        sample: &MinibatchSample,
+        input_features: &DenseMatrix,
+    ) -> Result<Vec<usize>> {
         let (logits, _) = self.forward(sample, input_features)?;
         Ok(logits.row_argmax())
     }

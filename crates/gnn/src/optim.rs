@@ -95,7 +95,8 @@ impl Optimizer for Adam {
     fn step(&mut self, params: &mut [DenseMatrix], grads: &[DenseMatrix]) -> Result<()> {
         check_shapes(params, grads)?;
         if self.first_moment.is_empty() {
-            self.first_moment = params.iter().map(|p| DenseMatrix::zeros(p.rows(), p.cols())).collect();
+            self.first_moment =
+                params.iter().map(|p| DenseMatrix::zeros(p.rows(), p.cols())).collect();
             self.second_moment = self.first_moment.clone();
         }
         if self.first_moment.len() != params.len() {

@@ -1,0 +1,989 @@
+//! The [`TrainingSession`] builder and the streaming minibatch pipeline.
+//!
+//! This is the composable entry point to the end-to-end pipeline of §6
+//! (Figure 3).  A session binds a dataset, a [`Sampler`] (which algorithm)
+//! and a [`SamplingBackend`] (which distribution strategy) and offers two
+//! views of an epoch:
+//!
+//! * [`TrainingSession::stream`] — a [`MinibatchStream`] iterator with
+//!   **double-buffered bulk prefetch**: a background thread samples bulk
+//!   group `g + 1` through the backend while the consumer trains on group
+//!   `g`, making the paper's §6 sampling/training overlap a first-class API
+//!   instead of trainer-internal logic;
+//! * [`TrainingSession::train`] — the full training loop (feature fetching,
+//!   forward/backward propagation, optimizer steps), running single-device
+//!   over the stream for the local backend, or bulk-synchronous data-parallel
+//!   (1.5D feature store + gradient all-reduce) for distributed backends.
+//!
+//! # Example
+//!
+//! ```
+//! use dmbs_gnn::session::TrainingSession;
+//! use dmbs_graph::datasets::{build_dataset, DatasetConfig};
+//! use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler, LocalBackend};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cfg = DatasetConfig::products_like(7);
+//! cfg.feature_dim = 8;
+//! cfg.num_classes = 4;
+//! cfg.train_fraction = 0.5;
+//! let dataset = build_dataset(&cfg, &mut StdRng::seed_from_u64(1))?;
+//!
+//! let session = TrainingSession::builder()
+//!     .dataset(dataset)
+//!     .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+//!     .backend(LocalBackend::new(BulkSamplerConfig::new(16, 4))?)
+//!     .hidden_dim(8)
+//!     .epochs(1)
+//!     .seed(3)
+//!     .build()?;
+//!
+//! // Stream minibatches (bulk group g+1 samples while g is consumed) …
+//! let mut count = 0;
+//! for minibatch in session.stream(0)? {
+//!     let minibatch = minibatch?;
+//!     assert!(!minibatch.sample.batch.is_empty());
+//!     count += 1;
+//! }
+//! assert!(count > 0);
+//!
+//! // … or run the whole training loop.
+//! let report = session.train()?;
+//! assert_eq!(report.epochs.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::GnnError;
+use crate::features::FeatureStore;
+use crate::metrics::{accuracy, RunningMean};
+use crate::model::SageModel;
+use crate::optim::{Optimizer, Sgd};
+use crate::trainer::{EpochStats, TrainingReport};
+use crate::Result;
+use dmbs_comm::{CommStats, Group, Phase, PhaseProfile, ProcessGrid};
+use dmbs_graph::datasets::Dataset;
+use dmbs_graph::minibatch::MinibatchPlan;
+use dmbs_matrix::DenseMatrix;
+use dmbs_sampling::backend::group_seed;
+use dmbs_sampling::{BulkSampleOutput, MinibatchSample, Sampler, SamplingBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Short alias so the fluent entry point reads
+/// `Session::builder().dataset(d).sampler(s).backend(b).build()`.
+pub type Session<S, B> = TrainingSession<S, B>;
+
+/// Hyper-parameters a session adds on top of its sampler and backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SessionConfig {
+    batch_size: usize,
+    bulk_size: usize,
+    hidden_dim: usize,
+    learning_rate: f64,
+    epochs: usize,
+    seed: u64,
+    replicate_features: bool,
+    feature_replication: Option<usize>,
+    evaluate: bool,
+}
+
+/// One sampled minibatch yielded by a [`MinibatchStream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minibatch {
+    /// Epoch this minibatch belongs to.
+    pub epoch: usize,
+    /// Bulk group index within the epoch.
+    pub group: usize,
+    /// Batch index within the epoch (position in the shuffled plan).
+    pub index: usize,
+    /// The sampled `L`-layer neighborhood.
+    pub sample: MinibatchSample,
+}
+
+type GroupMessage = Result<(usize, usize, BulkSampleOutput)>;
+
+/// An iterator over one epoch's sampled minibatches with double-buffered
+/// bulk prefetch: a worker thread runs the backend one bulk group ahead of
+/// the consumer (the channel holds at most one finished group).
+///
+/// Yields minibatches in plan order.  After exhaustion,
+/// [`MinibatchStream::sampling_profile`] and [`MinibatchStream::comm_stats`]
+/// expose the accumulated sampling-phase statistics.
+#[derive(Debug)]
+pub struct MinibatchStream {
+    epoch: usize,
+    rx: Option<mpsc::Receiver<GroupMessage>>,
+    pending: VecDeque<Minibatch>,
+    profile: PhaseProfile,
+    comm: CommStats,
+    worker: Option<JoinHandle<()>>,
+    failed: bool,
+}
+
+impl MinibatchStream {
+    /// Accumulated sampling-phase timing of the groups consumed so far.
+    pub fn sampling_profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Accumulated sampling communication statistics of the groups consumed
+    /// so far.
+    pub fn comm_stats(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// Joins the worker thread; returns `true` if it panicked.
+    fn join_worker(&mut self) -> bool {
+        self.rx = None;
+        match self.worker.take() {
+            Some(handle) => handle.join().is_err(),
+            None => false,
+        }
+    }
+}
+
+impl Iterator for MinibatchStream {
+    type Item = Result<Minibatch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(mb) = self.pending.pop_front() {
+                return Some(Ok(mb));
+            }
+            if self.failed {
+                return None;
+            }
+            let message = match self.rx.as_ref()?.recv() {
+                Ok(message) => message,
+                Err(_) => {
+                    // The channel closed: either the worker finished the
+                    // epoch, or it panicked mid-sampling — the latter must
+                    // surface as an error, not a truncated epoch.
+                    self.failed = true;
+                    if self.join_worker() {
+                        return Some(Err(GnnError::InvalidConfig(
+                            "minibatch sampling worker panicked".into(),
+                        )));
+                    }
+                    return None;
+                }
+            };
+            match message {
+                Ok((group, base_index, output)) => {
+                    self.profile.merge_sum(&output.profile);
+                    self.comm.merge(&output.comm_stats);
+                    let epoch = self.epoch;
+                    self.pending.extend(output.minibatches.into_iter().enumerate().map(
+                        |(offset, sample)| Minibatch {
+                            epoch,
+                            group,
+                            index: base_index + offset,
+                            sample,
+                        },
+                    ));
+                }
+                Err(e) => {
+                    self.failed = true;
+                    self.join_worker();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MinibatchStream {
+    fn drop(&mut self) {
+        // Dropping the receiver makes the worker's next send fail, so it
+        // exits even when the stream is abandoned mid-epoch.
+        let _ = self.join_worker();
+    }
+}
+
+/// Builder for [`TrainingSession`]; see the module docs for an example.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder<S, B> {
+    dataset: Option<Arc<Dataset>>,
+    sampler: Option<S>,
+    backend: Option<B>,
+    batch_size: Option<usize>,
+    bulk_size: Option<usize>,
+    hidden_dim: usize,
+    learning_rate: f64,
+    epochs: usize,
+    seed: u64,
+    replicate_features: bool,
+    feature_replication: Option<usize>,
+    evaluate: bool,
+}
+
+impl<S, B> Default for SessionBuilder<S, B> {
+    fn default() -> Self {
+        SessionBuilder {
+            dataset: None,
+            sampler: None,
+            backend: None,
+            batch_size: None,
+            bulk_size: None,
+            hidden_dim: 256,
+            learning_rate: 0.01,
+            epochs: 3,
+            seed: 0,
+            replicate_features: true,
+            feature_replication: None,
+            evaluate: true,
+        }
+    }
+}
+
+impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
+    /// The dataset (graph + features + labels + train/test split) to train
+    /// on.
+    pub fn dataset(mut self, dataset: impl Into<Arc<Dataset>>) -> Self {
+        self.dataset = Some(dataset.into());
+        self
+    }
+
+    /// The sampling algorithm (GraphSAGE, LADIES, FastGCN, or any custom
+    /// [`Sampler`]).
+    pub fn sampler(mut self, sampler: S) -> Self {
+        self.sampler = Some(sampler);
+        self
+    }
+
+    /// The distribution strategy ([`dmbs_sampling::LocalBackend`],
+    /// [`dmbs_sampling::ReplicatedBackend`] or
+    /// [`dmbs_sampling::Partitioned1p5dBackend`]).
+    pub fn backend(mut self, backend: B) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Overrides the minibatch size `b` (default: the backend's bulk
+    /// configuration).
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.batch_size = Some(b);
+        self
+    }
+
+    /// Overrides the bulk group size `k` — how many minibatches each
+    /// prefetched sampling step covers (default: the backend's bulk
+    /// configuration).  Must not exceed the backend's `bulk_size`: each
+    /// session group must map to a single backend bulk group so the stream,
+    /// eager sampling and the distributed training pipeline all draw
+    /// identical samples.
+    pub fn bulk(mut self, k: usize) -> Self {
+        self.bulk_size = Some(k);
+        self
+    }
+
+    /// Replication factor of the 1.5D feature-store partition used by
+    /// distributed training (§6.2).  Defaults to the backend's
+    /// `replication_c`.
+    pub fn partition(mut self, c: usize) -> Self {
+        self.feature_replication = Some(c);
+        self
+    }
+
+    /// Disables feature replication (the "NoRep" configuration of Figure 6):
+    /// the feature matrix is split across all ranks and fetching spans the
+    /// whole world.
+    pub fn without_feature_replication(mut self) -> Self {
+        self.replicate_features = false;
+        self
+    }
+
+    /// Hidden dimension of every SAGE layer (default 256, Table 4).
+    pub fn hidden_dim(mut self, dim: usize) -> Self {
+        self.hidden_dim = dim;
+        self
+    }
+
+    /// SGD learning rate (default 0.01).
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Number of training epochs (default 3).
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Base RNG seed for model init, shuffling and sampling (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Skips the post-training test-set evaluation.
+    pub fn without_evaluation(mut self) -> Self {
+        self.evaluate = false;
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] when a required component is
+    /// missing or a numeric parameter is zero, and propagates typed
+    /// [`dmbs_sampling::SamplingError`]s from backend validation.
+    pub fn build(self) -> Result<TrainingSession<S, B>> {
+        let dataset = self
+            .dataset
+            .ok_or_else(|| GnnError::InvalidConfig("session needs a dataset".into()))?;
+        let sampler = self
+            .sampler
+            .ok_or_else(|| GnnError::InvalidConfig("session needs a sampler".into()))?;
+        let backend = self
+            .backend
+            .ok_or_else(|| GnnError::InvalidConfig("session needs a backend".into()))?;
+        let batch_size = self.batch_size.unwrap_or(backend.bulk().batch_size);
+        let bulk_size = self.bulk_size.unwrap_or(backend.bulk().bulk_size);
+        if batch_size == 0 || bulk_size == 0 {
+            return Err(GnnError::InvalidConfig("batch_size and bulk k must be positive".into()));
+        }
+        if bulk_size > backend.bulk().bulk_size {
+            return Err(GnnError::InvalidConfig(format!(
+                "session bulk k = {bulk_size} exceeds the backend's bulk_size = {}; size the \
+                 backend's BulkSamplerConfig instead so every session group is one backend group",
+                backend.bulk().bulk_size
+            )));
+        }
+        if self.hidden_dim == 0 || self.epochs == 0 {
+            return Err(GnnError::InvalidConfig("hidden_dim and epochs must be positive".into()));
+        }
+        if let Some(dist) = backend.dist() {
+            dist.validate().map_err(GnnError::Sampling)?;
+        }
+        if dataset.train_set.is_empty() {
+            return Err(GnnError::InvalidConfig("dataset has an empty training set".into()));
+        }
+        Ok(TrainingSession {
+            dataset,
+            sampler: Arc::new(sampler),
+            backend: Arc::new(backend),
+            config: SessionConfig {
+                batch_size,
+                bulk_size,
+                hidden_dim: self.hidden_dim,
+                learning_rate: self.learning_rate,
+                epochs: self.epochs,
+                seed: self.seed,
+                replicate_features: self.replicate_features,
+                feature_replication: self.feature_replication,
+                evaluate: self.evaluate,
+            },
+        })
+    }
+}
+
+/// A configured end-to-end training pipeline: dataset × sampler × backend.
+///
+/// Construct with [`TrainingSession::builder`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct TrainingSession<S, B> {
+    dataset: Arc<Dataset>,
+    sampler: Arc<S>,
+    backend: Arc<B>,
+    config: SessionConfig,
+}
+
+impl<S: Sampler, B: SamplingBackend> TrainingSession<S, B> {
+    /// Starts a fluent builder.
+    pub fn builder() -> SessionBuilder<S, B> {
+        SessionBuilder::default()
+    }
+
+    /// The dataset this session trains on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The sampling algorithm.
+    pub fn sampler(&self) -> &S {
+        &self.sampler
+    }
+
+    /// The distribution strategy.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The epoch's shuffled minibatch plan (deterministic in the session
+    /// seed, identical on every rank).
+    fn plan(&self, epoch: usize) -> Result<MinibatchPlan> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1 + epoch as u64));
+        Ok(MinibatchPlan::new(&self.dataset.train_set, self.config.batch_size, &mut rng)?)
+    }
+
+    /// The sampling seed of an epoch (bulk groups derive theirs with
+    /// [`group_seed`]).
+    fn epoch_sample_seed(&self, epoch: usize) -> u64 {
+        self.config.seed.wrapping_add((epoch as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+    }
+}
+
+impl<S, B> TrainingSession<S, B>
+where
+    S: Sampler + Send + Sync + 'static,
+    B: SamplingBackend + Send + Sync + 'static,
+{
+    /// Samples one epoch eagerly (no prefetch), in plan order.  The stream
+    /// yields exactly these minibatches; see the equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan and sampling errors.
+    pub fn sample_epoch_eager(&self, epoch: usize) -> Result<BulkSampleOutput> {
+        let plan = self.plan(epoch)?;
+        let mut merged = BulkSampleOutput::default();
+        let seed = self.epoch_sample_seed(epoch);
+        for (gi, group) in plan.batches().chunks(self.config.bulk_size).enumerate() {
+            let epoch_samples = self
+                .backend
+                .sample_epoch(
+                    &*self.sampler,
+                    self.dataset.graph.adjacency(),
+                    group,
+                    group_seed(seed, gi),
+                )
+                .map_err(GnnError::Sampling)?;
+            merged.merge(epoch_samples.output);
+        }
+        Ok(merged)
+    }
+
+    /// Opens a double-buffered [`MinibatchStream`] over `epoch`: a worker
+    /// thread samples bulk group `g + 1` through the backend while the
+    /// caller consumes group `g` (§6 pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] if the plan cannot be built;
+    /// sampling errors surface through the iterator's items.
+    pub fn stream(&self, epoch: usize) -> Result<MinibatchStream> {
+        let plan = self.plan(epoch)?;
+        let batches: Vec<Vec<usize>> = plan.batches().to_vec();
+        let bulk_size = self.config.bulk_size;
+        let seed = self.epoch_sample_seed(epoch);
+        let dataset = Arc::clone(&self.dataset);
+        let sampler = Arc::clone(&self.sampler);
+        let backend = Arc::clone(&self.backend);
+
+        // Capacity 1 : one finished group buffered while the next one
+        // samples — double buffering, bounded memory.
+        let (tx, rx) = mpsc::sync_channel::<GroupMessage>(1);
+        let worker = std::thread::spawn(move || {
+            let mut base_index = 0;
+            for (gi, group) in batches.chunks(bulk_size).enumerate() {
+                let result = backend
+                    .sample_epoch(&*sampler, dataset.graph.adjacency(), group, group_seed(seed, gi))
+                    .map(|epoch_samples| (gi, base_index, epoch_samples.output))
+                    .map_err(GnnError::Sampling);
+                let failed = result.is_err();
+                if tx.send(result).is_err() || failed {
+                    return;
+                }
+                base_index += group.len();
+            }
+        });
+
+        Ok(MinibatchStream {
+            epoch,
+            rx: Some(rx),
+            pending: VecDeque::new(),
+            profile: PhaseProfile::new(),
+            comm: CommStats::default(),
+            worker: Some(worker),
+            failed: false,
+        })
+    }
+
+    /// Runs the full training loop and returns per-epoch statistics (and
+    /// test accuracy unless disabled).
+    ///
+    /// With a local backend the loop consumes a [`MinibatchStream`], so bulk
+    /// sampling overlaps training.  With a distributed backend it runs the
+    /// bulk-synchronous pipeline of Figure 3: backend sampling inside the
+    /// SPMD region, 1.5D-partitioned feature fetching, propagation, and a
+    /// data-parallel gradient all-reduce.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors (missing features/labels), sampling
+    /// errors and collective failures.
+    pub fn train(&self) -> Result<TrainingReport> {
+        let (feature_dim, num_classes) = self.dataset_dims()?;
+        if self.backend.runtime().is_some() {
+            self.train_distributed(feature_dim, num_classes)
+        } else {
+            self.train_streaming(feature_dim, num_classes)
+        }
+    }
+
+    fn dataset_dims(&self) -> Result<(usize, usize)> {
+        let features = self
+            .dataset
+            .graph
+            .features()
+            .ok_or_else(|| GnnError::InvalidConfig("dataset has no feature matrix".into()))?;
+        if self.dataset.graph.labels().is_none() {
+            return Err(GnnError::InvalidConfig("dataset has no labels".into()));
+        }
+        Ok((features.cols(), self.dataset.graph.num_classes()))
+    }
+
+    fn batch_labels(&self, batch: &[usize]) -> Vec<usize> {
+        let labels = self.dataset.graph.labels().expect("validated");
+        batch.iter().map(|&v| labels[v]).collect()
+    }
+
+    /// Single-device training over the prefetching stream.
+    fn train_streaming(&self, feature_dim: usize, num_classes: usize) -> Result<TrainingReport> {
+        let features = self.dataset.graph.features().expect("validated");
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut model = SageModel::new(
+            feature_dim,
+            self.config.hidden_dim,
+            num_classes,
+            self.sampler.num_layers(),
+            &mut rng,
+        )?;
+        let mut optimizer = Sgd::new(self.config.learning_rate);
+
+        let mut report = TrainingReport::default();
+        for epoch in 0..self.config.epochs {
+            let mut stream = self.stream(epoch)?;
+            let mut profile = PhaseProfile::new();
+            let mut loss = RunningMean::new();
+            for minibatch in stream.by_ref() {
+                let minibatch = minibatch?;
+                let sample = &minibatch.sample;
+                let input = profile.time_compute(Phase::FeatureFetch, || {
+                    features.gather_rows(sample.input_vertices())
+                })?;
+                let labels = self.batch_labels(&sample.batch);
+                let step_loss = profile.time_compute(Phase::Propagation, || -> Result<f64> {
+                    let (l, _, grads) = model.loss_and_gradients(sample, &input, &labels)?;
+                    optimizer.step(model.parameters_mut(), &grads)?;
+                    Ok(l)
+                })?;
+                loss.push(step_loss);
+            }
+            profile.merge_sum(stream.sampling_profile());
+            let comm = *stream.comm_stats();
+            report.epochs.push(EpochStats { epoch, profile, comm, mean_loss: loss.mean() });
+        }
+
+        if self.config.evaluate {
+            report.test_accuracy = Some(self.evaluate_model(&model, &self.dataset.test_set)?);
+        }
+        Ok(report)
+    }
+
+    /// Bulk-synchronous data-parallel training (Figure 3) for distributed
+    /// backends.
+    fn train_distributed(&self, feature_dim: usize, num_classes: usize) -> Result<TrainingReport> {
+        let runtime = self.backend.runtime().expect("distributed path");
+        let dist = self.backend.dist().ok_or_else(|| {
+            GnnError::InvalidConfig("distributed backend without DistConfig".into())
+        })?;
+        let features = self.dataset.graph.features().expect("validated");
+        let p = runtime.size();
+        let replication = self.config.feature_replication.unwrap_or(dist.replication_c).max(1);
+        let grid = ProcessGrid::new(p, replication)?;
+        let config = self.config;
+
+        // Per-epoch plans are identical on every rank.
+        let mut plans = Vec::with_capacity(config.epochs);
+        for epoch in 0..config.epochs {
+            plans.push(self.plan(epoch)?);
+        }
+        let plans = &plans;
+
+        type RankEpochs = (Vec<(PhaseProfile, CommStats, f64)>, Vec<DenseMatrix>);
+        let per_rank: Vec<Result<RankEpochs>> = runtime
+            .run(|comm| -> Result<RankEpochs> {
+                let rank = comm.rank();
+                let (store, fetch_group) = if config.replicate_features {
+                    let (my_row, _) = grid.coords(rank);
+                    let store = FeatureStore::from_full(features, grid.rows(), my_row)?;
+                    let group = Group::new(&grid.col_ranks(rank))?;
+                    (store, group)
+                } else {
+                    let store = FeatureStore::from_full(features, p, rank)?;
+                    (store, comm.world())
+                };
+
+                let mut init_rng = StdRng::seed_from_u64(config.seed);
+                let mut model = SageModel::new(
+                    feature_dim,
+                    config.hidden_dim,
+                    num_classes,
+                    self.sampler.num_layers(),
+                    &mut init_rng,
+                )?;
+                let mut optimizer = Sgd::new(config.learning_rate);
+
+                let mut epochs = Vec::with_capacity(config.epochs);
+                for (epoch, plan) in plans.iter().enumerate() {
+                    let mut profile = PhaseProfile::new();
+                    let mut loss = RunningMean::new();
+                    let comm_start = comm.stats();
+                    let epoch_seed = self.epoch_sample_seed(epoch);
+
+                    for (gi, group) in plan.batches().chunks(config.bulk_size).enumerate() {
+                        // --- Phase 1: sampling through the backend, inside
+                        // the SPMD region.
+                        let shard = self
+                            .backend
+                            .sample_group_on_rank(
+                                comm,
+                                &*self.sampler,
+                                self.dataset.graph.adjacency(),
+                                group,
+                                group_seed(epoch_seed, gi),
+                            )
+                            .map_err(GnnError::Sampling)?;
+                        profile.merge_sum(&shard.profile);
+                        let my_samples = shard.samples;
+
+                        // --- Phases 2 and 3, bulk synchronous: every rank
+                        // takes the same number of steps so the collectives
+                        // stay matched.
+                        let steps = comm.allreduce(my_samples.len(), |a, b| *a.max(b))?;
+                        for step in 0..steps {
+                            let sample = my_samples.get(step).map(|(_, mb)| mb);
+
+                            let fetch_start = std::time::Instant::now();
+                            let comm_before = comm.stats().modeled_time;
+                            let wanted: Vec<usize> =
+                                sample.map(|s| s.input_vertices().to_vec()).unwrap_or_default();
+                            let input = store.fetch(comm, &fetch_group, &wanted)?;
+                            profile.add_compute(
+                                Phase::FeatureFetch,
+                                fetch_start.elapsed().as_secs_f64(),
+                            );
+                            profile.add_comm(
+                                Phase::FeatureFetch,
+                                comm.stats().modeled_time - comm_before,
+                            );
+
+                            let prop_start = std::time::Instant::now();
+                            let comm_before = comm.stats().modeled_time;
+                            let (local_loss, grads) = if let Some(sample) = sample {
+                                let labels = self.batch_labels(&sample.batch);
+                                let (l, _, grads) =
+                                    model.loss_and_gradients(sample, &input, &labels)?;
+                                (Some(l), SageModel::flatten_grads(&grads))
+                            } else {
+                                (None, vec![0.0; model.num_parameters()])
+                            };
+                            let contributing = comm
+                                .allreduce(usize::from(local_loss.is_some()), |a, b| a + b)?
+                                .max(1);
+                            let summed = comm.allreduce(grads, |a, b| {
+                                a.iter().zip(b).map(|(x, y)| x + y).collect()
+                            })?;
+                            let averaged: Vec<f64> =
+                                summed.into_iter().map(|g| g / contributing as f64).collect();
+                            let grads = model.unflatten_grads(&averaged)?;
+                            optimizer.step(model.parameters_mut(), &grads)?;
+                            if let Some(l) = local_loss {
+                                loss.push(l);
+                            }
+                            profile.add_compute(
+                                Phase::Propagation,
+                                prop_start.elapsed().as_secs_f64(),
+                            );
+                            profile.add_comm(
+                                Phase::Propagation,
+                                comm.stats().modeled_time - comm_before,
+                            );
+                        }
+                    }
+
+                    let mut comm_delta = comm.stats();
+                    comm_delta.messages -= comm_start.messages;
+                    comm_delta.words_sent -= comm_start.words_sent;
+                    comm_delta.modeled_time -= comm_start.modeled_time;
+                    epochs.push((profile, comm_delta, loss.mean()));
+                }
+                let params = model.parameters().to_vec();
+                Ok((epochs, params))
+            })?
+            .into_iter()
+            .map(|o| o.value)
+            .collect();
+
+        let mut per_rank_ok = Vec::with_capacity(per_rank.len());
+        for r in per_rank {
+            per_rank_ok.push(r?);
+        }
+
+        // Aggregate across ranks: max for times, sum for volumes, mean of the
+        // per-rank mean losses.
+        let mut report = TrainingReport::default();
+        for epoch in 0..config.epochs {
+            let mut profile = PhaseProfile::new();
+            let mut comm = CommStats::default();
+            let mut loss = RunningMean::new();
+            for (rank_epochs, _) in &per_rank_ok {
+                let (p_, c_, l_) = &rank_epochs[epoch];
+                profile.merge_max(p_);
+                comm.merge(c_);
+                if *l_ > 0.0 {
+                    loss.push(*l_);
+                }
+            }
+            report.epochs.push(EpochStats { epoch, profile, comm, mean_loss: loss.mean() });
+        }
+
+        if self.config.evaluate {
+            // All ranks hold identical models (same init, all-reduced
+            // gradients); rebuild rank 0's and evaluate locally.
+            let mut eval_rng = StdRng::seed_from_u64(config.seed);
+            let mut model = SageModel::new(
+                feature_dim,
+                config.hidden_dim,
+                num_classes,
+                self.sampler.num_layers(),
+                &mut eval_rng,
+            )?;
+            let trained = &per_rank_ok[0].1;
+            for (param, value) in model.parameters_mut().iter_mut().zip(trained) {
+                *param = value.clone();
+            }
+            report.test_accuracy = Some(self.evaluate_model(&model, &self.dataset.test_set)?);
+        }
+        Ok(report)
+    }
+
+    /// Evaluates classification accuracy on `vertices` by sampling their
+    /// neighborhoods with the session's sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::InvalidConfig`] for an empty vertex set or missing
+    /// features/labels.
+    pub fn evaluate_model(&self, model: &SageModel, vertices: &[usize]) -> Result<f64> {
+        if vertices.is_empty() {
+            return Err(GnnError::InvalidConfig("evaluation set is empty".into()));
+        }
+        let features = self
+            .dataset
+            .graph
+            .features()
+            .ok_or_else(|| GnnError::InvalidConfig("dataset has no feature matrix".into()))?;
+        let labels = self
+            .dataset
+            .graph
+            .labels()
+            .ok_or_else(|| GnnError::InvalidConfig("dataset has no labels".into()))?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0xE7A1));
+        let mut predictions = Vec::with_capacity(vertices.len());
+        let mut truth = Vec::with_capacity(vertices.len());
+        for chunk in vertices.chunks(self.config.batch_size) {
+            let sample =
+                self.sampler.sample_minibatch(self.dataset.graph.adjacency(), chunk, &mut rng)?;
+            let input = features.gather_rows(sample.input_vertices())?;
+            predictions.extend(model.predict(&sample, &input)?);
+            truth.extend(chunk.iter().map(|&v| labels[v]));
+        }
+        accuracy(&predictions, &truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmbs_graph::datasets::{build_dataset, DatasetConfig};
+    use dmbs_sampling::{
+        BulkSamplerConfig, DistConfig, GraphSageSampler, LocalBackend, Partitioned1p5dBackend,
+        ReplicatedBackend,
+    };
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        let mut cfg = DatasetConfig::products_like(7); // 128 vertices
+        cfg.feature_dim = 16;
+        cfg.num_classes = 4;
+        cfg.train_fraction = 0.5;
+        cfg.homophily = 0.6;
+        build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    fn local_session(seed: u64) -> TrainingSession<GraphSageSampler, LocalBackend> {
+        TrainingSession::builder()
+            .dataset(tiny_dataset(seed))
+            .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+            .backend(LocalBackend::new(BulkSamplerConfig::new(16, 4)).unwrap())
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(3)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_components_and_positive_values() {
+        let b: SessionBuilder<GraphSageSampler, LocalBackend> = TrainingSession::builder();
+        assert!(b.build().is_err());
+        let err = TrainingSession::<GraphSageSampler, LocalBackend>::builder()
+            .dataset(tiny_dataset(1))
+            .sampler(GraphSageSampler::new(vec![2]))
+            .backend(LocalBackend::new(BulkSamplerConfig::new(8, 2)).unwrap())
+            .epochs(0)
+            .build();
+        assert!(err.is_err());
+        let err = TrainingSession::<GraphSageSampler, LocalBackend>::builder()
+            .dataset(tiny_dataset(1))
+            .sampler(GraphSageSampler::new(vec![2]))
+            .backend(LocalBackend::new(BulkSamplerConfig::new(8, 2)).unwrap())
+            .bulk(0)
+            .build();
+        assert!(err.is_err());
+        // A session bulk k larger than the backend's would make the stream
+        // and the distributed pipeline draw different samples: rejected.
+        let err = TrainingSession::<GraphSageSampler, LocalBackend>::builder()
+            .dataset(tiny_dataset(1))
+            .sampler(GraphSageSampler::new(vec![2]))
+            .backend(LocalBackend::new(BulkSamplerConfig::new(8, 2)).unwrap())
+            .bulk(8)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn stream_yields_every_batch_in_plan_order() {
+        let session = local_session(1);
+        let plan = session.plan(0).unwrap();
+        let minibatches: Vec<Minibatch> =
+            session.stream(0).unwrap().collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(minibatches.len(), plan.num_batches());
+        for (i, mb) in minibatches.iter().enumerate() {
+            assert_eq!(mb.index, i);
+            assert_eq!(mb.epoch, 0);
+            assert_eq!(mb.sample.batch.as_slice(), plan.batch(i));
+            assert_eq!(mb.group, i / 4);
+        }
+    }
+
+    #[test]
+    fn stream_matches_eager_sampling_exactly() {
+        // Double-buffered prefetch must not change what is sampled.
+        let session = local_session(2);
+        for epoch in 0..2 {
+            let eager = session.sample_epoch_eager(epoch).unwrap();
+            let streamed: Vec<Minibatch> =
+                session.stream(epoch).unwrap().collect::<Result<Vec<_>>>().unwrap();
+            assert_eq!(streamed.len(), eager.num_batches());
+            for (mb, want) in streamed.iter().zip(&eager.minibatches) {
+                assert_eq!(&mb.sample, want);
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_stream_midway_shuts_down_worker() {
+        let session = local_session(3);
+        let mut stream = session.stream(0).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.index, 0);
+        drop(stream); // must not hang or leak the worker
+    }
+
+    #[test]
+    fn local_training_learns_above_chance() {
+        let session = local_session(4);
+        let report = session.train().unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        assert!(report.epochs.last().unwrap().mean_loss < report.epochs[0].mean_loss);
+        let accuracy = report.test_accuracy.unwrap();
+        let chance = 1.0 / session.dataset().graph.num_classes() as f64;
+        assert!(accuracy > chance * 1.5, "accuracy {accuracy} vs chance {chance}");
+        let e = &report.epochs[0];
+        assert!(e.sampling_time() > 0.0);
+        assert!(e.feature_fetch_time() > 0.0);
+        assert!(e.propagation_time() > 0.0);
+    }
+
+    #[test]
+    fn replicated_training_runs_all_phases_and_communicates() {
+        let session = TrainingSession::builder()
+            .dataset(tiny_dataset(5))
+            .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+            .backend(
+                ReplicatedBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(11)
+            .build()
+            .unwrap();
+        let report = session.train().unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        for e in &report.epochs {
+            assert!(e.sampling_time() > 0.0);
+            assert!(e.feature_fetch_time() > 0.0);
+            assert!(e.propagation_time() > 0.0);
+            assert!(e.comm.messages > 0);
+            assert!(e.mean_loss.is_finite());
+        }
+        assert!(report.test_accuracy.is_some());
+    }
+
+    #[test]
+    fn partitioned_backend_also_drives_training() {
+        // The same session API trains through the graph-partitioned strategy.
+        let session = TrainingSession::builder()
+            .dataset(tiny_dataset(6))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(
+                Partitioned1p5dBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(1)
+            .seed(13)
+            .build()
+            .unwrap();
+        let report = session.train().unwrap();
+        assert_eq!(report.epochs.len(), 1);
+        let e = &report.epochs[0];
+        assert!(e.sampling_time() > 0.0);
+        assert!(e.mean_loss.is_finite());
+        // Partitioned sampling really communicates.
+        assert!(e.comm.messages > 0);
+    }
+
+    #[test]
+    fn norep_moves_more_feature_data() {
+        let dataset = Arc::new(tiny_dataset(7));
+        let backend =
+            ReplicatedBackend::new(DistConfig::new(4, 4, BulkSamplerConfig::new(16, 4))).unwrap();
+        let base = TrainingSession::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+            .backend(backend.clone())
+            .hidden_dim(16)
+            .epochs(1)
+            .seed(9);
+        let rep = base.clone().build().unwrap().train().unwrap();
+        let norep = base.without_feature_replication().build().unwrap().train().unwrap();
+        assert!(norep.epochs[0].comm.words_sent > rep.epochs[0].comm.words_sent);
+    }
+}

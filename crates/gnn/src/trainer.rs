@@ -13,16 +13,16 @@
 //!    distributed driver).
 
 use crate::error::GnnError;
-use crate::features::FeatureStore;
-use crate::metrics::{accuracy, RunningMean};
+use crate::metrics::accuracy;
 use crate::model::SageModel;
-use crate::optim::{Optimizer, Sgd};
+use crate::session::TrainingSession;
 use crate::Result;
-use dmbs_comm::{CommStats, Group, Phase, PhaseProfile, ProcessGrid, Runtime};
+use dmbs_comm::{CommStats, Phase, PhaseProfile, Runtime};
 use dmbs_graph::datasets::Dataset;
-use dmbs_graph::minibatch::MinibatchPlan;
 use dmbs_sampling::baseline::PerVertexSageSampler;
-use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler, MinibatchSample, Sampler};
+use dmbs_sampling::{
+    BulkSamplerConfig, DistConfig, GraphSageSampler, LocalBackend, ReplicatedBackend, Sampler,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -129,90 +129,51 @@ pub struct TrainingReport {
     pub test_accuracy: Option<f64>,
 }
 
-fn dataset_dims(dataset: &Dataset) -> Result<(usize, usize)> {
-    let features = dataset
-        .graph
-        .features()
-        .ok_or_else(|| GnnError::InvalidConfig("dataset has no feature matrix".into()))?;
-    if dataset.graph.labels().is_none() {
-        return Err(GnnError::InvalidConfig("dataset has no labels".into()));
-    }
-    Ok((features.cols(), dataset.graph.num_classes()))
-}
-
-fn batch_labels(dataset: &Dataset, batch: &[usize]) -> Vec<usize> {
-    let labels = dataset.graph.labels().expect("validated");
-    batch.iter().map(|&v| labels[v]).collect()
-}
-
 /// Trains a GraphSAGE model on a single device with the matrix-based bulk
 /// sampler (or the per-vertex baseline), evaluating test accuracy after the
 /// final epoch.  This is the driver behind the §8.1.3 accuracy experiment.
+///
+/// Deprecated wrapper: builds a [`TrainingSession`] with a
+/// [`LocalBackend`] and runs its streaming training loop, so bulk sampling
+/// now overlaps training (§6 pipelining).
 ///
 /// # Errors
 ///
 /// Returns an error for invalid configurations, missing features/labels or
 /// failed sampling/propagation.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `session::TrainingSession` with a `LocalBackend` instead"
+)]
 pub fn train_single_device(
     dataset: &Dataset,
     config: &TrainingConfig,
     sampler_choice: SamplerChoice,
 ) -> Result<TrainingReport> {
     config.validate()?;
-    let (feature_dim, num_classes) = dataset_dims(dataset)?;
-    let features = dataset.graph.features().expect("validated");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut model =
-        SageModel::new(feature_dim, config.hidden_dim, num_classes, config.fanouts.len(), &mut rng)?;
-    let mut optimizer = Sgd::new(config.learning_rate);
-
-    let matrix_sampler = GraphSageSampler::new(config.fanouts.clone()).with_self_loops();
-    let baseline_sampler = PerVertexSageSampler::new(config.fanouts.clone()).with_self_loops();
-
-    let mut report = TrainingReport::default();
-    for epoch in 0..config.epochs {
-        let mut epoch_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1 + epoch as u64));
-        let plan = MinibatchPlan::new(&dataset.train_set, config.batch_size, &mut epoch_rng)?;
-        let mut profile = PhaseProfile::new();
-        let mut loss = RunningMean::new();
-
-        for group in plan.bulk_groups(config.bulk_size) {
-            let bulk_config = BulkSamplerConfig::new(config.batch_size, group.len());
-            let batches: Vec<Vec<usize>> = group.to_vec();
-            let output = match sampler_choice {
-                SamplerChoice::MatrixSage => {
-                    matrix_sampler.sample_bulk(dataset.graph.adjacency(), &batches, &bulk_config, &mut epoch_rng)?
-                }
-                SamplerChoice::PerVertexSage => {
-                    baseline_sampler.sample_bulk(dataset.graph.adjacency(), &batches, &bulk_config, &mut epoch_rng)?
-                }
-            };
-            profile.merge_sum(&output.profile);
-
-            for sample in &output.minibatches {
-                let input = profile.time_compute(Phase::FeatureFetch, || {
-                    features.gather_rows(sample.input_vertices())
-                })?;
-                let labels = batch_labels(dataset, &sample.batch);
-                let step_loss = profile.time_compute(Phase::Propagation, || -> Result<f64> {
-                    let (l, _, grads) = model.loss_and_gradients(sample, &input, &labels)?;
-                    optimizer.step(model.parameters_mut(), &grads)?;
-                    Ok(l)
-                })?;
-                loss.push(step_loss);
-            }
-        }
-        report.epochs.push(EpochStats {
-            epoch,
-            profile,
-            comm: CommStats::default(),
-            mean_loss: loss.mean(),
-        });
+    let backend = LocalBackend::new(BulkSamplerConfig::new(config.batch_size, config.bulk_size))?;
+    match sampler_choice {
+        SamplerChoice::MatrixSage => TrainingSession::builder()
+            .dataset(dataset.clone())
+            .sampler(GraphSageSampler::new(config.fanouts.clone()).with_self_loops())
+            .backend(backend)
+            .hidden_dim(config.hidden_dim)
+            .learning_rate(config.learning_rate)
+            .epochs(config.epochs)
+            .seed(config.seed)
+            .build()?
+            .train(),
+        SamplerChoice::PerVertexSage => TrainingSession::builder()
+            .dataset(dataset.clone())
+            .sampler(PerVertexSageSampler::new(config.fanouts.clone()).with_self_loops())
+            .backend(backend)
+            .hidden_dim(config.hidden_dim)
+            .learning_rate(config.learning_rate)
+            .epochs(config.epochs)
+            .seed(config.seed)
+            .build()?
+            .train(),
     }
-
-    let eval = evaluate(&model, dataset, &dataset.test_set, config)?;
-    report.test_accuracy = Some(eval);
-    Ok(report)
 }
 
 /// Evaluates classification accuracy of `model` on the given vertices by
@@ -272,6 +233,10 @@ pub fn evaluate(
 ///
 /// Returns an error for invalid configurations, missing features/labels or
 /// failed collectives.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `session::TrainingSession` with a `ReplicatedBackend` instead"
+)]
 pub fn train_distributed(
     runtime: &Runtime,
     dataset: &Dataset,
@@ -281,165 +246,49 @@ pub fn train_distributed(
     sampler_choice: SamplerChoice,
 ) -> Result<Vec<EpochStats>> {
     config.validate()?;
-    let (feature_dim, num_classes) = dataset_dims(dataset)?;
-    let features = dataset.graph.features().expect("validated");
-    let grid = ProcessGrid::new(runtime.size(), replication)?;
-    let p = runtime.size();
-
-    let per_rank: Vec<Result<Vec<(PhaseProfile, CommStats, f64)>>> = runtime
-        .run(|comm| -> Result<Vec<(PhaseProfile, CommStats, f64)>> {
-            let rank = comm.rank();
-            // Feature store: 1.5D blocks (one per process row) or NoRep (one
-            // per rank).
-            let (store, fetch_group) = if replicate_features {
-                let (my_row, _) = grid.coords(rank);
-                let store = FeatureStore::from_full(features, grid.rows(), my_row)?;
-                let group = Group::new(&grid.col_ranks(rank))?;
-                (store, group)
-            } else {
-                let store = FeatureStore::from_full(features, p, rank)?;
-                (store, comm.world())
-            };
-
-            // Identical model on every rank (same seed).
-            let mut init_rng = StdRng::seed_from_u64(config.seed);
-            let mut model = SageModel::new(
-                feature_dim,
-                config.hidden_dim,
-                num_classes,
-                config.fanouts.len(),
-                &mut init_rng,
-            )?;
-            let mut optimizer = Sgd::new(config.learning_rate);
-            let matrix_sampler = GraphSageSampler::new(config.fanouts.clone()).with_self_loops();
-            let baseline_sampler =
-                PerVertexSageSampler::new(config.fanouts.clone()).with_self_loops();
-
-            let mut epochs = Vec::with_capacity(config.epochs);
-            for epoch in 0..config.epochs {
-                // Same shuffle on every rank.
-                let mut plan_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1 + epoch as u64));
-                let plan = MinibatchPlan::new(&dataset.train_set, config.batch_size, &mut plan_rng)?;
-                let mut profile = PhaseProfile::new();
-                let mut loss = RunningMean::new();
-                let comm_start = comm.stats();
-
-                for (group_idx, group) in plan.bulk_groups(config.bulk_size).iter().enumerate() {
-                    // Round-robin ownership of the bulk group's minibatches.
-                    let my_batches: Vec<Vec<usize>> = group
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| i % p == rank)
-                        .map(|(_, b)| b.clone())
-                        .collect();
-
-                    // --- Phase 1: sampling (graph replicated, no communication).
-                    let my_samples: Vec<MinibatchSample> = if my_batches.is_empty() {
-                        Vec::new()
-                    } else {
-                        let mut sample_rng = StdRng::seed_from_u64(
-                            config
-                                .seed
-                                .wrapping_add(((epoch * 7919 + group_idx) as u64) << 8)
-                                .wrapping_add(rank as u64),
-                        );
-                        let bulk_config = BulkSamplerConfig::new(config.batch_size, my_batches.len());
-                        let out = match sampler_choice {
-                            SamplerChoice::MatrixSage => matrix_sampler.sample_bulk(
-                                dataset.graph.adjacency(),
-                                &my_batches,
-                                &bulk_config,
-                                &mut sample_rng,
-                            )?,
-                            SamplerChoice::PerVertexSage => baseline_sampler.sample_bulk(
-                                dataset.graph.adjacency(),
-                                &my_batches,
-                                &bulk_config,
-                                &mut sample_rng,
-                            )?,
-                        };
-                        profile.merge_sum(&out.profile);
-                        out.minibatches
-                    };
-
-                    // --- Phases 2 and 3, bulk synchronous: every rank takes the
-                    // same number of steps so the collectives stay matched.
-                    let steps = group.len().div_ceil(p);
-                    for step in 0..steps {
-                        let sample = my_samples.get(step);
-
-                        // Feature fetching (all ranks participate, possibly with
-                        // an empty request).
-                        let fetch_start = std::time::Instant::now();
-                        let comm_before = comm.stats().modeled_time;
-                        let wanted: Vec<usize> =
-                            sample.map(|s| s.input_vertices().to_vec()).unwrap_or_default();
-                        let input = store.fetch(comm, &fetch_group, &wanted)?;
-                        profile.add_compute(Phase::FeatureFetch, fetch_start.elapsed().as_secs_f64());
-                        profile.add_comm(Phase::FeatureFetch, comm.stats().modeled_time - comm_before);
-
-                        // Propagation + data-parallel gradient all-reduce.
-                        let prop_start = std::time::Instant::now();
-                        let comm_before = comm.stats().modeled_time;
-                        let (local_loss, grads) = if let Some(sample) = sample {
-                            let labels = batch_labels(dataset, &sample.batch);
-                            let (l, _, grads) = model.loss_and_gradients(sample, &input, &labels)?;
-                            (Some(l), SageModel::flatten_grads(&grads))
-                        } else {
-                            (None, vec![0.0; model.num_parameters()])
-                        };
-                        let summed = comm.allreduce(grads, |a, b| {
-                            a.iter().zip(b).map(|(x, y)| x + y).collect()
-                        })?;
-                        let contributors = group.len().saturating_sub(step * p).min(p).max(1);
-                        let averaged: Vec<f64> =
-                            summed.into_iter().map(|g| g / contributors as f64).collect();
-                        let grads = model.unflatten_grads(&averaged)?;
-                        optimizer.step(model.parameters_mut(), &grads)?;
-                        if let Some(l) = local_loss {
-                            loss.push(l);
-                        }
-                        profile.add_compute(Phase::Propagation, prop_start.elapsed().as_secs_f64());
-                        profile.add_comm(Phase::Propagation, comm.stats().modeled_time - comm_before);
-                    }
-                }
-
-                let mut comm_delta = comm.stats();
-                comm_delta.messages -= comm_start.messages;
-                comm_delta.words_sent -= comm_start.words_sent;
-                comm_delta.modeled_time -= comm_start.modeled_time;
-                epochs.push((profile, comm_delta, loss.mean()));
-            }
-            Ok(epochs)
-        })?
-        .into_iter()
-        .map(|o| o.value)
-        .collect();
-
-    // Aggregate across ranks: max for times, sum for volumes, mean for loss.
-    let mut per_rank_ok = Vec::with_capacity(per_rank.len());
-    for r in per_rank {
-        per_rank_ok.push(r?);
-    }
-    let mut epochs = Vec::with_capacity(config.epochs);
-    for epoch in 0..config.epochs {
-        let mut profile = PhaseProfile::new();
-        let mut comm = CommStats::default();
-        let mut loss = RunningMean::new();
-        for rank_epochs in &per_rank_ok {
-            let (p_, c_, l_) = &rank_epochs[epoch];
-            profile.merge_max(p_);
-            comm.merge(c_);
-            if *l_ > 0.0 {
-                loss.push(*l_);
-            }
+    let dist = DistConfig::new(
+        runtime.size(),
+        replication,
+        BulkSamplerConfig::new(config.batch_size, config.bulk_size),
+    );
+    let backend = ReplicatedBackend::with_runtime(runtime.clone(), dist)?;
+    let report = match sampler_choice {
+        SamplerChoice::MatrixSage => {
+            let builder = TrainingSession::builder()
+                .dataset(dataset.clone())
+                .sampler(GraphSageSampler::new(config.fanouts.clone()).with_self_loops())
+                .backend(backend)
+                .partition(replication)
+                .hidden_dim(config.hidden_dim)
+                .learning_rate(config.learning_rate)
+                .epochs(config.epochs)
+                .seed(config.seed)
+                .without_evaluation();
+            let builder =
+                if replicate_features { builder } else { builder.without_feature_replication() };
+            builder.build()?.train()?
         }
-        epochs.push(EpochStats { epoch, profile, comm, mean_loss: loss.mean() });
-    }
-    Ok(epochs)
+        SamplerChoice::PerVertexSage => {
+            let builder = TrainingSession::builder()
+                .dataset(dataset.clone())
+                .sampler(PerVertexSageSampler::new(config.fanouts.clone()).with_self_loops())
+                .backend(backend)
+                .partition(replication)
+                .hidden_dim(config.hidden_dim)
+                .learning_rate(config.learning_rate)
+                .epochs(config.epochs)
+                .seed(config.seed)
+                .without_evaluation();
+            let builder =
+                if replicate_features { builder } else { builder.without_feature_replication() };
+            builder.build()?.train()?
+        }
+    };
+    Ok(report.epochs)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dmbs_graph::datasets::{build_dataset, DatasetConfig};
@@ -503,7 +352,8 @@ mod tests {
         let dataset = tiny_dataset(2);
         let config = tiny_config();
         let matrix = train_single_device(&dataset, &config, SamplerChoice::MatrixSage).unwrap();
-        let pervertex = train_single_device(&dataset, &config, SamplerChoice::PerVertexSage).unwrap();
+        let pervertex =
+            train_single_device(&dataset, &config, SamplerChoice::PerVertexSage).unwrap();
         let a = matrix.test_accuracy.unwrap();
         let b = pervertex.test_accuracy.unwrap();
         assert!((a - b).abs() < 0.2, "matrix {a} vs per-vertex {b} accuracy diverged");
@@ -512,7 +362,8 @@ mod tests {
     #[test]
     fn single_device_requires_features_and_labels() {
         let mut dataset = tiny_dataset(3);
-        dataset.graph = dmbs_graph::Graph::from_adjacency(dataset.graph.adjacency().clone()).unwrap();
+        dataset.graph =
+            dmbs_graph::Graph::from_adjacency(dataset.graph.adjacency().clone()).unwrap();
         assert!(train_single_device(&dataset, &tiny_config(), SamplerChoice::MatrixSage).is_err());
     }
 
@@ -522,7 +373,9 @@ mod tests {
         let mut config = tiny_config();
         config.epochs = 2;
         let runtime = Runtime::new(4).unwrap();
-        let epochs = train_distributed(&runtime, &dataset, &config, 2, true, SamplerChoice::MatrixSage).unwrap();
+        let epochs =
+            train_distributed(&runtime, &dataset, &config, 2, true, SamplerChoice::MatrixSage)
+                .unwrap();
         assert_eq!(epochs.len(), 2);
         for e in &epochs {
             assert!(e.sampling_time() > 0.0);
@@ -541,8 +394,12 @@ mod tests {
         let mut config = tiny_config();
         config.epochs = 1;
         let runtime = Runtime::new(4).unwrap();
-        let rep = train_distributed(&runtime, &dataset, &config, 4, true, SamplerChoice::MatrixSage).unwrap();
-        let norep = train_distributed(&runtime, &dataset, &config, 4, false, SamplerChoice::MatrixSage).unwrap();
+        let rep =
+            train_distributed(&runtime, &dataset, &config, 4, true, SamplerChoice::MatrixSage)
+                .unwrap();
+        let norep =
+            train_distributed(&runtime, &dataset, &config, 4, false, SamplerChoice::MatrixSage)
+                .unwrap();
         // With c = p the feature matrix is fully replicated per rank's process
         // row... (c = 4 on 4 ranks = one process row holding everything), so
         // feature fetching ships nothing; NoRep must ship feature rows.
@@ -553,6 +410,14 @@ mod tests {
     fn distributed_rejects_bad_replication() {
         let dataset = tiny_dataset(6);
         let runtime = Runtime::new(4).unwrap();
-        assert!(train_distributed(&runtime, &dataset, &tiny_config(), 3, true, SamplerChoice::MatrixSage).is_err());
+        assert!(train_distributed(
+            &runtime,
+            &dataset,
+            &tiny_config(),
+            3,
+            true,
+            SamplerChoice::MatrixSage
+        )
+        .is_err());
     }
 }

@@ -190,7 +190,10 @@ impl Dataset {
 ///
 /// Returns [`GraphError::InvalidConfig`] for degenerate configurations
 /// (scale 0, zero classes, train fraction outside `(0, 1]`).
-pub fn build_dataset<R: Rng + ?Sized>(config: &DatasetConfig, rng: &mut R) -> Result<Dataset, GraphError> {
+pub fn build_dataset<R: Rng + ?Sized>(
+    config: &DatasetConfig,
+    rng: &mut R,
+) -> Result<Dataset, GraphError> {
     if config.num_classes == 0 {
         return Err(GraphError::InvalidConfig("num_classes must be positive".into()));
     }
@@ -240,11 +243,10 @@ pub fn build_dataset<R: Rng + ?Sized>(config: &DatasetConfig, rng: &mut R) -> Re
     // Features: class centroid pattern + noise, or pure noise.
     let mut features = DenseMatrix::zeros(n, config.feature_dim);
     let signal = if config.kind.has_informative_features() { 1.0 } else { 0.0 };
-    for v in 0..n {
-        let class = labels[v];
+    for (v, &class) in labels.iter().enumerate() {
         let row = features.row_mut(v);
         for (j, value) in row.iter_mut().enumerate() {
-            let centroid = if (j + class) % config.num_classes == 0 { 1.0 } else { -0.1 };
+            let centroid = if (j + class).is_multiple_of(config.num_classes) { 1.0 } else { -0.1 };
             let noise: f64 = rng.gen_range(-0.5..0.5);
             *value = signal * centroid * (1.0 + config.homophily) + noise;
         }

@@ -269,7 +269,9 @@ pub fn cycle(n: usize) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidConfig`] if `n == 0`.
 pub fn complete(n: usize) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidConfig("complete graph requires at least one vertex".into()));
+        return Err(GraphError::InvalidConfig(
+            "complete graph requires at least one vertex".into(),
+        ));
     }
     let mut edges = Vec::with_capacity(n * (n - 1));
     for u in 0..n {
@@ -360,9 +362,12 @@ mod tests {
     #[test]
     fn erdos_renyi_invalid() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(erdos_renyi(&ErdosRenyiConfig { num_vertices: 0, average_degree: 1.0 }, &mut rng).is_err());
-        assert!(erdos_renyi(&ErdosRenyiConfig { num_vertices: 4, average_degree: 4.0 }, &mut rng).is_err());
-        assert!(erdos_renyi(&ErdosRenyiConfig { num_vertices: 4, average_degree: -1.0 }, &mut rng).is_err());
+        assert!(erdos_renyi(&ErdosRenyiConfig { num_vertices: 0, average_degree: 1.0 }, &mut rng)
+            .is_err());
+        assert!(erdos_renyi(&ErdosRenyiConfig { num_vertices: 4, average_degree: 4.0 }, &mut rng)
+            .is_err());
+        assert!(erdos_renyi(&ErdosRenyiConfig { num_vertices: 4, average_degree: -1.0 }, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -377,9 +382,21 @@ mod tests {
     #[test]
     fn chung_lu_invalid() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(chung_lu(&ChungLuConfig { num_vertices: 0, average_degree: 1.0, exponent: 2.0 }, &mut rng).is_err());
-        assert!(chung_lu(&ChungLuConfig { num_vertices: 4, average_degree: 0.0, exponent: 2.0 }, &mut rng).is_err());
-        assert!(chung_lu(&ChungLuConfig { num_vertices: 4, average_degree: 1.0, exponent: 1.0 }, &mut rng).is_err());
+        assert!(chung_lu(
+            &ChungLuConfig { num_vertices: 0, average_degree: 1.0, exponent: 2.0 },
+            &mut rng
+        )
+        .is_err());
+        assert!(chung_lu(
+            &ChungLuConfig { num_vertices: 4, average_degree: 0.0, exponent: 2.0 },
+            &mut rng
+        )
+        .is_err());
+        assert!(chung_lu(
+            &ChungLuConfig { num_vertices: 4, average_degree: 1.0, exponent: 1.0 },
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]

@@ -92,10 +92,7 @@ impl Graph {
         let mut coo = CooMatrix::with_capacity(num_vertices, num_vertices, edges.len());
         for &(u, v) in edges {
             if u >= num_vertices || v >= num_vertices {
-                return Err(GraphError::VertexOutOfRange {
-                    vertex: u.max(v),
-                    num_vertices,
-                });
+                return Err(GraphError::VertexOutOfRange { vertex: u.max(v), num_vertices });
             }
             coo.push(u, v, 1.0)?;
         }
@@ -145,7 +142,11 @@ impl Graph {
     ///
     /// Returns [`GraphError::InvalidConfig`] if the label count does not match
     /// the number of vertices or `num_classes == 0`.
-    pub fn with_labels(mut self, labels: Vec<usize>, num_classes: usize) -> Result<Self, GraphError> {
+    pub fn with_labels(
+        mut self,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, GraphError> {
         if labels.len() != self.num_vertices() {
             return Err(GraphError::InvalidConfig(format!(
                 "label vector has {} entries but the graph has {} vertices",

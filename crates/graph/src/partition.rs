@@ -222,7 +222,7 @@ impl OneFiveDPartition {
         if p == 0 || c == 0 {
             return Err(GraphError::InvalidConfig("p and c must be positive".into()));
         }
-        if p % c != 0 {
+        if !p.is_multiple_of(c) {
             return Err(GraphError::InvalidConfig(format!(
                 "replication factor {c} must divide the number of processes {p}"
             )));
@@ -398,7 +398,8 @@ mod tests {
 
     #[test]
     fn split_csr_preserves_rows() {
-        let coo = CooMatrix::from_triples(6, 4, vec![(0, 1, 1.0), (3, 2, 2.0), (5, 0, 3.0)]).unwrap();
+        let coo =
+            CooMatrix::from_triples(6, 4, vec![(0, 1, 1.0), (3, 2, 2.0), (5, 0, 3.0)]).unwrap();
         let m = CsrMatrix::from_coo(&coo);
         let part = OneDPartition::new(6, 3).unwrap();
         let blocks = part.split_csr(&m).unwrap();
@@ -411,9 +412,7 @@ mod tests {
 
     #[test]
     fn split_dense_preserves_rows() {
-        let d = DenseMatrix::from_rows(&[
-            vec![1.0], vec![2.0], vec![3.0], vec![4.0],
-        ]).unwrap();
+        let d = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
         let part = OneDPartition::new(4, 2).unwrap();
         let blocks = part.split_dense(&d).unwrap();
         assert_eq!(blocks[1].get(0, 0), 3.0);

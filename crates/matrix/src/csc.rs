@@ -42,13 +42,7 @@ pub struct CscMatrix {
 impl CscMatrix {
     /// Creates an empty (all-zero) `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CscMatrix {
-            rows,
-            cols,
-            indptr: vec![0; cols + 1],
-            indices: Vec::new(),
-            values: Vec::new(),
-        }
+        CscMatrix { rows, cols, indptr: vec![0; cols + 1], indices: Vec::new(), values: Vec::new() }
     }
 
     /// Builds a CSC matrix from COO triples, summing duplicates.
@@ -83,13 +77,7 @@ impl CscMatrix {
         let cols = rows_selected.len();
         let counts = vec![1usize; cols];
         let indptr = counts_to_offsets(&counts);
-        CscMatrix {
-            rows,
-            cols,
-            indptr,
-            indices: rows_selected.to_vec(),
-            values: vec![1.0; cols],
-        }
+        CscMatrix { rows, cols, indptr, indices: rows_selected.to_vec(), values: vec![1.0; cols] }
     }
 
     /// Number of rows.
@@ -242,7 +230,8 @@ mod tests {
 
     #[test]
     fn from_coo_and_back() {
-        let coo = CooMatrix::from_triples(3, 3, vec![(0, 2, 1.0), (2, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let coo =
+            CooMatrix::from_triples(3, 3, vec![(0, 2, 1.0), (2, 0, 2.0), (1, 1, 3.0)]).unwrap();
         let csc = CscMatrix::from_coo(&coo);
         assert_eq!(csc.nnz(), 3);
         assert_eq!(csc.col_indices(0), &[2]);
@@ -253,7 +242,8 @@ mod tests {
 
     #[test]
     fn csr_csc_roundtrip() {
-        let coo = CooMatrix::from_triples(4, 3, vec![(0, 1, 1.0), (3, 2, 4.0), (2, 0, -1.0)]).unwrap();
+        let coo =
+            CooMatrix::from_triples(4, 3, vec![(0, 1, 1.0), (3, 2, 4.0), (2, 0, -1.0)]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         let csc = CscMatrix::from_csr(&csr);
         assert_eq!(csc.to_csr(), csr);

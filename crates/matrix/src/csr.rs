@@ -48,13 +48,7 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Creates an empty (all-zero) `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CsrMatrix {
-            rows,
-            cols,
-            indptr: vec![0; rows + 1],
-            indices: Vec::new(),
-            values: Vec::new(),
-        }
+        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -289,10 +283,7 @@ impl CsrMatrix {
     /// Iterator over `(row, col, value)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            self.row_indices(r)
-                .iter()
-                .zip(self.row_values(r))
-                .map(move |(&c, &v)| (r, c, v))
+            self.row_indices(r).iter().zip(self.row_values(r)).map(move |(&c, &v)| (r, c, v))
         })
     }
 
@@ -395,7 +386,12 @@ impl CsrMatrix {
                 if r < self.rows {
                     Ok(self.row_nnz(r))
                 } else {
-                    Err(MatrixError::IndexOutOfBounds { row: r, col: 0, rows: self.rows, cols: self.cols })
+                    Err(MatrixError::IndexOutOfBounds {
+                        row: r,
+                        col: 0,
+                        rows: self.rows,
+                        cols: self.cols,
+                    })
                 }
             })
             .collect::<Result<_>>()?;
@@ -425,7 +421,12 @@ impl CsrMatrix {
         let mut remap: Vec<Option<usize>> = vec![None; self.cols];
         for (new, &old) in cols.iter().enumerate() {
             if old >= self.cols {
-                return Err(MatrixError::IndexOutOfBounds { row: 0, col: old, rows: self.rows, cols: self.cols });
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: 0,
+                    col: old,
+                    rows: self.rows,
+                    cols: self.cols,
+                });
             }
             if remap[old].is_some() {
                 return Err(MatrixError::InvalidStructure(format!(
@@ -458,9 +459,7 @@ impl CsrMatrix {
             seen[c] = true;
         }
         let kept: Vec<usize> = (0..self.cols).filter(|&c| seen[c]).collect();
-        let compacted = self
-            .select_columns(&kept)
-            .expect("kept columns are unique and in range");
+        let compacted = self.select_columns(&kept).expect("kept columns are unique and in range");
         (compacted, kept)
     }
 
@@ -518,11 +517,7 @@ impl CsrMatrix {
         self.shape() == rhs.shape()
             && self.indptr == rhs.indptr
             && self.indices == rhs.indices
-            && self
-                .values
-                .iter()
-                .zip(&rhs.values)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.values.iter().zip(&rhs.values).all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Number of bytes required to store the CSR arrays.
@@ -575,7 +570,8 @@ mod tests {
 
     #[test]
     fn from_coo_sums_duplicates_and_sorts() {
-        let coo = CooMatrix::from_triples(2, 4, vec![(0, 3, 1.0), (0, 1, 2.0), (0, 3, 4.0)]).unwrap();
+        let coo =
+            CooMatrix::from_triples(2, 4, vec![(0, 3, 1.0), (0, 1, 2.0), (0, 3, 4.0)]).unwrap();
         let csr = CsrMatrix::from_coo(&coo);
         assert_eq!(csr.row_indices(0), &[1, 3]);
         assert_eq!(csr.row_values(0), &[2.0, 5.0]);
@@ -698,7 +694,8 @@ mod tests {
 
     #[test]
     fn compact_columns_drops_empty() {
-        let coo = CooMatrix::from_triples(2, 6, vec![(0, 2, 1.0), (1, 4, 1.0), (0, 4, 1.0)]).unwrap();
+        let coo =
+            CooMatrix::from_triples(2, 6, vec![(0, 2, 1.0), (1, 4, 1.0), (0, 4, 1.0)]).unwrap();
         let m = CsrMatrix::from_coo(&coo);
         let (compact, kept) = m.compact_columns();
         assert_eq!(kept, vec![2, 4]);
@@ -749,9 +746,8 @@ mod tests {
     fn arb_coo() -> impl Strategy<Value = CooMatrix> {
         (1usize..12, 1usize..12).prop_flat_map(|(rows, cols)| {
             let entry = (0..rows, 0..cols, -5.0f64..5.0);
-            proptest::collection::vec(entry, 0..60).prop_map(move |entries| {
-                CooMatrix::from_triples(rows, cols, entries).unwrap()
-            })
+            proptest::collection::vec(entry, 0..60)
+                .prop_map(move |entries| CooMatrix::from_triples(rows, cols, entries).unwrap())
         })
     }
 

@@ -481,11 +481,7 @@ impl DenseMatrix {
     /// Approximate equality within `tol` (same shape, max absolute difference).
     pub fn approx_eq(&self, rhs: &DenseMatrix, tol: f64) -> bool {
         self.shape() == rhs.shape()
-            && self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&rhs.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Number of bytes required to store the matrix values.

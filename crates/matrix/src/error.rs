@@ -41,10 +41,9 @@ pub enum MatrixError {
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MatrixError::IndexOutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
-            ),
+            MatrixError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "index ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            }
             MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
                 f,
                 "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",

@@ -51,11 +51,7 @@ pub fn vstack(parts: &[CsrMatrix]) -> Result<CsrMatrix> {
     for p in parts {
         for r in 0..p.rows() {
             row_data.push(
-                p.row_indices(r)
-                    .iter()
-                    .zip(p.row_values(r))
-                    .map(|(&c, &v)| (c, v))
-                    .collect(),
+                p.row_indices(r).iter().zip(p.row_values(r)).map(|(&c, &v)| (c, v)).collect(),
             );
         }
     }
@@ -86,9 +82,9 @@ pub fn hstack(parts: &[CsrMatrix]) -> Result<CsrMatrix> {
     let mut row_data: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
     let mut col_offset = 0usize;
     for p in parts {
-        for r in 0..rows {
+        for (r, row) in row_data.iter_mut().enumerate() {
             for (&c, &v) in p.row_indices(r).iter().zip(p.row_values(r)) {
-                row_data[r].push((c + col_offset, v));
+                row.push((c + col_offset, v));
             }
         }
         col_offset += p.cols();
@@ -135,7 +131,7 @@ pub fn split_rows(matrix: &CsrMatrix, k: usize) -> Result<Vec<CsrMatrix>> {
     if k == 0 {
         return Err(MatrixError::InvalidStructure("cannot split into 0 blocks".into()));
     }
-    if matrix.rows() % k != 0 {
+    if !matrix.rows().is_multiple_of(k) {
         return Err(MatrixError::InvalidStructure(format!(
             "{} rows are not divisible into {k} equal blocks",
             matrix.rows()
@@ -205,8 +201,20 @@ mod tests {
 
     fn figure1_graph() -> CsrMatrix {
         let edges = [
-            (0, 1), (1, 0), (1, 2), (1, 4), (2, 1), (2, 3), (3, 2),
-            (3, 4), (3, 5), (4, 1), (4, 3), (4, 5), (5, 3), (5, 4),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (1, 4),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (3, 4),
+            (3, 5),
+            (4, 1),
+            (4, 3),
+            (4, 5),
+            (5, 3),
+            (5, 4),
         ];
         let coo = CooMatrix::from_triples(6, 6, edges.iter().map(|&(r, c)| (r, c, 1.0))).unwrap();
         CsrMatrix::from_coo(&coo)

@@ -184,8 +184,20 @@ mod tests {
 
     fn figure1_graph() -> CsrMatrix {
         let edges = [
-            (0, 1), (1, 0), (1, 2), (1, 4), (2, 1), (2, 3), (3, 2),
-            (3, 4), (3, 5), (4, 1), (4, 3), (4, 5), (5, 3), (5, 4),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (1, 4),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (3, 4),
+            (3, 5),
+            (4, 1),
+            (4, 3),
+            (4, 5),
+            (5, 3),
+            (5, 4),
         ];
         let coo = CooMatrix::from_triples(6, 6, edges.iter().map(|&(r, c)| (r, c, 1.0))).unwrap();
         CsrMatrix::from_coo(&coo)
@@ -268,13 +280,7 @@ mod tests {
         let needed = vec![1usize, 5usize];
         let rows: Vec<Vec<(usize, f64)>> = needed
             .iter()
-            .map(|&r| {
-                a.row_indices(r)
-                    .iter()
-                    .zip(a.row_values(r))
-                    .map(|(&c, &v)| (c, v))
-                    .collect()
-            })
+            .map(|&r| a.row_indices(r).iter().zip(a.row_values(r)).map(|(&c, &v)| (c, v)).collect())
             .collect();
         let partial = spgemm_with_fetched_rows(&q, &needed, &rows, 6).unwrap();
         let full = spgemm(&q, &a).unwrap();
@@ -288,12 +294,8 @@ mod tests {
             &CooMatrix::from_triples(2, 6, vec![(0, 1, 1.0), (1, 5, 1.0)]).unwrap(),
         );
         // Supply only row 1; row 5 contributions are dropped.
-        let rows: Vec<Vec<(usize, f64)>> = vec![a
-            .row_indices(1)
-            .iter()
-            .zip(a.row_values(1))
-            .map(|(&c, &v)| (c, v))
-            .collect()];
+        let rows: Vec<Vec<(usize, f64)>> =
+            vec![a.row_indices(1).iter().zip(a.row_values(1)).map(|(&c, &v)| (c, v)).collect()];
         let partial = spgemm_with_fetched_rows(&q, &[1], &rows, 6).unwrap();
         assert_eq!(partial.row_nnz(0), 3);
         assert_eq!(partial.row_nnz(1), 0);

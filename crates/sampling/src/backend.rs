@@ -1,0 +1,878 @@
+//! The unified [`SamplingBackend`] abstraction.
+//!
+//! The paper's central claim is that one matrix formulation (Algorithm 1)
+//! expresses *every* sampling algorithm and *every* distribution strategy.
+//! This module makes the distribution axis a first-class type: a backend
+//! decides **where** `Q`, `P` and `A` live and how the matrix pipeline is
+//! scheduled across ranks, while staying generic over **which**
+//! [`Sampler`] (GraphSAGE §4.1, LADIES §4.2, FastGCN §2.2.2) supplies the
+//! `NORM`/`SAMPLE`/`EXTRACT` steps:
+//!
+//! * [`LocalBackend`] — single device, no communication (the baseline matrix
+//!   pipeline of §4);
+//! * [`ReplicatedBackend`] — Graph Replicated (§5.1): `Q` partitioned 1D,
+//!   `A` replicated, zero communication during sampling;
+//! * [`Partitioned1p5dBackend`] — Graph Partitioned (§5.2): both matrices on
+//!   a `p/c × c` grid, probabilities via the sparsity-aware 1.5D SpGEMM of
+//!   Algorithm 2 (through [`Sampler::sample_partitioned`]).
+//!
+//! All three share one configuration type, [`DistConfig`], and one output
+//! type, [`EpochSamples`], and are driven by one entry point,
+//! [`SamplingBackend::sample_epoch`].  They replace the former zoo of
+//! per-(sampler × strategy) free functions (`sample_replicated`,
+//! `run_partitioned_sage`, …), which remain only as deprecated wrappers.
+//!
+//! # Example: the same sampler through two strategies
+//!
+//! ```
+//! use dmbs_sampling::backend::{DistConfig, LocalBackend, ReplicatedBackend, SamplingBackend};
+//! use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler};
+//! use dmbs_graph::generators::figure1_example;
+//!
+//! # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+//! let graph = figure1_example();
+//! let sampler = GraphSageSampler::new(vec![2]);
+//! let batches = vec![vec![1, 5], vec![0, 3], vec![2, 4]];
+//! let bulk = BulkSamplerConfig::new(2, 3);
+//!
+//! let local = LocalBackend::new(bulk)?;
+//! let on_one_device = local.sample_epoch(&sampler, graph.adjacency(), &batches, 7)?;
+//!
+//! let replicated = ReplicatedBackend::new(DistConfig::new(4, 1, bulk))?;
+//! let on_four_ranks = replicated.sample_epoch(&sampler, graph.adjacency(), &batches, 7)?;
+//!
+//! assert_eq!(on_one_device.output.num_batches(), 3);
+//! assert_eq!(on_four_ranks.output.num_batches(), 3);
+//! // Graph-replicated sampling never communicates (§5.1).
+//! assert_eq!(on_four_ranks.output.comm_stats.messages, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::partitioned::{assign_batches_to_rows, flatten_row_outputs};
+use crate::plan::{BulkSampleOutput, MinibatchSample};
+use crate::replicated::assign_batches_round_robin;
+use crate::sampler::{BulkSamplerConfig, PartitionedContext, Sampler};
+use crate::{Result, SamplingError};
+use dmbs_comm::{CommStats, Communicator, PhaseProfile, ProcessGrid, Runtime};
+use dmbs_graph::partition::OneDPartition;
+use dmbs_matrix::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared configuration of the distributed sampling backends: the process
+/// count `p`, the replication factor `c` of the `p/c × c` grid (§5.2), and
+/// the bulk sampling shape (`b`, `k`) of §4.1.4/§6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistConfig {
+    /// Number of simulated ranks `p`.
+    pub ranks: usize,
+    /// Replication factor `c`; must divide `ranks`.  The replicated backend
+    /// only uses it for grid bookkeeping (its `A` is fully replicated), the
+    /// partitioned backend for the block-row layout of Algorithm 2.
+    pub replication_c: usize,
+    /// Bulk sampling shape: batch size `b` and bulk minibatch count `k`.
+    pub bulk: BulkSamplerConfig,
+}
+
+impl DistConfig {
+    /// Creates a distribution configuration; validate with
+    /// [`DistConfig::validate`] (backends validate on construction).
+    pub fn new(ranks: usize, replication_c: usize, bulk: BulkSamplerConfig) -> Self {
+        DistConfig { ranks, replication_c, bulk }
+    }
+
+    /// Rejects zero ranks, zero/non-dividing replication and zero bulk
+    /// fields with typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidDistConfig`] or
+    /// [`SamplingError::InvalidBulkConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.ranks == 0 {
+            return Err(SamplingError::InvalidDistConfig { field: "ranks", value: 0 });
+        }
+        if self.replication_c == 0 || !self.ranks.is_multiple_of(self.replication_c) {
+            return Err(SamplingError::InvalidDistConfig {
+                field: "replication_c",
+                value: self.replication_c,
+            });
+        }
+        self.bulk.validate()
+    }
+}
+
+/// Per-sampling-unit statistics of one epoch: a *unit* is a rank for the
+/// replicated backend, a process row for the partitioned backend, and the
+/// single device for the local backend.
+#[derive(Debug, Clone, Default)]
+pub struct UnitStats {
+    /// Unit index (rank or process-row id).
+    pub unit: usize,
+    /// Number of minibatches this unit sampled.
+    pub num_batches: usize,
+    /// Phase timing breakdown of this unit.
+    pub profile: PhaseProfile,
+    /// Communication volume and modeled time of this unit.
+    pub comm_stats: CommStats,
+}
+
+/// The common output of [`SamplingBackend::sample_epoch`]: all minibatches in
+/// the original batch order plus per-unit breakdowns for scaling analyses.
+#[derive(Debug, Clone, Default)]
+pub struct EpochSamples {
+    /// Flattened output: minibatches in the order the batches were supplied;
+    /// the profile is the per-phase maximum across units (bulk-synchronous
+    /// pipeline), the communication stats the sum.
+    pub output: BulkSampleOutput,
+    /// Per-unit statistics, in unit order.
+    pub per_unit: Vec<UnitStats>,
+}
+
+impl EpochSamples {
+    /// Number of minibatches sampled.
+    pub fn num_batches(&self) -> usize {
+        self.output.num_batches()
+    }
+
+    /// The sampled minibatches in original batch order.
+    pub fn minibatches(&self) -> &[MinibatchSample] {
+        &self.output.minibatches
+    }
+
+    /// Maximum across units of the total (compute + modeled communication)
+    /// time spent in `phase` — the bulk-synchronous critical path.
+    pub fn max_phase_total(&self, phase: dmbs_comm::Phase) -> f64 {
+        self.per_unit.iter().map(|u| u.profile.total(phase)).fold(0.0, f64::max)
+    }
+
+    /// Maximum across units of total compute time.
+    pub fn max_total_compute(&self) -> f64 {
+        self.per_unit.iter().map(|u| u.profile.total_compute()).fold(0.0, f64::max)
+    }
+
+    /// Maximum across units of total modeled communication time.
+    pub fn max_total_comm(&self) -> f64 {
+        self.per_unit.iter().map(|u| u.profile.total_comm()).fold(0.0, f64::max)
+    }
+
+    /// Total words sent across all units.
+    pub fn total_words_sent(&self) -> usize {
+        self.per_unit.iter().map(|u| u.comm_stats.words_sent).sum()
+    }
+
+    /// Maximum across units of the number of messages sent.
+    pub fn max_messages(&self) -> usize {
+        self.per_unit.iter().map(|u| u.comm_stats.messages).max().unwrap_or(0)
+    }
+
+    /// Appends another epoch's samples (e.g. the next bulk group), summing
+    /// unit statistics elementwise.
+    pub fn merge(&mut self, other: EpochSamples) {
+        self.output.merge(other.output);
+        if self.per_unit.len() < other.per_unit.len() {
+            self.per_unit.resize_with(other.per_unit.len(), UnitStats::default);
+        }
+        for (mine, theirs) in self.per_unit.iter_mut().zip(other.per_unit) {
+            mine.unit = theirs.unit;
+            mine.num_batches += theirs.num_batches;
+            mine.profile.merge_sum(&theirs.profile);
+            mine.comm_stats.merge(&theirs.comm_stats);
+        }
+    }
+}
+
+/// The seed of bulk group `group` within an epoch seeded with `epoch_seed`.
+/// Group 0 uses `epoch_seed` itself, which keeps single-group runs
+/// byte-identical to the legacy free functions.
+pub fn group_seed(epoch_seed: u64, group: usize) -> u64 {
+    epoch_seed.wrapping_add((group as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One rank's share of a bulk group sampled inside an SPMD pipeline region.
+#[derive(Debug, Clone, Default)]
+pub struct GroupShard {
+    /// `(index within the group, sample)` for every minibatch this rank
+    /// trains.
+    pub samples: Vec<(usize, MinibatchSample)>,
+    /// Sampling-phase profile of this rank for the group.
+    pub profile: PhaseProfile,
+}
+
+/// A distribution strategy for the matrix sampling pipeline, generic over
+/// the sampling algorithm.
+///
+/// Implementations provide two entry points: [`sample_epoch`] drives a whole
+/// epoch from outside any SPMD region (spawning ranks internally as needed),
+/// and [`sample_group_on_rank`] samples one bulk group from *inside* a
+/// training pipeline's SPMD region, so that sampling composes with
+/// distributed feature fetching and gradient all-reduces (§6, Figure 3).
+///
+/// [`sample_epoch`]: SamplingBackend::sample_epoch
+/// [`sample_group_on_rank`]: SamplingBackend::sample_group_on_rank
+pub trait SamplingBackend {
+    /// Short human-readable name (used in reports and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Number of parallel sampling units (1 for local, `p` for replicated,
+    /// `p/c` process rows for partitioned).
+    fn units(&self) -> usize;
+
+    /// The bulk sampling shape this backend was configured with.
+    fn bulk(&self) -> &BulkSamplerConfig;
+
+    /// The simulated runtime, when the backend is distributed.
+    fn runtime(&self) -> Option<&Runtime> {
+        None
+    }
+
+    /// The distribution configuration, when the backend is distributed.
+    fn dist(&self) -> Option<&DistConfig> {
+        None
+    }
+
+    /// Samples every minibatch of an epoch: `batches` are split into bulk
+    /// groups of `bulk().bulk_size`, each group is sampled with the backend's
+    /// distribution strategy under [`group_seed`]`(seed, group)`, and the
+    /// results are flattened back into the original batch order.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors ([`SamplingError::InvalidBulkConfig`],
+    /// [`SamplingError::InvalidDistConfig`], invalid batches), sampler errors
+    /// and collective failures.
+    fn sample_epoch<S: Sampler + Sync>(
+        &self,
+        sampler: &S,
+        adjacency: &CsrMatrix,
+        batches: &[Vec<usize>],
+        seed: u64,
+    ) -> Result<EpochSamples>;
+
+    /// Samples one bulk group from inside an SPMD region and returns the
+    /// shard of minibatches this rank trains.  Every rank of the runtime must
+    /// call this collectively with identical `group` and `seed`.
+    ///
+    /// The default implementation is the Graph Replicated strategy (§5.1):
+    /// round-robin batch ownership, fully local sampling, no communication —
+    /// correct for the local backend too, where `comm.size() == 1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler and collective errors.
+    fn sample_group_on_rank<S: Sampler + Sync>(
+        &self,
+        comm: &mut Communicator,
+        sampler: &S,
+        adjacency: &CsrMatrix,
+        group: &[Vec<usize>],
+        seed: u64,
+    ) -> Result<GroupShard> {
+        let p = comm.size();
+        let rank = comm.rank();
+        let indices: Vec<usize> = (0..group.len()).filter(|i| i % p == rank).collect();
+        if indices.is_empty() {
+            return Ok(GroupShard::default());
+        }
+        let my_batches: Vec<Vec<usize>> = indices.iter().map(|&i| group[i].clone()).collect();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(rank as u64));
+        let config = BulkSamplerConfig::new(self.bulk().batch_size, my_batches.len());
+        let out = sampler.sample_bulk(adjacency, &my_batches, &config, &mut rng)?;
+        Ok(GroupShard {
+            samples: indices.into_iter().zip(out.minibatches).collect(),
+            profile: out.profile,
+        })
+    }
+}
+
+fn check_square(adjacency: &CsrMatrix) -> Result<()> {
+    if adjacency.rows() != adjacency.cols() {
+        return Err(SamplingError::InvalidConfig("adjacency matrix must be square".into()));
+    }
+    Ok(())
+}
+
+/// Single-device backend: the plain bulk matrix pipeline of §4, one unit, no
+/// communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalBackend {
+    bulk: BulkSamplerConfig,
+}
+
+impl LocalBackend {
+    /// Creates a local backend with the given bulk shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidBulkConfig`] for zero fields.
+    pub fn new(bulk: BulkSamplerConfig) -> Result<Self> {
+        bulk.validate()?;
+        Ok(LocalBackend { bulk })
+    }
+}
+
+impl SamplingBackend for LocalBackend {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn units(&self) -> usize {
+        1
+    }
+
+    fn bulk(&self) -> &BulkSamplerConfig {
+        &self.bulk
+    }
+
+    fn sample_epoch<S: Sampler + Sync>(
+        &self,
+        sampler: &S,
+        adjacency: &CsrMatrix,
+        batches: &[Vec<usize>],
+        seed: u64,
+    ) -> Result<EpochSamples> {
+        self.bulk.validate()?;
+        check_square(adjacency)?;
+        let mut output = BulkSampleOutput::default();
+        for (gi, group) in batches.chunks(self.bulk.bulk_size).enumerate() {
+            let config = BulkSamplerConfig::new(self.bulk.batch_size, group.len());
+            let mut rng = StdRng::seed_from_u64(group_seed(seed, gi));
+            output.merge(sampler.sample_bulk(adjacency, group, &config, &mut rng)?);
+        }
+        let per_unit = vec![UnitStats {
+            unit: 0,
+            num_batches: output.num_batches(),
+            profile: output.profile.clone(),
+            comm_stats: output.comm_stats,
+        }];
+        Ok(EpochSamples { output, per_unit })
+    }
+}
+
+/// The Graph Replicated backend (§5.1): the sampler matrix `Q` is 1D
+/// partitioned across `p` ranks, the adjacency matrix is replicated, and
+/// sampling involves **no communication**.
+#[derive(Debug, Clone)]
+pub struct ReplicatedBackend {
+    runtime: Runtime,
+    dist: DistConfig,
+}
+
+impl ReplicatedBackend {
+    /// Creates a replicated backend, spawning a simulated runtime with
+    /// `dist.ranks` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns typed configuration errors for invalid `dist` fields.
+    pub fn new(dist: DistConfig) -> Result<Self> {
+        dist.validate()?;
+        let runtime = Runtime::new(dist.ranks)?;
+        Ok(ReplicatedBackend { runtime, dist })
+    }
+
+    /// Creates a replicated backend over an existing runtime (e.g. one with a
+    /// custom cost model).  `dist.ranks` must equal `runtime.size()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns typed configuration errors for invalid or mismatched fields.
+    pub fn with_runtime(runtime: Runtime, dist: DistConfig) -> Result<Self> {
+        dist.validate()?;
+        if runtime.size() != dist.ranks {
+            return Err(SamplingError::InvalidDistConfig { field: "ranks", value: dist.ranks });
+        }
+        Ok(ReplicatedBackend { runtime, dist })
+    }
+}
+
+impl SamplingBackend for ReplicatedBackend {
+    fn name(&self) -> &'static str {
+        "graph-replicated"
+    }
+
+    fn units(&self) -> usize {
+        self.dist.ranks
+    }
+
+    fn bulk(&self) -> &BulkSamplerConfig {
+        &self.dist.bulk
+    }
+
+    fn runtime(&self) -> Option<&Runtime> {
+        Some(&self.runtime)
+    }
+
+    fn dist(&self) -> Option<&DistConfig> {
+        Some(&self.dist)
+    }
+
+    fn sample_epoch<S: Sampler + Sync>(
+        &self,
+        sampler: &S,
+        adjacency: &CsrMatrix,
+        batches: &[Vec<usize>],
+        seed: u64,
+    ) -> Result<EpochSamples> {
+        self.dist.validate()?;
+        check_square(adjacency)?;
+        let p = self.dist.ranks;
+        let mut epoch = EpochSamples {
+            output: BulkSampleOutput::default(),
+            per_unit: (0..p).map(|unit| UnitStats { unit, ..Default::default() }).collect(),
+        };
+
+        for (gi, group) in batches.chunks(self.dist.bulk.bulk_size).enumerate() {
+            let gseed = group_seed(seed, gi);
+            let assignment = assign_batches_round_robin(group.len(), p);
+            let per_rank = self.runtime.run(|comm| {
+                let rank = comm.rank();
+                let my_batches: Vec<Vec<usize>> =
+                    assignment[rank].iter().map(|&i| group[i].clone()).collect();
+                if my_batches.is_empty() {
+                    return Ok(BulkSampleOutput::default());
+                }
+                let mut rng = StdRng::seed_from_u64(gseed.wrapping_add(rank as u64));
+                let config = BulkSamplerConfig::new(self.dist.bulk.batch_size, my_batches.len());
+                sampler.sample_bulk(adjacency, &my_batches, &config, &mut rng)
+            })?;
+
+            // Reassemble this group in original batch order.
+            let mut ordered: Vec<Option<MinibatchSample>> = vec![None; group.len()];
+            let mut group_out = BulkSampleOutput::default();
+            for (rank, rank_out) in per_rank.into_iter().enumerate() {
+                let rank_out = rank_out.value?;
+                let stats = &mut epoch.per_unit[rank];
+                stats.num_batches += rank_out.num_batches();
+                stats.profile.merge_sum(&rank_out.profile);
+                stats.comm_stats.merge(&rank_out.comm_stats);
+                group_out.profile.merge_max(&rank_out.profile);
+                group_out.comm_stats.merge(&rank_out.comm_stats);
+                for (slot, mb) in assignment[rank].iter().zip(rank_out.minibatches) {
+                    ordered[*slot] = Some(mb);
+                }
+            }
+            group_out.minibatches = ordered
+                .into_iter()
+                .map(|mb| {
+                    mb.ok_or_else(|| {
+                        SamplingError::InvalidConfig(
+                            "a minibatch was not sampled by any rank".into(),
+                        )
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            epoch.output.merge(group_out);
+        }
+        Ok(epoch)
+    }
+}
+
+/// The Graph Partitioned backend (§5.2): both `Q` and `A` are partitioned
+/// into `p/c` block rows of a `p/c × c` grid, probabilities are generated
+/// with the sparsity-aware 1.5D SpGEMM of Algorithm 2, and each sampler
+/// contributes its distributed formulation through
+/// [`Sampler::sample_partitioned`].
+#[derive(Debug, Clone)]
+pub struct Partitioned1p5dBackend {
+    runtime: Runtime,
+    dist: DistConfig,
+}
+
+impl Partitioned1p5dBackend {
+    /// Creates a partitioned backend, spawning a simulated runtime with
+    /// `dist.ranks` ranks arranged as a `ranks/c × c` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns typed configuration errors for invalid `dist` fields.
+    pub fn new(dist: DistConfig) -> Result<Self> {
+        dist.validate()?;
+        let runtime = Runtime::new(dist.ranks)?;
+        Ok(Partitioned1p5dBackend { runtime, dist })
+    }
+
+    /// Creates a partitioned backend over an existing runtime.  `dist.ranks`
+    /// must equal `runtime.size()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns typed configuration errors for invalid or mismatched fields.
+    pub fn with_runtime(runtime: Runtime, dist: DistConfig) -> Result<Self> {
+        dist.validate()?;
+        if runtime.size() != dist.ranks {
+            return Err(SamplingError::InvalidDistConfig { field: "ranks", value: dist.ranks });
+        }
+        Ok(Partitioned1p5dBackend { runtime, dist })
+    }
+
+    fn grid(&self) -> Result<ProcessGrid> {
+        Ok(ProcessGrid::new(self.dist.ranks, self.dist.replication_c)?)
+    }
+
+    /// Runs one bulk group across the grid and returns the per-process-row
+    /// outputs (taken from each row's column-0 rank).
+    fn run_group<S: Sampler + Sync>(
+        &self,
+        sampler: &S,
+        grid: &ProcessGrid,
+        a_blocks: &[CsrMatrix],
+        vertex_partition: &OneDPartition,
+        group: &[Vec<usize>],
+        seed: u64,
+    ) -> Result<Vec<BulkSampleOutput>> {
+        let row_assignment = assign_batches_to_rows(group.len(), grid.rows());
+        let outputs = self.runtime.run(|comm| {
+            let (my_row, _) = grid.coords(comm.rank());
+            let my_batches: Vec<Vec<usize>> =
+                row_assignment[my_row].iter().map(|&i| group[i].clone()).collect();
+            let mut ctx = PartitionedContext {
+                comm,
+                grid,
+                my_a_block: &a_blocks[my_row],
+                vertex_partition,
+                my_batches: &my_batches,
+                seed,
+            };
+            sampler.sample_partitioned(&mut ctx)
+        })?;
+
+        let mut per_row = Vec::with_capacity(grid.rows());
+        for out in outputs {
+            let (_, col) = grid.coords(out.rank);
+            if col == 0 {
+                per_row.push(out.value?);
+            } else {
+                // Non-reporting ranks still surface their errors.
+                out.value?;
+            }
+        }
+        Ok(per_row)
+    }
+}
+
+impl SamplingBackend for Partitioned1p5dBackend {
+    fn name(&self) -> &'static str {
+        "graph-partitioned-1.5d"
+    }
+
+    fn units(&self) -> usize {
+        self.dist.ranks / self.dist.replication_c
+    }
+
+    fn bulk(&self) -> &BulkSamplerConfig {
+        &self.dist.bulk
+    }
+
+    fn runtime(&self) -> Option<&Runtime> {
+        Some(&self.runtime)
+    }
+
+    fn dist(&self) -> Option<&DistConfig> {
+        Some(&self.dist)
+    }
+
+    fn sample_epoch<S: Sampler + Sync>(
+        &self,
+        sampler: &S,
+        adjacency: &CsrMatrix,
+        batches: &[Vec<usize>],
+        seed: u64,
+    ) -> Result<EpochSamples> {
+        self.dist.validate()?;
+        check_square(adjacency)?;
+        let grid = self.grid()?;
+        let n = adjacency.rows();
+        let vertex_partition = OneDPartition::new(n, grid.rows())?;
+        let a_blocks = vertex_partition.split_csr(adjacency)?;
+
+        let mut epoch = EpochSamples {
+            output: BulkSampleOutput::default(),
+            per_unit: (0..grid.rows())
+                .map(|unit| UnitStats { unit, ..Default::default() })
+                .collect(),
+        };
+        for (gi, group) in batches.chunks(self.dist.bulk.bulk_size).enumerate() {
+            let per_row = self.run_group(
+                sampler,
+                &grid,
+                &a_blocks,
+                &vertex_partition,
+                group,
+                group_seed(seed, gi),
+            )?;
+            for (row, row_out) in per_row.iter().enumerate() {
+                let stats = &mut epoch.per_unit[row];
+                stats.num_batches += row_out.num_batches();
+                stats.profile.merge_sum(&row_out.profile);
+                stats.comm_stats.merge(&row_out.comm_stats);
+            }
+            epoch.output.merge(flatten_row_outputs(per_row, group.len())?);
+        }
+        Ok(epoch)
+    }
+
+    fn sample_group_on_rank<S: Sampler + Sync>(
+        &self,
+        comm: &mut Communicator,
+        sampler: &S,
+        adjacency: &CsrMatrix,
+        group: &[Vec<usize>],
+        seed: u64,
+    ) -> Result<GroupShard> {
+        let grid = self.grid()?;
+        let n = adjacency.rows();
+        let vertex_partition = OneDPartition::new(n, grid.rows())?;
+        let (my_row, my_col) = grid.coords(comm.rank());
+        let my_range = vertex_partition.range(my_row);
+        let my_a_block = adjacency.row_block(my_range.start, my_range.end);
+        let row_assignment = assign_batches_to_rows(group.len(), grid.rows());
+        let my_indices = &row_assignment[my_row];
+        let my_batches: Vec<Vec<usize>> = my_indices.iter().map(|&i| group[i].clone()).collect();
+
+        let mut ctx = PartitionedContext {
+            comm,
+            grid: &grid,
+            my_a_block: &my_a_block,
+            vertex_partition: &vertex_partition,
+            my_batches: &my_batches,
+            seed,
+        };
+        let out = sampler.sample_partitioned(&mut ctx)?;
+
+        // Every rank of the row holds identical samples; each trains the
+        // subset at its own process-column offset.
+        let samples = my_indices
+            .iter()
+            .zip(out.minibatches)
+            .enumerate()
+            .filter(|(pos, _)| pos % grid.cols() == my_col)
+            .map(|(_, (&slot, mb))| (slot, mb))
+            .collect();
+        Ok(GroupShard { samples, profile: out.profile })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FastGcnSampler, GraphSageSampler, LadiesSampler};
+    use dmbs_graph::generators::{figure1_example, rmat, RmatConfig};
+
+    fn adjacency() -> CsrMatrix {
+        figure1_example().adjacency().clone()
+    }
+
+    fn random_graph(scale: u32, degree: usize, seed: u64) -> CsrMatrix {
+        rmat(&RmatConfig::new(scale, degree), &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+            .adjacency()
+            .clone()
+    }
+
+    #[test]
+    fn dist_config_validation() {
+        let bulk = BulkSamplerConfig::new(4, 2);
+        assert!(DistConfig::new(4, 2, bulk).validate().is_ok());
+        assert_eq!(
+            DistConfig::new(0, 1, bulk).validate(),
+            Err(SamplingError::InvalidDistConfig { field: "ranks", value: 0 })
+        );
+        assert_eq!(
+            DistConfig::new(4, 0, bulk).validate(),
+            Err(SamplingError::InvalidDistConfig { field: "replication_c", value: 0 })
+        );
+        assert_eq!(
+            DistConfig::new(4, 3, bulk).validate(),
+            Err(SamplingError::InvalidDistConfig { field: "replication_c", value: 3 })
+        );
+        assert_eq!(
+            DistConfig::new(4, 2, BulkSamplerConfig::new(0, 2)).validate(),
+            Err(SamplingError::InvalidBulkConfig { field: "batch_size" })
+        );
+        assert_eq!(
+            DistConfig::new(4, 2, BulkSamplerConfig::new(4, 0)).validate(),
+            Err(SamplingError::InvalidBulkConfig { field: "bulk_size" })
+        );
+    }
+
+    #[test]
+    fn backend_constructors_reject_bad_configs() {
+        assert!(LocalBackend::new(BulkSamplerConfig::new(0, 1)).is_err());
+        assert!(
+            ReplicatedBackend::new(DistConfig::new(0, 1, BulkSamplerConfig::new(2, 1))).is_err()
+        );
+        assert!(Partitioned1p5dBackend::new(DistConfig::new(6, 4, BulkSamplerConfig::new(2, 1)))
+            .is_err());
+        let rt = Runtime::new(4).unwrap();
+        assert!(ReplicatedBackend::with_runtime(
+            rt,
+            DistConfig::new(8, 2, BulkSamplerConfig::new(2, 1))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn local_backend_splits_bulk_groups_in_order() {
+        let a = adjacency();
+        let sampler = GraphSageSampler::new(vec![2]);
+        let batches: Vec<Vec<usize>> =
+            vec![vec![1, 5], vec![0, 3], vec![2, 4], vec![5, 0], vec![3]];
+        let backend = LocalBackend::new(BulkSamplerConfig::new(2, 2)).unwrap();
+        let epoch = backend.sample_epoch(&sampler, &a, &batches, 11).unwrap();
+        assert_eq!(epoch.num_batches(), 5);
+        for (mb, batch) in epoch.minibatches().iter().zip(&batches) {
+            assert_eq!(&mb.batch, batch);
+        }
+        assert_eq!(epoch.per_unit.len(), 1);
+        assert_eq!(epoch.per_unit[0].num_batches, 5);
+        assert_eq!(epoch.output.comm_stats.messages, 0);
+    }
+
+    #[test]
+    fn replicated_backend_never_communicates_and_keeps_order() {
+        let a = adjacency();
+        let sampler = GraphSageSampler::new(vec![2, 2]);
+        let batches: Vec<Vec<usize>> =
+            vec![vec![1, 5], vec![0, 3], vec![2, 4], vec![1, 2], vec![3, 5]];
+        let backend =
+            ReplicatedBackend::new(DistConfig::new(4, 1, BulkSamplerConfig::new(2, 5))).unwrap();
+        let epoch = backend.sample_epoch(&sampler, &a, &batches, 7).unwrap();
+        assert_eq!(epoch.num_batches(), 5);
+        for (mb, batch) in epoch.minibatches().iter().zip(&batches) {
+            assert_eq!(&mb.batch, batch);
+        }
+        assert_eq!(epoch.per_unit.len(), 4);
+        // Round-robin: rank 0 gets batches 0 and 4.
+        assert_eq!(epoch.per_unit[0].num_batches, 2);
+        assert_eq!(epoch.per_unit[3].num_batches, 1);
+        assert_eq!(epoch.max_messages(), 0, "replicated sampling must not communicate");
+    }
+
+    #[test]
+    fn replicated_backend_is_deterministic() {
+        let a = adjacency();
+        let sampler = GraphSageSampler::new(vec![2]);
+        let batches: Vec<Vec<usize>> = vec![vec![1, 5], vec![0, 3]];
+        let backend =
+            ReplicatedBackend::new(DistConfig::new(2, 1, BulkSamplerConfig::new(2, 2))).unwrap();
+        let e1 = backend.sample_epoch(&sampler, &a, &batches, 99).unwrap();
+        let e2 = backend.sample_epoch(&sampler, &a, &batches, 99).unwrap();
+        assert_eq!(e1.output.minibatches, e2.output.minibatches);
+    }
+
+    #[test]
+    fn partitioned_backend_matches_local_with_full_fanout() {
+        // With fanout >= any degree GraphSAGE keeps whole neighborhoods, so
+        // the partitioned strategy must agree exactly with the local one.
+        let a = random_graph(6, 4, 1);
+        let n = a.rows();
+        let batches: Vec<Vec<usize>> = (0..6).map(|i| vec![i * 5 % n, (i * 11 + 3) % n]).collect();
+        let sampler = GraphSageSampler::new(vec![n]);
+        let local = LocalBackend::new(BulkSamplerConfig::new(2, 6)).unwrap();
+        let expected = local.sample_epoch(&sampler, &a, &batches, 3).unwrap();
+        for &(p, c) in &[(4usize, 2usize), (6, 2), (8, 4)] {
+            let backend =
+                Partitioned1p5dBackend::new(DistConfig::new(p, c, BulkSamplerConfig::new(2, 6)))
+                    .unwrap();
+            let epoch = backend.sample_epoch(&sampler, &a, &batches, 3).unwrap();
+            assert_eq!(epoch.num_batches(), batches.len());
+            for (got, want) in epoch.minibatches().iter().zip(expected.minibatches()) {
+                assert_eq!(got.batch, want.batch, "p={p} c={c}");
+                assert_eq!(got.layers[0].rows, want.layers[0].rows, "p={p} c={c}");
+                assert_eq!(got.layers[0].cols, want.layers[0].cols, "p={p} c={c}");
+                assert_eq!(got.layers[0].adjacency, want.layers[0].adjacency, "p={p} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_backend_supports_all_three_samplers() {
+        let a = random_graph(6, 5, 2);
+        let n = a.rows();
+        let batches: Vec<Vec<usize>> = (0..4).map(|i| vec![i * 7 % n, (i * 13 + 1) % n]).collect();
+        let backend =
+            Partitioned1p5dBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(2, 4)))
+                .unwrap();
+
+        let sage = GraphSageSampler::new(vec![3, 2]);
+        let ladies = LadiesSampler::new(2, 8);
+        let fastgcn = FastGcnSampler::new(2, 8);
+        for epoch in [
+            backend.sample_epoch(&sage, &a, &batches, 5).unwrap(),
+            backend.sample_epoch(&ladies, &a, &batches, 5).unwrap(),
+            backend.sample_epoch(&fastgcn, &a, &batches, 5).unwrap(),
+        ] {
+            assert_eq!(epoch.num_batches(), batches.len());
+            for mb in epoch.minibatches() {
+                assert!(mb.frontiers_are_chained());
+                for layer in &mb.layers {
+                    for (r, c, _) in layer.adjacency.iter() {
+                        assert!(
+                            a.get(layer.rows[r], layer.cols[c]) > 0.0,
+                            "sampled edge not in the graph"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_fastgcn_matches_local_fastgcn_weights() {
+        // FastGCN's distribution is global, so with s >= n the sampled
+        // support is the full positive-degree vertex set in both backends.
+        let a = adjacency();
+        let n = a.rows();
+        let sampler = FastGcnSampler::new(1, n);
+        let batches = vec![vec![1, 5], vec![0, 2]];
+        let local = LocalBackend::new(BulkSamplerConfig::new(2, 2)).unwrap();
+        let partitioned =
+            Partitioned1p5dBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(2, 2)))
+                .unwrap();
+        let e_local = local.sample_epoch(&sampler, &a, &batches, 9).unwrap();
+        let e_part = partitioned.sample_epoch(&sampler, &a, &batches, 9).unwrap();
+        for (l, p) in e_local.minibatches().iter().zip(e_part.minibatches()) {
+            assert_eq!(l.layers[0].cols, p.layers[0].cols);
+            assert_eq!(l.layers[0].rows, p.layers[0].rows);
+            assert!(l.layers[0].adjacency.approx_eq(&p.layers[0].adjacency, 1e-12));
+        }
+    }
+
+    #[test]
+    fn unsupported_sampler_on_partitioned_backend_is_typed() {
+        use crate::baseline::PerVertexSageSampler;
+        let a = adjacency();
+        let sampler = PerVertexSageSampler::new(vec![2]);
+        let backend =
+            Partitioned1p5dBackend::new(DistConfig::new(2, 1, BulkSamplerConfig::new(2, 1)))
+                .unwrap();
+        let err = backend.sample_epoch(&sampler, &a, &[vec![1]], 0).unwrap_err();
+        assert_eq!(
+            err,
+            SamplingError::UnsupportedBackend {
+                sampler: "per-vertex-sage",
+                backend: "graph-partitioned-1.5d",
+            }
+        );
+    }
+
+    #[test]
+    fn group_seed_is_identity_for_group_zero() {
+        assert_eq!(group_seed(12345, 0), 12345);
+        assert_ne!(group_seed(12345, 1), 12345);
+    }
+
+    #[test]
+    fn epoch_samples_merge_accumulates_units() {
+        let a = adjacency();
+        let sampler = GraphSageSampler::new(vec![2]);
+        let backend = LocalBackend::new(BulkSamplerConfig::new(2, 1)).unwrap();
+        let mut total = backend.sample_epoch(&sampler, &a, &[vec![1, 5]], 1).unwrap();
+        let more = backend.sample_epoch(&sampler, &a, &[vec![0, 3]], 2).unwrap();
+        total.merge(more);
+        assert_eq!(total.num_batches(), 2);
+        assert_eq!(total.per_unit[0].num_batches, 2);
+    }
+}

@@ -69,7 +69,11 @@ impl PerVertexSageSampler {
     pub fn new(fanouts: Vec<usize>) -> Self {
         assert!(!fanouts.is_empty(), "per-vertex SAGE needs at least one layer fanout");
         assert!(fanouts.iter().all(|&s| s > 0), "fanouts must be positive");
-        PerVertexSageSampler { fanouts, memory: MemoryModel::DeviceResident, include_self_loops: false }
+        PerVertexSageSampler {
+            fanouts,
+            memory: MemoryModel::DeviceResident,
+            include_self_loops: false,
+        }
     }
 
     /// Uses the given memory model (Figure 5's GPU vs UVA comparison).
@@ -123,7 +127,8 @@ impl Sampler for PerVertexSageSampler {
         for &s in &self.fanouts {
             // Per-vertex neighbor sampling (hash-set based, like Quiver/DGL).
             let mut next: Vec<usize> = Vec::new();
-            let mut col_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+            let mut col_of: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
             let mut edges: Vec<(usize, usize)> = Vec::new();
             for (i, &v) in frontier.iter().enumerate() {
                 let neighbors = adjacency.row_indices(v);
@@ -168,15 +173,17 @@ impl Sampler for PerVertexSageSampler {
         &self,
         adjacency: &CsrMatrix,
         batches: &[Vec<usize>],
-        _config: &BulkSamplerConfig,
+        config: &BulkSamplerConfig,
         rng: &mut dyn RngCore,
     ) -> Result<BulkSampleOutput> {
+        config.validate()?;
         validate_batches(batches, adjacency.rows())?;
         let mut profile = PhaseProfile::new();
         let mut minibatches = Vec::with_capacity(batches.len());
         let mut rows_touched = 0usize;
         for batch in batches {
-            let mb = profile.time_compute(Phase::Sampling, || self.sample_minibatch(adjacency, batch, rng))?;
+            let mb = profile
+                .time_compute(Phase::Sampling, || self.sample_minibatch(adjacency, batch, rng))?;
             rows_touched += mb.layers.iter().map(|l| l.rows.len()).sum::<usize>();
             minibatches.push(mb);
         }
@@ -218,7 +225,8 @@ pub fn ladies_reference<R: Rng + ?Sized>(
         for _ in 0..num_layers {
             // Aggregated neighborhood counts e_v.
             let counts = profile.time_compute(Phase::Probability, || {
-                let mut counts: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+                let mut counts: std::collections::HashMap<usize, f64> =
+                    std::collections::HashMap::new();
                 for &v in &frontier {
                     for &u in adjacency.row_indices(v) {
                         *counts.entry(u).or_insert(0.0) += 1.0;
@@ -229,10 +237,15 @@ pub fn ladies_reference<R: Rng + ?Sized>(
             let (support, weights): (Vec<usize>, Vec<f64>) =
                 counts.iter().map(|(&v, &e)| (v, e * e)).unzip();
             if support.is_empty() {
-                layers.push(LayerSample::new(frontier.clone(), Vec::new(), CsrMatrix::zeros(frontier.len(), 0)));
+                layers.push(LayerSample::new(
+                    frontier.clone(),
+                    Vec::new(),
+                    CsrMatrix::zeros(frontier.len(), 0),
+                ));
                 continue;
             }
-            let picked = profile.time_compute(Phase::Sampling, || its_without_replacement(&weights, s, rng))?;
+            let picked = profile
+                .time_compute(Phase::Sampling, || its_without_replacement(&weights, s, rng))?;
             let mut sampled: Vec<usize> = picked.into_iter().map(|i| support[i]).collect();
             sampled.sort_unstable();
             let layer = profile.time_compute(Phase::Extraction, || -> Result<LayerSample> {
@@ -293,8 +306,10 @@ mod tests {
         let a = adjacency();
         let mut rng1 = StdRng::seed_from_u64(2);
         let mut rng2 = StdRng::seed_from_u64(3);
-        let matrix = GraphSageSampler::new(vec![10]).sample_minibatch(&a, &[1, 5], &mut rng1).unwrap();
-        let pervertex = PerVertexSageSampler::new(vec![10]).sample_minibatch(&a, &[1, 5], &mut rng2).unwrap();
+        let matrix =
+            GraphSageSampler::new(vec![10]).sample_minibatch(&a, &[1, 5], &mut rng1).unwrap();
+        let pervertex =
+            PerVertexSageSampler::new(vec![10]).sample_minibatch(&a, &[1, 5], &mut rng2).unwrap();
         let mut m_cols = matrix.layers[0].cols.clone();
         let mut p_cols = pervertex.layers[0].cols.clone();
         m_cols.sort_unstable();
@@ -309,7 +324,8 @@ mod tests {
         let batches = vec![vec![1, 5], vec![0, 3]];
         let cfg = BulkSamplerConfig::new(2, 2);
         let gpu = PerVertexSageSampler::new(vec![2]);
-        let uva = PerVertexSageSampler::new(vec![2]).with_memory_model(MemoryModel::UnifiedVirtualAddressing);
+        let uva = PerVertexSageSampler::new(vec![2])
+            .with_memory_model(MemoryModel::UnifiedVirtualAddressing);
         assert_eq!(uva.memory_model(), MemoryModel::UnifiedVirtualAddressing);
         // Modeled access time for the same number of touched rows is larger.
         assert!(uva.modeled_access_time(1000) > gpu.modeled_access_time(1000));
@@ -352,18 +368,13 @@ mod tests {
         let mut rng1 = StdRng::seed_from_u64(7);
         let mut rng2 = StdRng::seed_from_u64(8);
         let reference = ladies_reference(&a, &[vec![1, 5]], 1, 10, &mut rng1).unwrap();
-        let matrix = LadiesSampler::new(1, 10)
-            .sample_minibatch(&a, &[1, 5], &mut rng2)
-            .unwrap();
+        let matrix = LadiesSampler::new(1, 10).sample_minibatch(&a, &[1, 5], &mut rng2).unwrap();
         let mut ref_cols = reference.minibatches[0].layers[0].cols.clone();
         let mut mat_cols = matrix.layers[0].cols.clone();
         ref_cols.sort_unstable();
         mat_cols.sort_unstable();
         assert_eq!(ref_cols, mat_cols);
-        assert_eq!(
-            reference.minibatches[0].layers[0].num_edges(),
-            matrix.layers[0].num_edges()
-        );
+        assert_eq!(reference.minibatches[0].layers[0].num_edges(), matrix.layers[0].num_edges());
     }
 
     #[test]

@@ -6,12 +6,33 @@ use dmbs_matrix::MatrixError;
 use std::error::Error;
 use std::fmt;
 
-/// Errors produced by sampling algorithms and distributed sampling drivers.
+/// Errors produced by sampling algorithms and distributed sampling backends.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SamplingError {
     /// The sampler was configured with invalid parameters (zero fanout, empty
     /// batch, batch vertex out of range, …).
     InvalidConfig(String),
+    /// A [`crate::BulkSamplerConfig`] field that must be positive was zero.
+    InvalidBulkConfig {
+        /// The offending field (`"batch_size"` or `"bulk_size"`).
+        field: &'static str,
+    },
+    /// A [`crate::backend::DistConfig`] field was invalid (zero ranks, zero
+    /// replication, or a replication factor that does not divide the ranks).
+    InvalidDistConfig {
+        /// The offending field (`"ranks"` or `"replication_c"`).
+        field: &'static str,
+        /// The rejected value.
+        value: usize,
+    },
+    /// The sampler does not implement the requested distribution strategy
+    /// (e.g. a custom sampler without a graph-partitioned formulation).
+    UnsupportedBackend {
+        /// [`crate::Sampler::name`] of the sampler.
+        sampler: &'static str,
+        /// [`crate::backend::SamplingBackend::name`] of the backend.
+        backend: &'static str,
+    },
     /// An underlying matrix kernel failed.
     Matrix(MatrixError),
     /// An underlying graph operation failed.
@@ -24,6 +45,15 @@ impl fmt::Display for SamplingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SamplingError::InvalidConfig(msg) => write!(f, "invalid sampling configuration: {msg}"),
+            SamplingError::InvalidBulkConfig { field } => {
+                write!(f, "invalid bulk sampler configuration: {field} must be positive")
+            }
+            SamplingError::InvalidDistConfig { field, value } => {
+                write!(f, "invalid distribution configuration: {field} = {value} is not valid")
+            }
+            SamplingError::UnsupportedBackend { sampler, backend } => {
+                write!(f, "sampler `{sampler}` does not support the `{backend}` backend")
+            }
             SamplingError::Matrix(e) => write!(f, "matrix error during sampling: {e}"),
             SamplingError::Graph(e) => write!(f, "graph error during sampling: {e}"),
             SamplingError::Comm(e) => write!(f, "communication error during sampling: {e}"),
@@ -37,7 +67,10 @@ impl Error for SamplingError {
             SamplingError::Matrix(e) => Some(e),
             SamplingError::Graph(e) => Some(e),
             SamplingError::Comm(e) => Some(e),
-            SamplingError::InvalidConfig(_) => None,
+            SamplingError::InvalidConfig(_)
+            | SamplingError::InvalidBulkConfig { .. }
+            | SamplingError::InvalidDistConfig { .. }
+            | SamplingError::UnsupportedBackend { .. } => None,
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::its::its_without_replacement;
 use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
-use crate::sampler::{validate_batches, BulkSamplerConfig, Sampler};
+use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
 use dmbs_matrix::CsrMatrix;
@@ -88,9 +88,10 @@ impl Sampler for FastGcnSampler {
         &self,
         adjacency: &CsrMatrix,
         batches: &[Vec<usize>],
-        _config: &BulkSamplerConfig,
+        config: &BulkSamplerConfig,
         rng: &mut dyn RngCore,
     ) -> Result<BulkSampleOutput> {
+        config.validate()?;
         let n = adjacency.rows();
         if adjacency.cols() != n {
             return Err(SamplingError::InvalidConfig("adjacency matrix must be square".into()));
@@ -109,11 +110,12 @@ impl Sampler for FastGcnSampler {
                 let sampled = profile.time_compute(Phase::Sampling, || {
                     its_without_replacement(&weights, self.samples_per_layer, rng)
                 })?;
-                let layer = profile.time_compute(Phase::Extraction, || -> Result<LayerSample> {
-                    let rows_matrix = adjacency.gather_rows(&frontier)?;
-                    let a_s = rows_matrix.select_columns(&sampled)?;
-                    Ok(LayerSample::new(frontier.clone(), sampled.clone(), a_s))
-                })?;
+                let layer =
+                    profile.time_compute(Phase::Extraction, || -> Result<LayerSample> {
+                        let rows_matrix = adjacency.gather_rows(&frontier)?;
+                        let a_s = rows_matrix.select_columns(&sampled)?;
+                        Ok(LayerSample::new(frontier.clone(), sampled.clone(), a_s))
+                    })?;
                 frontier = layer.cols.clone();
                 layers.push(layer);
             }
@@ -122,6 +124,19 @@ impl Sampler for FastGcnSampler {
         }
 
         Ok(BulkSampleOutput { minibatches, profile, comm_stats: Default::default() })
+    }
+
+    fn sample_partitioned(&self, ctx: &mut PartitionedContext<'_>) -> Result<BulkSampleOutput> {
+        crate::partitioned::fastgcn_on_rank(
+            ctx.comm,
+            ctx.grid,
+            ctx.my_a_block,
+            ctx.vertex_partition,
+            ctx.my_batches,
+            self.num_layers,
+            self.samples_per_layer,
+            ctx.seed,
+        )
     }
 }
 
@@ -212,7 +227,12 @@ mod tests {
         let sampler = FastGcnSampler::new(1, 2);
         let mut rng = StdRng::seed_from_u64(4);
         let out = sampler
-            .sample_bulk(g.adjacency(), &[vec![0], vec![1]], &BulkSamplerConfig::new(1, 2), &mut rng)
+            .sample_bulk(
+                g.adjacency(),
+                &[vec![0], vec![1]],
+                &BulkSamplerConfig::new(1, 2),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(out.num_batches(), 2);
         assert!(sampler

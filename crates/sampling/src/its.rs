@@ -45,9 +45,7 @@ pub fn its_without_replacement<R: Rng + ?Sized>(
     let mut working: Vec<f64> = weights.to_vec();
     let all_zero = working.iter().all(|&w| w <= 0.0);
     if all_zero {
-        for w in &mut working {
-            *w = 1.0;
-        }
+        working.fill(1.0);
     }
     let mut selected = Vec::with_capacity(s);
     for _ in 0..s {
@@ -83,16 +81,16 @@ pub fn its_with_replacement<R: Rng + ?Sized>(
         return Err(SamplingError::InvalidConfig("sample count s must be positive".into()));
     }
     if weights.is_empty() {
-        return Err(SamplingError::InvalidConfig("cannot sample from an empty distribution".into()));
+        return Err(SamplingError::InvalidConfig(
+            "cannot sample from an empty distribution".into(),
+        ));
     }
     let scan = inclusive_scan(weights);
     let total = *scan.last().expect("non-empty");
     if total <= 0.0 {
         return Err(SamplingError::InvalidConfig("all weights are zero".into()));
     }
-    Ok((0..s)
-        .map(|_| upper_bound(&scan, rng.gen::<f64>() * total))
-        .collect())
+    Ok((0..s).map(|_| upper_bound(&scan, rng.gen::<f64>() * total)).collect())
 }
 
 /// Draws up to `s` distinct positions without replacement using **rejection
@@ -253,7 +251,13 @@ mod tests {
             &CooMatrix::from_triples(
                 2,
                 6,
-                vec![(0, 0, 1.0 / 3.0), (0, 2, 1.0 / 3.0), (0, 4, 1.0 / 3.0), (1, 3, 0.5), (1, 4, 0.5)],
+                vec![
+                    (0, 0, 1.0 / 3.0),
+                    (0, 2, 1.0 / 3.0),
+                    (0, 4, 1.0 / 3.0),
+                    (1, 3, 0.5),
+                    (1, 4, 0.5),
+                ],
             )
             .unwrap(),
         );

@@ -16,7 +16,7 @@
 
 use crate::its::sample_rows;
 use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
-use crate::sampler::{validate_batches, BulkSamplerConfig, Sampler};
+use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
 use dmbs_matrix::ops::row_selection_matrix;
@@ -115,9 +115,10 @@ impl Sampler for LadiesSampler {
         &self,
         adjacency: &CsrMatrix,
         batches: &[Vec<usize>],
-        _config: &BulkSamplerConfig,
+        config: &BulkSamplerConfig,
         rng: &mut dyn RngCore,
     ) -> Result<BulkSampleOutput> {
+        config.validate()?;
         let n = adjacency.rows();
         if adjacency.cols() != n {
             return Err(SamplingError::InvalidConfig("adjacency matrix must be square".into()));
@@ -202,6 +203,19 @@ impl Sampler for LadiesSampler {
             .collect();
 
         Ok(BulkSampleOutput { minibatches, profile, comm_stats: Default::default() })
+    }
+
+    fn sample_partitioned(&self, ctx: &mut PartitionedContext<'_>) -> Result<BulkSampleOutput> {
+        crate::partitioned::ladies_on_rank(
+            ctx.comm,
+            ctx.grid,
+            ctx.my_a_block,
+            ctx.vertex_partition,
+            ctx.my_batches,
+            self.num_layers,
+            self.samples_per_layer,
+            ctx.seed,
+        )
     }
 }
 
@@ -329,9 +343,8 @@ mod tests {
         let sampler = LadiesSampler::new(1, 2);
         let batches = vec![vec![1, 5], vec![0, 2], vec![3, 4]];
         let mut rng = StdRng::seed_from_u64(6);
-        let out = sampler
-            .sample_bulk(&a, &batches, &BulkSamplerConfig::new(2, 3), &mut rng)
-            .unwrap();
+        let out =
+            sampler.sample_bulk(&a, &batches, &BulkSamplerConfig::new(2, 3), &mut rng).unwrap();
         assert_eq!(out.num_batches(), 3);
         for (mb, batch) in out.minibatches.iter().zip(&batches) {
             assert_eq!(&mb.batch, batch);
@@ -347,9 +360,16 @@ mod tests {
         let sampler = LadiesSampler::new(1, 2);
         let mut rng = StdRng::seed_from_u64(7);
         assert!(sampler.sample_bulk(&a, &[], &BulkSamplerConfig::default(), &mut rng).is_err());
-        assert!(sampler.sample_bulk(&a, &[vec![99]], &BulkSamplerConfig::default(), &mut rng).is_err());
         assert!(sampler
-            .sample_bulk(&CsrMatrix::zeros(2, 3), &[vec![0]], &BulkSamplerConfig::default(), &mut rng)
+            .sample_bulk(&a, &[vec![99]], &BulkSamplerConfig::default(), &mut rng)
+            .is_err());
+        assert!(sampler
+            .sample_bulk(
+                &CsrMatrix::zeros(2, 3),
+                &[vec![0]],
+                &BulkSamplerConfig::default(),
+                &mut rng
+            )
             .is_err());
     }
 

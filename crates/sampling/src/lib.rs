@@ -16,41 +16,57 @@
 //! ```
 //!
 //! and samples `k` minibatches *in bulk* by vertically stacking their `Q`,
-//! `P` and `A^l` matrices (Equation 1).  This crate implements:
+//! `P` and `A^l` matrices (Equation 1).
 //!
-//! * [`its`] — inverse transform sampling (and rejection sampling, for the
-//!   ablation) over CSR probability rows;
-//! * [`GraphSageSampler`] — node-wise sampling (§4.1);
-//! * [`LadiesSampler`] — layer-wise dependency sampling (§4.2), including the
-//!   row/column extraction SpGEMMs;
-//! * [`FastGcnSampler`] — degree-based layer-wise sampling (an extension
-//!   mentioned in §2.2.2);
-//! * [`replicated`] — the Graph Replicated distributed algorithm (§5.1):
-//!   `Q` partitioned 1D, `A` replicated, no communication during sampling;
-//! * [`partitioned`] — the Graph Partitioned algorithm (§5.2): both matrices
-//!   partitioned on a `p/c × c` grid and multiplied with the sparsity-aware
-//!   1.5D SpGEMM of Algorithm 2;
-//! * [`baseline`] — per-vertex samplers standing in for Quiver/DGL (including
-//!   a UVA-style slow-memory model) and a reference per-batch CPU LADIES.
+//! The crate's API mirrors the paper's central claim — one formulation for
+//! **every sampling algorithm × every distribution strategy** — with two
+//! orthogonal abstractions:
 //!
-//! # Example: bulk GraphSAGE sampling
+//! * the [`Sampler`] trait picks the algorithm:
+//!   [`GraphSageSampler`] (node-wise, §4.1), [`LadiesSampler`] (layer-wise
+//!   dependency, §4.2), [`FastGcnSampler`] (degree-based layer-wise,
+//!   §2.2.2);
+//! * the [`SamplingBackend`] trait picks the distribution strategy:
+//!   [`LocalBackend`] (single device, §4), [`ReplicatedBackend`]
+//!   (Graph Replicated, §5.1: `Q` partitioned 1D, `A` replicated, zero
+//!   communication) and [`Partitioned1p5dBackend`] (Graph Partitioned, §5.2:
+//!   a `p/c × c` grid driving the sparsity-aware 1.5D SpGEMM of
+//!   Algorithm 2), all sharing one [`DistConfig`] and returning
+//!   [`EpochSamples`].
+//!
+//! Supporting modules: [`its`] — inverse transform sampling (and rejection
+//! sampling, for the ablation) over CSR probability rows; [`baseline`] —
+//! per-vertex samplers standing in for Quiver/DGL (including a UVA-style
+//! slow-memory model) and a reference per-batch CPU LADIES; [`replicated`] /
+//! [`partitioned`] — the rank-level machinery behind the backends (their
+//! free-function drivers are deprecated in favor of the trait).
+//!
+//! # Example: one sampler, two distribution strategies
 //!
 //! ```
-//! use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler, Sampler};
+//! use dmbs_sampling::{
+//!     BulkSamplerConfig, DistConfig, GraphSageSampler, LocalBackend,
+//!     Partitioned1p5dBackend, SamplingBackend,
+//! };
 //! use dmbs_graph::generators::figure1_example;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), dmbs_sampling::SamplingError> {
 //! let graph = figure1_example();
 //! let sampler = GraphSageSampler::new(vec![2]);
 //! let batches = vec![vec![1, 5], vec![0, 3]];
-//! let config = BulkSamplerConfig::new(2, 2);
-//! let mut rng = StdRng::seed_from_u64(7);
-//! let out = sampler.sample_bulk(graph.adjacency(), &batches, &config, &mut rng)?;
+//! let bulk = BulkSamplerConfig::new(2, 2);
+//!
+//! // Single device …
+//! let local = LocalBackend::new(bulk)?;
+//! let out = local.sample_epoch(&sampler, graph.adjacency(), &batches, 7)?;
 //! assert_eq!(out.num_batches(), 2);
 //! // Layer L of the first minibatch has the batch vertices as rows.
-//! assert_eq!(out.minibatches[0].layers.last().unwrap().rows, vec![1, 5]);
+//! assert_eq!(out.minibatches()[0].layers.last().unwrap().rows, vec![1, 5]);
+//!
+//! // … and the same call against a 4-rank, c = 2 partitioned grid.
+//! let partitioned = Partitioned1p5dBackend::new(DistConfig::new(4, 2, bulk))?;
+//! let out = partitioned.sample_epoch(&sampler, graph.adjacency(), &batches, 7)?;
+//! assert_eq!(out.num_batches(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -58,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod baseline;
 pub mod error;
 pub mod fastgcn;
@@ -69,12 +86,16 @@ pub mod replicated;
 pub mod sage;
 pub mod sampler;
 
+pub use backend::{
+    DistConfig, EpochSamples, LocalBackend, Partitioned1p5dBackend, ReplicatedBackend,
+    SamplingBackend,
+};
 pub use error::SamplingError;
 pub use fastgcn::FastGcnSampler;
 pub use ladies::LadiesSampler;
 pub use plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 pub use sage::GraphSageSampler;
-pub use sampler::{BulkSamplerConfig, Sampler};
+pub use sampler::{BulkSamplerConfig, PartitionedContext, Sampler};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, SamplingError>;

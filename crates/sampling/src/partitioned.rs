@@ -15,7 +15,7 @@
 //! reuses the same 1.5D SpGEMM and its column extraction is split across the
 //! process row as a batch of smaller SpGEMMs (§5.2.3, §8.2.2).
 
-use crate::its::sample_rows;
+use crate::its::{its_without_replacement, sample_rows};
 use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Communicator, Group, Phase, PhaseProfile, ProcessGrid, Runtime};
@@ -106,11 +106,8 @@ pub fn spgemm_1p5d_sparsity_aware(
         let block_range = vertex_partition.range(k_block);
 
         // Rows of A_k that my local multiply will read.
-        let needed: Vec<usize> = q_nonzero_cols
-            .iter()
-            .copied()
-            .filter(|&c| block_range.contains(&c))
-            .collect();
+        let needed: Vec<usize> =
+            q_nonzero_cols.iter().copied().filter(|&c| block_range.contains(&c)).collect();
 
         // Gather every member's request list at the owner of A_k.
         let requests = comm.group_gather(&col_group, owner, needed.clone())?;
@@ -192,8 +189,38 @@ fn row_seed(seed: u64, process_row: usize, step: usize) -> u64 {
 ///
 /// Returns an error for invalid configurations (out-of-range batch vertices,
 /// mismatched blocks) or failed collectives.
+#[deprecated(
+    since = "0.2.0",
+    note = "drive partitioned sampling through `backend::Partitioned1p5dBackend` \
+            (the `Sampler::sample_partitioned` hook replaces per-sampler free functions)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn sample_partitioned_sage(
+    comm: &mut Communicator,
+    grid: &ProcessGrid,
+    my_a_block: &CsrMatrix,
+    vertex_partition: &OneDPartition,
+    my_batches: &[Vec<usize>],
+    fanouts: &[usize],
+    include_self_loops: bool,
+    seed: u64,
+) -> Result<BulkSampleOutput> {
+    sage_on_rank(
+        comm,
+        grid,
+        my_a_block,
+        vertex_partition,
+        my_batches,
+        fanouts,
+        include_self_loops,
+        seed,
+    )
+}
+
+/// Rank-level GraphSAGE body shared by the deprecated free function and the
+/// [`crate::Sampler::sample_partitioned`] implementation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sage_on_rank(
     comm: &mut Communicator,
     grid: &ProcessGrid,
     my_a_block: &CsrMatrix,
@@ -254,8 +281,11 @@ pub fn sample_partitioned_sage(
             for (i, frontier) in frontiers.iter_mut().enumerate() {
                 let block = q_next.row_block(offsets[i], offsets[i + 1]);
                 let block = if include_self_loops {
-                    let mut coo =
-                        CooMatrix::with_capacity(block.rows(), block.cols(), block.nnz() + frontier.len());
+                    let mut coo = CooMatrix::with_capacity(
+                        block.rows(),
+                        block.cols(),
+                        block.nnz() + frontier.len(),
+                    );
                     for (r, c, v) in block.iter() {
                         coo.push(r, c, v)?;
                     }
@@ -301,8 +331,38 @@ pub fn sample_partitioned_sage(
 /// # Errors
 ///
 /// Returns an error for invalid configurations or failed collectives.
+#[deprecated(
+    since = "0.2.0",
+    note = "drive partitioned sampling through `backend::Partitioned1p5dBackend` \
+            (the `Sampler::sample_partitioned` hook replaces per-sampler free functions)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn sample_partitioned_ladies(
+    comm: &mut Communicator,
+    grid: &ProcessGrid,
+    my_a_block: &CsrMatrix,
+    vertex_partition: &OneDPartition,
+    my_batches: &[Vec<usize>],
+    num_layers: usize,
+    samples_per_layer: usize,
+    seed: u64,
+) -> Result<BulkSampleOutput> {
+    ladies_on_rank(
+        comm,
+        grid,
+        my_a_block,
+        vertex_partition,
+        my_batches,
+        num_layers,
+        samples_per_layer,
+        seed,
+    )
+}
+
+/// Rank-level LADIES body shared by the deprecated free function and the
+/// [`crate::Sampler::sample_partitioned`] implementation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ladies_on_rank(
     comm: &mut Communicator,
     grid: &ProcessGrid,
     my_a_block: &CsrMatrix,
@@ -363,7 +423,8 @@ pub fn sample_partitioned_ladies(
         });
 
         let mut rng = StdRng::seed_from_u64(row_seed(seed, my_row, step));
-        let sampled = profile.time_compute(Phase::Sampling, || sample_rows(&p, samples_per_layer, &mut rng))?;
+        let sampled = profile
+            .time_compute(Phase::Sampling, || sample_rows(&p, samples_per_layer, &mut rng))?;
 
         // Row extraction via the same 1.5D SpGEMM: Q_R selects every frontier
         // vertex's row of A.
@@ -437,6 +498,118 @@ pub fn sample_partitioned_ladies(
     Ok(BulkSampleOutput { minibatches, profile, comm_stats })
 }
 
+/// Rank-level FastGCN body used by the
+/// [`crate::Sampler::sample_partitioned`] implementation.
+///
+/// FastGCN's importance distribution `q(v) ∝ deg_in(v)²` is global, so the
+/// distributed formulation first all-reduces the per-block-row column sums
+/// across each process column (one rank per block row), then samples
+/// replicated within every process row, and extracts each layer's bipartite
+/// adjacency by fetching the frontier's rows of `A` with the same 1.5D SpGEMM
+/// the other samplers use.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fastgcn_on_rank(
+    comm: &mut Communicator,
+    grid: &ProcessGrid,
+    my_a_block: &CsrMatrix,
+    vertex_partition: &OneDPartition,
+    my_batches: &[Vec<usize>],
+    num_layers: usize,
+    samples_per_layer: usize,
+    seed: u64,
+) -> Result<BulkSampleOutput> {
+    if num_layers == 0 || samples_per_layer == 0 {
+        return Err(SamplingError::InvalidConfig(
+            "num_layers and samples_per_layer must be positive".into(),
+        ));
+    }
+    let n = vertex_partition.len();
+    for batch in my_batches {
+        if let Some(&bad) = batch.iter().find(|&&v| v >= n) {
+            return Err(SamplingError::InvalidConfig(format!("batch vertex {bad} out of range")));
+        }
+    }
+    let rank = comm.rank();
+    let (my_row, _) = grid.coords(rank);
+    let comm_before = comm.stats();
+    let mut profile = PhaseProfile::new();
+
+    // Global importance weights: column sums of the full A are the sum of the
+    // per-block-row column sums, reduced across each process column.
+    let col_group = Group::new(&grid.col_ranks(rank))?;
+    let local_sums = profile.time_compute(Phase::Probability, || my_a_block.col_sums());
+    let comm_t0 = comm.stats().modeled_time;
+    let total_sums = comm.group_allreduce(&col_group, local_sums, |a, b| {
+        a.iter().zip(b).map(|(x, y)| x + y).collect()
+    })?;
+    profile.add_comm(Phase::Probability, comm.stats().modeled_time - comm_t0);
+    let weights: Vec<f64> = profile
+        .time_compute(Phase::Probability, || total_sums.into_iter().map(|d| d * d).collect());
+
+    let k = my_batches.len();
+    let mut frontiers: Vec<Vec<usize>> = my_batches.to_vec();
+    let mut layers: Vec<Vec<LayerSample>> = vec![Vec::new(); k];
+
+    for step in 0..num_layers {
+        // Sampling is replicated within the process row via a shared seed.
+        let mut rng = StdRng::seed_from_u64(row_seed(seed, my_row, step));
+        let sampled_per_batch: Vec<Vec<usize>> = profile.time_compute(Phase::Sampling, || {
+            (0..k)
+                .map(|_| its_without_replacement(&weights, samples_per_layer, &mut rng))
+                .collect::<Result<_>>()
+        })?;
+
+        // Row extraction via the 1.5D SpGEMM, then a local column selection.
+        let (q_r, offsets) = profile.time_compute(Phase::Extraction, || -> Result<_> {
+            let mut stacked: Vec<usize> = Vec::new();
+            let mut offsets = Vec::with_capacity(k + 1);
+            offsets.push(0);
+            for frontier in &frontiers {
+                stacked.extend_from_slice(frontier);
+                offsets.push(stacked.len());
+            }
+            Ok((row_selection_matrix(&stacked, n)?, offsets))
+        })?;
+        let a_r = spgemm_1p5d_sparsity_aware(
+            comm,
+            grid,
+            &q_r,
+            my_a_block,
+            vertex_partition,
+            &mut profile,
+            Phase::Extraction,
+        )?;
+        profile.time_compute(Phase::Extraction, || -> Result<()> {
+            for (i, frontier) in frontiers.iter_mut().enumerate() {
+                let block = a_r.row_block(offsets[i], offsets[i + 1]);
+                let a_s = block.select_columns(&sampled_per_batch[i])?;
+                layers[i].push(LayerSample::new(
+                    frontier.clone(),
+                    sampled_per_batch[i].clone(),
+                    a_s,
+                ));
+                *frontier = sampled_per_batch[i].clone();
+            }
+            Ok(())
+        })?;
+    }
+
+    let minibatches = my_batches
+        .iter()
+        .zip(layers)
+        .map(|(batch, mut batch_layers)| {
+            batch_layers.reverse();
+            MinibatchSample { batch: batch.clone(), layers: batch_layers }
+        })
+        .collect();
+
+    let mut comm_stats = comm.stats();
+    comm_stats.messages -= comm_before.messages;
+    comm_stats.words_sent -= comm_before.words_sent;
+    comm_stats.modeled_time -= comm_before.modeled_time;
+    Ok(BulkSampleOutput { minibatches, profile, comm_stats })
+}
+
 /// Assigns minibatch indices to process rows round-robin (process row `r`
 /// owns batches `r, r + rows, …`).
 pub fn assign_batches_to_rows(num_batches: usize, rows: usize) -> Vec<Vec<usize>> {
@@ -454,6 +627,10 @@ pub fn assign_batches_to_rows(num_batches: usize, rows: usize) -> Vec<Vec<usize>
 /// # Errors
 ///
 /// Propagates configuration, sampling and runtime errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `backend::Partitioned1p5dBackend::sample_epoch` through the `SamplingBackend` trait"
+)]
 pub fn run_partitioned_sage(
     runtime: &Runtime,
     replication: usize,
@@ -476,7 +653,7 @@ pub fn run_partitioned_sage(
         let (my_row, _) = grid.coords(comm.rank());
         let my_batches: Vec<Vec<usize>> =
             row_assignment[my_row].iter().map(|&i| batches[i].clone()).collect();
-        sample_partitioned_sage(
+        sage_on_rank(
             comm,
             &grid,
             &a_blocks[my_row],
@@ -508,6 +685,10 @@ pub fn run_partitioned_sage(
 /// # Errors
 ///
 /// Propagates configuration, sampling and runtime errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `backend::Partitioned1p5dBackend::sample_epoch` through the `SamplingBackend` trait"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_partitioned_ladies(
     runtime: &Runtime,
@@ -531,7 +712,7 @@ pub fn run_partitioned_ladies(
         let (my_row, _) = grid.coords(comm.rank());
         let my_batches: Vec<Vec<usize>> =
             row_assignment[my_row].iter().map(|&i| batches[i].clone()).collect();
-        sample_partitioned_ladies(
+        ladies_on_rank(
             comm,
             &grid,
             &a_blocks[my_row],
@@ -580,13 +761,18 @@ pub fn flatten_row_outputs(
     merged.minibatches = ordered
         .into_iter()
         .map(|mb| {
-            mb.ok_or_else(|| SamplingError::InvalidConfig("a minibatch was not sampled by any process row".into()))
+            mb.ok_or_else(|| {
+                SamplingError::InvalidConfig(
+                    "a minibatch was not sampled by any process row".into(),
+                )
+            })
         })
         .collect::<Result<Vec<_>>>()?;
     Ok(merged)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::sampler::{BulkSamplerConfig, Sampler};
@@ -688,9 +874,8 @@ mod tests {
 
         let single = GraphSageSampler::new(fanouts.clone());
         let mut rng = StdRng::seed_from_u64(9);
-        let expected = single
-            .sample_bulk(&a, &batches, &BulkSamplerConfig::new(2, 3), &mut rng)
-            .unwrap();
+        let expected =
+            single.sample_bulk(&a, &batches, &BulkSamplerConfig::new(2, 3), &mut rng).unwrap();
         for (got, want) in flat.minibatches.iter().zip(&expected.minibatches) {
             assert_eq!(got.batch, want.batch);
             assert_eq!(got.layers[0].rows, want.layers[0].rows);
@@ -716,7 +901,11 @@ mod tests {
                     assert!(layer.adjacency.row_nnz(r) <= 3);
                 }
                 for (r, c, _) in layer.adjacency.iter() {
-                    assert_eq!(a.get(layer.rows[r], layer.cols[c]), 1.0, "sampled edge not in graph");
+                    assert_eq!(
+                        a.get(layer.rows[r], layer.cols[c]),
+                        1.0,
+                        "sampled edge not in graph"
+                    );
                 }
             }
         }
@@ -737,9 +926,8 @@ mod tests {
 
         let single = LadiesSampler::new(1, 10);
         let mut rng = StdRng::seed_from_u64(23);
-        let expected = single
-            .sample_bulk(&a, &batches, &BulkSamplerConfig::new(2, 2), &mut rng)
-            .unwrap();
+        let expected =
+            single.sample_bulk(&a, &batches, &BulkSamplerConfig::new(2, 2), &mut rng).unwrap();
         for (got, want) in flat.minibatches.iter().zip(&expected.minibatches) {
             assert_eq!(got.layers[0].rows, want.layers[0].rows);
             assert_eq!(got.layers[0].cols, want.layers[0].cols);
@@ -751,7 +939,8 @@ mod tests {
     fn partitioned_ladies_sample_size_and_edges() {
         let a = random_graph(7, 8, 4);
         let n = a.rows();
-        let batches: Vec<Vec<usize>> = (0..4).map(|i| vec![(i * 11) % n, (i * 13 + 2) % n, (i * 5 + 7) % n]).collect();
+        let batches: Vec<Vec<usize>> =
+            (0..4).map(|i| vec![(i * 11) % n, (i * 13 + 2) % n, (i * 5 + 7) % n]).collect();
         let runtime = Runtime::new(4).unwrap();
         let per_row = run_partitioned_ladies(&runtime, 2, &a, &batches, 1, 5, 31).unwrap();
         let flat = flatten_row_outputs(per_row, batches.len()).unwrap();
@@ -776,7 +965,16 @@ mod tests {
         // Replication must divide p.
         assert!(run_partitioned_sage(&runtime, 3, &a, &[vec![0]], &[2], false, 0).is_err());
         // Rectangular adjacency.
-        assert!(run_partitioned_sage(&runtime, 2, &CsrMatrix::zeros(3, 4), &[vec![0]], &[2], false, 0).is_err());
+        assert!(run_partitioned_sage(
+            &runtime,
+            2,
+            &CsrMatrix::zeros(3, 4),
+            &[vec![0]],
+            &[2],
+            false,
+            0
+        )
+        .is_err());
     }
 
     #[test]
@@ -795,9 +993,8 @@ mod tests {
         // whole vertex range so every rank genuinely needs remote rows.
         let a = random_graph(8, 8, 5);
         let n = a.rows();
-        let batches: Vec<Vec<usize>> = (0..8)
-            .map(|i| (0..16).map(|j| (i + j * 16) % n).collect())
-            .collect();
+        let batches: Vec<Vec<usize>> =
+            (0..8).map(|i| (0..16).map(|j| (i + j * 16) % n).collect()).collect();
         let runtime = Runtime::new(8).unwrap();
         let c1 = run_partitioned_sage(&runtime, 1, &a, &batches, &[4], false, 7).unwrap();
         let c2 = run_partitioned_sage(&runtime, 2, &a, &batches, &[4], false, 7).unwrap();

@@ -88,9 +88,7 @@ impl MinibatchSample {
                 return false;
             }
         }
-        self.layers
-            .windows(2)
-            .all(|pair| pair[0].rows == pair[1].cols)
+        self.layers.windows(2).all(|pair| pair[0].rows == pair[1].cols)
     }
 }
 
@@ -189,7 +187,7 @@ mod tests {
         let l = layer(vec![0], vec![1], &[(0, 0)]);
         let mb = MinibatchSample { batch: vec![0], layers: vec![l] };
         let mut a = BulkSampleOutput { minibatches: vec![mb.clone()], ..Default::default() };
-        let b = BulkSampleOutput { minibatches: vec![mb.clone(), mb] , ..Default::default() };
+        let b = BulkSampleOutput { minibatches: vec![mb.clone(), mb], ..Default::default() };
         a.merge(b);
         assert_eq!(a.num_batches(), 3);
         assert_eq!(a.total_edges(), 3);

@@ -39,6 +39,10 @@ pub fn assign_batches_round_robin(num_batches: usize, p: usize) -> Vec<Vec<usize
 ///
 /// Returns an error if the runtime fails, if any rank's sampling fails, or if
 /// the adjacency matrix is not square.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `backend::ReplicatedBackend::sample_epoch` through the `SamplingBackend` trait"
+)]
 pub fn sample_replicated<S>(
     runtime: &Runtime,
     sampler: &S,
@@ -78,6 +82,12 @@ where
 /// # Errors
 ///
 /// Propagates the errors of [`sample_replicated`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `backend::ReplicatedBackend::sample_epoch` through the `SamplingBackend` trait \
+            (its `EpochSamples::output` is already flattened in batch order)"
+)]
+#[allow(deprecated)]
 pub fn sample_replicated_flat<S>(
     runtime: &Runtime,
     sampler: &S,
@@ -104,12 +114,17 @@ where
     }
     merged.minibatches = ordered
         .into_iter()
-        .map(|mb| mb.ok_or_else(|| SamplingError::InvalidConfig("a minibatch was not sampled by any rank".into())))
+        .map(|mb| {
+            mb.ok_or_else(|| {
+                SamplingError::InvalidConfig("a minibatch was not sampled by any rank".into())
+            })
+        })
         .collect::<Result<Vec<_>>>()?;
     Ok(merged)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{GraphSageSampler, LadiesSampler};
@@ -133,7 +148,8 @@ mod tests {
     fn replicated_sage_involves_no_communication() {
         let runtime = Runtime::new(4).unwrap();
         let sampler = GraphSageSampler::new(vec![2]);
-        let batches: Vec<Vec<usize>> = vec![vec![1, 5], vec![0, 3], vec![2, 4], vec![1, 2], vec![3, 5]];
+        let batches: Vec<Vec<usize>> =
+            vec![vec![1, 5], vec![0, 3], vec![2, 4], vec![1, 2], vec![3, 5]];
         let outs = sample_replicated(
             &runtime,
             &sampler,

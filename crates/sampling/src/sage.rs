@@ -11,7 +11,7 @@
 
 use crate::its::sample_rows;
 use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
-use crate::sampler::{validate_batches, BulkSamplerConfig, Sampler};
+use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
 use dmbs_matrix::ops::row_selection_matrix;
@@ -90,7 +90,8 @@ impl GraphSageSampler {
         frontier: &[usize],
     ) -> Result<(CsrMatrix, Vec<usize>)> {
         let block = if self.include_self_loops {
-            let mut coo = CooMatrix::with_capacity(block.rows(), block.cols(), block.nnz() + frontier.len());
+            let mut coo =
+                CooMatrix::with_capacity(block.rows(), block.cols(), block.nnz() + frontier.len());
             for (r, c, v) in block.iter() {
                 coo.push(r, c, v)?;
             }
@@ -136,9 +137,10 @@ impl Sampler for GraphSageSampler {
         &self,
         adjacency: &CsrMatrix,
         batches: &[Vec<usize>],
-        _config: &BulkSamplerConfig,
+        config: &BulkSamplerConfig,
         rng: &mut dyn RngCore,
     ) -> Result<BulkSampleOutput> {
+        config.validate()?;
         let n = adjacency.rows();
         if adjacency.cols() != n {
             return Err(SamplingError::InvalidConfig("adjacency matrix must be square".into()));
@@ -195,6 +197,19 @@ impl Sampler for GraphSageSampler {
             .collect();
 
         Ok(BulkSampleOutput { minibatches, profile, comm_stats: Default::default() })
+    }
+
+    fn sample_partitioned(&self, ctx: &mut PartitionedContext<'_>) -> Result<BulkSampleOutput> {
+        crate::partitioned::sage_on_rank(
+            ctx.comm,
+            ctx.grid,
+            ctx.my_a_block,
+            ctx.vertex_partition,
+            ctx.my_batches,
+            &self.fanouts,
+            self.include_self_loops,
+            ctx.seed,
+        )
     }
 }
 
@@ -316,7 +331,12 @@ mod tests {
         let sampler = GraphSageSampler::new(vec![3, 2]);
         let mut rng = StdRng::seed_from_u64(7);
         let out = sampler
-            .sample_bulk(g.adjacency(), &[vec![0, 1, 2], vec![3, 4, 5]], &BulkSamplerConfig::new(3, 2), &mut rng)
+            .sample_bulk(
+                g.adjacency(),
+                &[vec![0, 1, 2], vec![3, 4, 5]],
+                &BulkSamplerConfig::new(3, 2),
+                &mut rng,
+            )
             .unwrap();
         for mb in &out.minibatches {
             for layer in &mb.layers {
@@ -351,22 +371,24 @@ mod tests {
         let a = adjacency();
         let mut rng = StdRng::seed_from_u64(9);
         assert!(sampler.sample_bulk(&a, &[], &BulkSamplerConfig::default(), &mut rng).is_err());
-        assert!(sampler.sample_bulk(&a, &[vec![]], &BulkSamplerConfig::default(), &mut rng).is_err());
-        assert!(sampler.sample_bulk(&a, &[vec![17]], &BulkSamplerConfig::default(), &mut rng).is_err());
+        assert!(sampler
+            .sample_bulk(&a, &[vec![]], &BulkSamplerConfig::default(), &mut rng)
+            .is_err());
+        assert!(sampler
+            .sample_bulk(&a, &[vec![17]], &BulkSamplerConfig::default(), &mut rng)
+            .is_err());
         let rect = CsrMatrix::zeros(3, 4);
-        assert!(sampler.sample_bulk(&rect, &[vec![0]], &BulkSamplerConfig::default(), &mut rng).is_err());
+        assert!(sampler
+            .sample_bulk(&rect, &[vec![0]], &BulkSamplerConfig::default(), &mut rng)
+            .is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
         let sampler = GraphSageSampler::new(vec![2, 2]);
         let a = adjacency();
-        let s1 = sampler
-            .sample_minibatch(&a, &[1, 5], &mut StdRng::seed_from_u64(42))
-            .unwrap();
-        let s2 = sampler
-            .sample_minibatch(&a, &[1, 5], &mut StdRng::seed_from_u64(42))
-            .unwrap();
+        let s1 = sampler.sample_minibatch(&a, &[1, 5], &mut StdRng::seed_from_u64(42)).unwrap();
+        let s2 = sampler.sample_minibatch(&a, &[1, 5], &mut StdRng::seed_from_u64(42)).unwrap();
         assert_eq!(s1, s2);
     }
 

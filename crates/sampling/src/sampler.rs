@@ -2,7 +2,9 @@
 //! configuration.
 
 use crate::plan::{BulkSampleOutput, MinibatchSample};
-use crate::Result;
+use crate::{Result, SamplingError};
+use dmbs_comm::{Communicator, ProcessGrid};
+use dmbs_graph::partition::OneDPartition;
 use dmbs_matrix::CsrMatrix;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -22,9 +24,25 @@ pub struct BulkSamplerConfig {
 
 impl BulkSamplerConfig {
     /// Creates a configuration with batch size `b` and bulk minibatch count
-    /// `k`.
+    /// `k`.  Use [`BulkSamplerConfig::validate`] (or any `sample_bulk` call,
+    /// which validates implicitly) to reject zero values.
     pub fn new(batch_size: usize, bulk_size: usize) -> Self {
         BulkSamplerConfig { batch_size, bulk_size }
+    }
+
+    /// Rejects zero `batch_size` / `bulk_size` with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidBulkConfig`] naming the zero field.
+    pub fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(SamplingError::InvalidBulkConfig { field: "batch_size" });
+        }
+        if self.bulk_size == 0 {
+            return Err(SamplingError::InvalidBulkConfig { field: "bulk_size" });
+        }
+        Ok(())
     }
 }
 
@@ -75,8 +93,9 @@ pub trait Sampler {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::SamplingError::InvalidConfig`] if any batch is empty
-    /// or references vertices outside the graph.
+    /// Returns [`crate::SamplingError::InvalidBulkConfig`] for zero `config`
+    /// fields, and [`crate::SamplingError::InvalidConfig`] if any batch is
+    /// empty or references vertices outside the graph.
     fn sample_bulk(
         &self,
         adjacency: &CsrMatrix,
@@ -84,6 +103,50 @@ pub trait Sampler {
         config: &BulkSamplerConfig,
         rng: &mut dyn RngCore,
     ) -> Result<BulkSampleOutput>;
+
+    /// Samples this rank's process row's minibatches against a 1.5D
+    /// graph-partitioned adjacency matrix (§5.2, Algorithm 2), from inside an
+    /// SPMD region.  Called by
+    /// [`Partitioned1p5dBackend`](crate::backend::Partitioned1p5dBackend) so
+    /// that the backend stays generic over the sampling algorithm; every rank
+    /// of the grid must participate with a consistent [`PartitionedContext`].
+    ///
+    /// The default implementation reports that the sampler has no
+    /// graph-partitioned formulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::UnsupportedBackend`] by default; overriding
+    /// samplers propagate configuration and collective errors.
+    fn sample_partitioned(&self, ctx: &mut PartitionedContext<'_>) -> Result<BulkSampleOutput> {
+        let _ = ctx;
+        Err(SamplingError::UnsupportedBackend {
+            sampler: self.name(),
+            backend: "graph-partitioned-1.5d",
+        })
+    }
+}
+
+/// Everything a sampler needs to run its graph-partitioned formulation on one
+/// rank of the `p/c × c` process grid: the communicator, the grid geometry,
+/// this process row's block of `A`, the vertex partition, the minibatches
+/// owned by this process row and the epoch seed.
+#[derive(Debug)]
+pub struct PartitionedContext<'a> {
+    /// Communicator of the executing rank.
+    pub comm: &'a mut Communicator,
+    /// The `p/c × c` process grid.
+    pub grid: &'a ProcessGrid,
+    /// The block row of the adjacency matrix owned by this rank's process
+    /// row.
+    pub my_a_block: &'a CsrMatrix,
+    /// 1D partition of the graph's vertices into `p/c` block rows.
+    pub vertex_partition: &'a OneDPartition,
+    /// The minibatches owned by this rank's process row.
+    pub my_batches: &'a [Vec<usize>],
+    /// Seed shared by every rank; samplers derive per-process-row streams
+    /// from it so sampling stays replicated within a process row.
+    pub seed: u64,
 }
 
 /// Validates that every batch is non-empty and references vertices inside the

@@ -1,44 +1,52 @@
 //! Graph-Partitioned sampling (§5.2): distribute the adjacency matrix over a
 //! `p/c × c` process grid and sample with the sparsity-aware 1.5D SpGEMM of
-//! Algorithm 2, sweeping the replication factor.
+//! Algorithm 2, sweeping the replication factor — all through the unified
+//! `SamplingBackend` trait, with GraphSAGE and LADIES flowing through the
+//! *same* backend.
 //!
 //! Run with `cargo run --release --example partitioned_scaling`.
 
-use dmbs::comm::{Phase, Runtime};
+use dmbs::comm::Phase;
 use dmbs::graph::generators::{rmat, RmatConfig};
-use dmbs::sampling::partitioned::{run_partitioned_ladies, run_partitioned_sage};
+use dmbs::sampling::{
+    BulkSamplerConfig, DistConfig, GraphSageSampler, LadiesSampler, Partitioned1p5dBackend,
+    SamplingBackend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = rmat(&RmatConfig::new(11, 16), &mut StdRng::seed_from_u64(7))?;
     let n = graph.num_vertices();
-    let batches: Vec<Vec<usize>> = (0..16)
-        .map(|i| (0..32).map(|j| (i * 131 + j * 17) % n).collect())
-        .collect();
+    let batches: Vec<Vec<usize>> =
+        (0..16).map(|i| (0..32).map(|j| (i * 131 + j * 17) % n).collect()).collect();
 
     println!("graph: {} vertices, {} edges (distributed across the grid)", n, graph.num_edges());
     for (p, c) in [(4usize, 1usize), (8, 2), (16, 4)] {
-        let runtime = Runtime::new(p)?;
-        let sage = run_partitioned_sage(&runtime, c, graph.adjacency(), &batches, &[15, 10, 5], false, 3)?;
-        let ladies = run_partitioned_ladies(&runtime, c, graph.adjacency(), &batches, 1, 64, 3)?;
+        let backend =
+            Partitioned1p5dBackend::new(DistConfig::new(p, c, BulkSamplerConfig::new(32, 16)))?;
+        let sage = backend.sample_epoch(
+            &GraphSageSampler::new(vec![15, 10, 5]),
+            graph.adjacency(),
+            &batches,
+            3,
+        )?;
+        let ladies =
+            backend.sample_epoch(&LadiesSampler::new(1, 64), graph.adjacency(), &batches, 3)?;
 
-        let max_phase = |outs: &[dmbs::sampling::BulkSampleOutput], phase: Phase| {
-            outs.iter().map(|o| o.profile.total(phase)).fold(0.0f64, f64::max)
-        };
         println!(
             "p={p:>2} c={c}: SAGE  prob {:.4}s | sample {:.4}s | extract {:.4}s | comm(modeled) {:.6}s",
-            max_phase(&sage, Phase::Probability),
-            max_phase(&sage, Phase::Sampling),
-            max_phase(&sage, Phase::Extraction),
-            sage.iter().map(|o| o.profile.total_comm()).fold(0.0f64, f64::max),
+            sage.max_phase_total(Phase::Probability),
+            sage.max_phase_total(Phase::Sampling),
+            sage.max_phase_total(Phase::Extraction),
+            sage.max_total_comm(),
         );
         println!(
             "        LADIES prob {:.4}s | sample {:.4}s | extract {:.4}s | comm(modeled) {:.6}s",
-            max_phase(&ladies, Phase::Probability),
-            max_phase(&ladies, Phase::Sampling),
-            max_phase(&ladies, Phase::Extraction),
-            ladies.iter().map(|o| o.profile.total_comm()).fold(0.0f64, f64::max),
+            ladies.max_phase_total(Phase::Probability),
+            ladies.max_phase_total(Phase::Sampling),
+            ladies.max_phase_total(Phase::Extraction),
+            ladies.max_total_comm(),
         );
     }
     Ok(())

@@ -1,12 +1,12 @@
-//! Quickstart: build a synthetic graph, bulk-sample minibatches with the
-//! matrix-based GraphSAGE sampler, and train a small GraphSAGE model.
+//! Quickstart: build a synthetic graph, bulk-sample minibatches through a
+//! `SamplingBackend`, and train a small GraphSAGE model with the
+//! `TrainingSession` streaming pipeline.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use dmbs::gnn::trainer::{train_single_device, SamplerChoice};
-use dmbs::gnn::TrainingConfig;
+use dmbs::gnn::TrainingSession;
 use dmbs::graph::datasets::{build_dataset, DatasetConfig};
-use dmbs::sampling::{BulkSamplerConfig, GraphSageSampler, Sampler};
+use dmbs::sampling::{BulkSamplerConfig, GraphSageSampler, LocalBackend, SamplingBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,31 +25,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.graph.average_degree()
     );
 
-    // 2. Bulk-sample four minibatches at once with the matrix formulation of
-    //    GraphSAGE (Algorithm 1 of the paper).
+    // 2. Bulk-sample four minibatches at once through the unified backend API
+    //    (Algorithm 1 of the paper behind `SamplingBackend::sample_epoch`).
     let sampler = GraphSageSampler::new(vec![10, 5]);
-    let batches: Vec<Vec<usize>> = dataset.train_set.chunks(32).take(4).map(<[usize]>::to_vec).collect();
-    let bulk = BulkSamplerConfig::new(32, batches.len());
-    let mut rng = StdRng::seed_from_u64(2);
-    let output = sampler.sample_bulk(dataset.graph.adjacency(), &batches, &bulk, &mut rng)?;
+    let batches: Vec<Vec<usize>> =
+        dataset.train_set.chunks(32).take(4).map(<[usize]>::to_vec).collect();
+    let backend = LocalBackend::new(BulkSamplerConfig::new(32, batches.len()))?;
+    let epoch = backend.sample_epoch(&sampler, dataset.graph.adjacency(), &batches, 2)?;
     println!(
         "bulk-sampled {} minibatches, {} edges total, sampling compute {:.4}s",
-        output.num_batches(),
-        output.total_edges(),
-        output.profile.total_compute()
+        epoch.num_batches(),
+        epoch.output.total_edges(),
+        epoch.output.profile.total_compute()
     );
 
-    // 3. Train a 2-layer GraphSAGE model end to end and report test accuracy.
-    let training = TrainingConfig {
-        fanouts: vec![10, 5],
-        hidden_dim: 32,
-        batch_size: 32,
-        bulk_size: 4,
-        learning_rate: 0.05,
-        epochs: 3,
-        seed: 3,
-    };
-    let report = train_single_device(&dataset, &training, SamplerChoice::MatrixSage)?;
+    // 3. Train a 2-layer GraphSAGE model end to end with the streaming
+    //    session: bulk group g+1 samples while group g trains (§6).
+    let session = TrainingSession::builder()
+        .dataset(dataset)
+        .sampler(GraphSageSampler::new(vec![10, 5]).with_self_loops())
+        .backend(LocalBackend::new(BulkSamplerConfig::new(32, 4))?)
+        .hidden_dim(32)
+        .learning_rate(0.05)
+        .epochs(3)
+        .seed(3)
+        .build()?;
+    let report = session.train()?;
     for epoch in &report.epochs {
         println!(
             "epoch {}: loss {:.3}, sampling {:.4}s, feature fetch {:.4}s, propagation {:.4}s",

@@ -12,35 +12,65 @@
 //! * [`comm`] — a simulated multi-rank runtime (threads + channels) with
 //!   collectives and an α–β communication cost model;
 //! * [`sampling`] — the paper's contribution: matrix-based bulk minibatch
-//!   sampling (GraphSAGE, LADIES, FastGCN) with graph-replicated and 1.5D
-//!   graph-partitioned distributed algorithms, plus per-vertex baselines;
+//!   sampling (GraphSAGE, LADIES, FastGCN) behind the unified
+//!   [`SamplingBackend`](sampling::SamplingBackend) trait, whose three
+//!   implementations cover single-device (§4), graph-replicated (§5.1) and
+//!   1.5D graph-partitioned (§5.2) execution of the *same* Algorithm 1;
 //! * [`gnn`] — GraphSAGE layers with explicit gradients, losses, optimizers,
-//!   distributed feature fetching and the end-to-end training pipeline.
+//!   distributed feature fetching, and the fluent
+//!   [`TrainingSession`](gnn::TrainingSession) builder whose
+//!   [`MinibatchStream`](gnn::MinibatchStream) overlaps bulk sampling with
+//!   training (§6 pipelining).
 //!
 //! # Quickstart
 //!
+//! Any sampler composes with any backend through one entry point, and a
+//! `TrainingSession` drives the end-to-end pipeline:
+//!
 //! ```
-//! use dmbs::graph::generators::{rmat, RmatConfig};
-//! use dmbs::sampling::{BulkSamplerConfig, GraphSageSampler, Sampler};
+//! use dmbs::gnn::TrainingSession;
+//! use dmbs::graph::datasets::{build_dataset, DatasetConfig};
+//! use dmbs::sampling::{
+//!     BulkSamplerConfig, GraphSageSampler, LocalBackend, SamplingBackend,
+//! };
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut rng = StdRng::seed_from_u64(0);
-//! // A small synthetic power-law graph.
-//! let graph = rmat(&RmatConfig::new(10, 8), &mut rng)?;
+//! // A small synthetic dataset with features and labels.
+//! let mut cfg = DatasetConfig::products_like(8); // 256 vertices
+//! cfg.feature_dim = 8;
+//! cfg.num_classes = 4;
+//! cfg.train_fraction = 0.5;
+//! let dataset = build_dataset(&cfg, &mut StdRng::seed_from_u64(0))?;
 //!
-//! // Sample two minibatches of 16 vertices with fanout (5, 5) in bulk.
+//! // Bulk-sample two minibatches through the unified backend API.
 //! let sampler = GraphSageSampler::new(vec![5, 5]);
-//! let config = BulkSamplerConfig::new(16, 2);
-//! let batches: Vec<Vec<usize>> = (0..2)
-//!     .map(|b| (b * 16..(b + 1) * 16).collect())
-//!     .collect();
-//! let output = sampler.sample_bulk(graph.adjacency(), &batches, &config, &mut rng)?;
-//! assert_eq!(output.num_batches(), 2);
+//! let backend = LocalBackend::new(BulkSamplerConfig::new(16, 2))?;
+//! let batches: Vec<Vec<usize>> =
+//!     dataset.train_set.chunks(16).take(2).map(<[usize]>::to_vec).collect();
+//! let epoch = backend.sample_epoch(&sampler, dataset.graph.adjacency(), &batches, 0)?;
+//! assert_eq!(epoch.num_batches(), 2);
+//!
+//! // Or let a TrainingSession run the whole pipeline with prefetch.
+//! let report = TrainingSession::builder()
+//!     .dataset(dataset)
+//!     .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+//!     .backend(LocalBackend::new(BulkSamplerConfig::new(16, 2))?)
+//!     .hidden_dim(8)
+//!     .epochs(1)
+//!     .build()?
+//!     .train()?;
+//! assert_eq!(report.epochs.len(), 1);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Swap [`LocalBackend`](sampling::LocalBackend) for
+//! [`ReplicatedBackend`](sampling::ReplicatedBackend) or
+//! [`Partitioned1p5dBackend`](sampling::Partitioned1p5dBackend) — built from
+//! the shared [`DistConfig`](sampling::DistConfig) — and the same session
+//! trains data-parallel over simulated ranks.
 
 pub use dmbs_comm as comm;
 pub use dmbs_gnn as gnn;

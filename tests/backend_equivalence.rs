@@ -1,0 +1,151 @@
+//! API-redesign safety net: the new `SamplingBackend` trait and the
+//! `TrainingSession` minibatch stream must reproduce the legacy free
+//! functions' output **byte for byte** under a fixed seed.
+//!
+//! The legacy functions (`sample_replicated*`, `run_partitioned_*`) are
+//! deprecated wrappers now, but they preserve the original call shape —
+//! per-rank assignment, per-rank seed derivation, flattening order — so
+//! equality here pins the redesign to the old behavior.
+
+#![allow(deprecated)]
+
+use dmbs::comm::Runtime;
+use dmbs::gnn::TrainingSession;
+use dmbs::graph::datasets::{build_dataset, DatasetConfig};
+use dmbs::graph::generators::{figure1_example, rmat, RmatConfig};
+use dmbs::sampling::partitioned::{
+    flatten_row_outputs, run_partitioned_ladies, run_partitioned_sage,
+};
+use dmbs::sampling::replicated::{sample_replicated, sample_replicated_flat};
+use dmbs::sampling::{
+    BulkSamplerConfig, DistConfig, GraphSageSampler, LadiesSampler, Partitioned1p5dBackend,
+    ReplicatedBackend, Sampler, SamplingBackend,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_batches(n: usize, k: usize, b: usize) -> Vec<Vec<usize>> {
+    (0..k).map(|i| (0..b).map(|j| (i * 131 + j * 17) % n).collect()).collect()
+}
+
+#[test]
+fn replicated_backend_is_byte_identical_to_legacy_free_function() {
+    let graph = rmat(&RmatConfig::new(7, 6), &mut StdRng::seed_from_u64(2)).unwrap();
+    let a = graph.adjacency();
+    let batches = random_batches(graph.num_vertices(), 7, 8);
+    let bulk = BulkSamplerConfig::new(8, batches.len());
+    let sampler = GraphSageSampler::new(vec![4, 3]);
+
+    for p in [1usize, 3, 4] {
+        let runtime = Runtime::new(p).unwrap();
+        let legacy = sample_replicated_flat(&runtime, &sampler, a, &batches, &bulk, 42).unwrap();
+        let legacy_per_rank =
+            sample_replicated(&runtime, &sampler, a, &batches, &bulk, 42).unwrap();
+
+        let backend = ReplicatedBackend::new(DistConfig::new(p, 1, bulk)).unwrap();
+        let epoch = backend.sample_epoch(&sampler, a, &batches, 42).unwrap();
+
+        assert_eq!(epoch.output.minibatches, legacy.minibatches, "p={p}");
+        for (unit, rank_out) in epoch.per_unit.iter().zip(&legacy_per_rank) {
+            assert_eq!(unit.num_batches, rank_out.num_batches(), "p={p}");
+        }
+    }
+}
+
+#[test]
+fn replicated_backend_matches_hand_rolled_per_rank_sampling() {
+    // Independent reconstruction of the §5.1 contract (round-robin batches,
+    // per-rank seed = epoch seed + rank), without going through either API.
+    let graph = figure1_example();
+    let a = graph.adjacency();
+    let batches = vec![vec![1, 5], vec![0, 3], vec![2, 4], vec![5, 1], vec![4, 0]];
+    let bulk = BulkSamplerConfig::new(2, batches.len());
+    let sampler = GraphSageSampler::new(vec![2, 2]);
+    let p = 3;
+    let seed = 7u64;
+
+    let mut expected = vec![None; batches.len()];
+    for rank in 0..p {
+        let my_indices: Vec<usize> = (0..batches.len()).filter(|i| i % p == rank).collect();
+        let my_batches: Vec<Vec<usize>> = my_indices.iter().map(|&i| batches[i].clone()).collect();
+        let mut rng = StdRng::seed_from_u64(seed + rank as u64);
+        let config = BulkSamplerConfig::new(2, my_batches.len());
+        let out = sampler.sample_bulk(a, &my_batches, &config, &mut rng).unwrap();
+        for (slot, mb) in my_indices.into_iter().zip(out.minibatches) {
+            expected[slot] = Some(mb);
+        }
+    }
+
+    let backend = ReplicatedBackend::new(DistConfig::new(p, 1, bulk)).unwrap();
+    let epoch = backend.sample_epoch(&sampler, a, &batches, seed).unwrap();
+    for (got, want) in epoch.minibatches().iter().zip(expected) {
+        assert_eq!(got, &want.unwrap());
+    }
+}
+
+#[test]
+fn partitioned_backend_is_byte_identical_to_legacy_free_functions() {
+    let graph = rmat(&RmatConfig::new(7, 5), &mut StdRng::seed_from_u64(4)).unwrap();
+    let a = graph.adjacency();
+    let batches = random_batches(graph.num_vertices(), 6, 8);
+    let bulk = BulkSamplerConfig::new(8, batches.len());
+
+    for (p, c) in [(4usize, 1usize), (4, 2), (8, 2)] {
+        let runtime = Runtime::new(p).unwrap();
+
+        // GraphSAGE.
+        let sage = GraphSageSampler::new(vec![4, 3]);
+        let legacy = flatten_row_outputs(
+            run_partitioned_sage(&runtime, c, a, &batches, &[4, 3], false, 23).unwrap(),
+            batches.len(),
+        )
+        .unwrap();
+        let backend = Partitioned1p5dBackend::new(DistConfig::new(p, c, bulk)).unwrap();
+        let epoch = backend.sample_epoch(&sage, a, &batches, 23).unwrap();
+        assert_eq!(epoch.output.minibatches, legacy.minibatches, "sage p={p} c={c}");
+
+        // LADIES.
+        let ladies = LadiesSampler::new(1, 12);
+        let legacy = flatten_row_outputs(
+            run_partitioned_ladies(&runtime, c, a, &batches, 1, 12, 31).unwrap(),
+            batches.len(),
+        )
+        .unwrap();
+        let epoch = backend.sample_epoch(&ladies, a, &batches, 31).unwrap();
+        assert_eq!(epoch.output.minibatches, legacy.minibatches, "ladies p={p} c={c}");
+    }
+}
+
+#[test]
+fn minibatch_stream_prefetch_equals_eager_sampling() {
+    // The §6 pipelining must be purely a scheduling change: the stream's
+    // double-buffered prefetch yields exactly the same minibatches, in the
+    // same order, as eager epoch sampling.
+    let mut cfg = DatasetConfig::products_like(8); // 256 vertices
+    cfg.feature_dim = 8;
+    cfg.num_classes = 4;
+    cfg.train_fraction = 0.5;
+    let dataset = build_dataset(&cfg, &mut StdRng::seed_from_u64(6)).unwrap();
+
+    let session = TrainingSession::builder()
+        .dataset(dataset)
+        .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+        .backend(
+            ReplicatedBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(16, 4))).unwrap(),
+        )
+        .hidden_dim(8)
+        .epochs(1)
+        .seed(21)
+        .build()
+        .unwrap();
+
+    for epoch in 0..2 {
+        let eager = session.sample_epoch_eager(epoch).unwrap();
+        let streamed: Vec<_> =
+            session.stream(epoch).unwrap().collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(streamed.len(), eager.num_batches());
+        for (mb, want) in streamed.iter().zip(&eager.minibatches) {
+            assert_eq!(&mb.sample, want, "epoch {epoch} index {}", mb.index);
+        }
+    }
+}

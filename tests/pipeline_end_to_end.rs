@@ -1,12 +1,14 @@
-//! Cross-crate integration tests for the end-to-end training pipeline:
-//! learning above chance level, matching accuracy between bulk matrix
-//! sampling and per-vertex sampling, and consistent phase accounting in the
-//! distributed pipeline.
+//! Cross-crate integration tests for the end-to-end training pipeline driven
+//! through `TrainingSession`: learning above chance level, matching accuracy
+//! between bulk matrix sampling and per-vertex sampling, and consistent phase
+//! accounting in the distributed pipeline.
 
-use dmbs::comm::Runtime;
-use dmbs::gnn::trainer::{train_distributed, train_single_device, SamplerChoice};
-use dmbs::gnn::TrainingConfig;
+use dmbs::gnn::TrainingSession;
 use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::sampling::baseline::PerVertexSageSampler;
+use dmbs::sampling::{
+    BulkSamplerConfig, DistConfig, GraphSageSampler, LocalBackend, ReplicatedBackend, Sampler,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,24 +21,26 @@ fn dataset(seed: u64) -> Dataset {
     build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
 }
 
-fn config() -> TrainingConfig {
-    TrainingConfig {
-        fanouts: vec![8, 4],
-        hidden_dim: 24,
-        batch_size: 32,
-        bulk_size: 4,
-        learning_rate: 0.05,
-        epochs: 4,
-        seed: 11,
-    }
+fn local_session<S: Sampler>(ds: Dataset, sampler: S) -> TrainingSession<S, LocalBackend> {
+    TrainingSession::builder()
+        .dataset(ds)
+        .sampler(sampler)
+        .backend(LocalBackend::new(BulkSamplerConfig::new(32, 4)).unwrap())
+        .hidden_dim(24)
+        .learning_rate(0.05)
+        .epochs(4)
+        .seed(11)
+        .build()
+        .unwrap()
 }
 
 #[test]
 fn single_device_training_learns_above_chance() {
     let ds = dataset(1);
-    let report = train_single_device(&ds, &config(), SamplerChoice::MatrixSage).unwrap();
-    let accuracy = report.test_accuracy.unwrap();
     let chance = 1.0 / ds.graph.num_classes() as f64;
+    let session = local_session(ds, GraphSageSampler::new(vec![8, 4]).with_self_loops());
+    let report = session.train().unwrap();
+    let accuracy = report.test_accuracy.unwrap();
     assert!(accuracy > chance * 1.5, "accuracy {accuracy} vs chance {chance}");
     // Loss decreased.
     assert!(report.epochs.last().unwrap().mean_loss < report.epochs[0].mean_loss);
@@ -44,11 +48,14 @@ fn single_device_training_learns_above_chance() {
 
 #[test]
 fn bulk_matrix_sampling_does_not_hurt_accuracy() {
-    // The §8.1.3 claim, end to end across crates.
+    // The §8.1.3 claim, end to end across crates: swapping the sampler inside
+    // the same session shape leaves accuracy unchanged.
     let ds = dataset(2);
-    let cfg = config();
-    let matrix = train_single_device(&ds, &cfg, SamplerChoice::MatrixSage).unwrap();
-    let baseline = train_single_device(&ds, &cfg, SamplerChoice::PerVertexSage).unwrap();
+    let matrix = local_session(ds.clone(), GraphSageSampler::new(vec![8, 4]).with_self_loops())
+        .train()
+        .unwrap();
+    let baseline =
+        local_session(ds, PerVertexSageSampler::new(vec![8, 4]).with_self_loops()).train().unwrap();
     let a = matrix.test_accuracy.unwrap();
     let b = baseline.test_accuracy.unwrap();
     assert!((a - b).abs() < 0.25, "matrix sampling accuracy {a} vs per-vertex {b}");
@@ -57,14 +64,25 @@ fn bulk_matrix_sampling_does_not_hurt_accuracy() {
 #[test]
 fn distributed_pipeline_phases_and_scaling_bookkeeping() {
     let ds = dataset(3);
-    let mut cfg = config();
-    cfg.epochs = 2;
     for (p, c) in [(2usize, 2usize), (4, 2)] {
-        let runtime = Runtime::new(p).unwrap();
-        let epochs =
-            train_distributed(&runtime, &ds, &cfg, c, true, SamplerChoice::MatrixSage).unwrap();
-        assert_eq!(epochs.len(), 2);
-        for e in &epochs {
+        let report = TrainingSession::builder()
+            .dataset(ds.clone())
+            .sampler(GraphSageSampler::new(vec![8, 4]).with_self_loops())
+            .backend(
+                ReplicatedBackend::new(DistConfig::new(p, c, BulkSamplerConfig::new(32, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(24)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(11)
+            .without_evaluation()
+            .build()
+            .unwrap()
+            .train()
+            .unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        for e in &report.epochs {
             // Every phase of Figure 3 is accounted for.
             assert!(e.sampling_time() > 0.0, "p={p}");
             assert!(e.feature_fetch_time() > 0.0, "p={p}");
@@ -82,16 +100,35 @@ fn distributed_and_single_device_losses_are_comparable() {
     // Data-parallel training over simulated ranks should optimize the same
     // objective: final epoch losses must be in the same ballpark.
     let ds = dataset(4);
-    let mut cfg = config();
-    cfg.epochs = 3;
-    let single = train_single_device(&ds, &cfg, SamplerChoice::MatrixSage).unwrap();
-    let runtime = Runtime::new(4).unwrap();
-    let distributed =
-        train_distributed(&runtime, &ds, &cfg, 2, true, SamplerChoice::MatrixSage).unwrap();
+    let sampler = GraphSageSampler::new(vec![8, 4]).with_self_loops();
+    let single = TrainingSession::builder()
+        .dataset(ds.clone())
+        .sampler(sampler.clone())
+        .backend(LocalBackend::new(BulkSamplerConfig::new(32, 4)).unwrap())
+        .hidden_dim(24)
+        .learning_rate(0.05)
+        .epochs(3)
+        .seed(11)
+        .build()
+        .unwrap()
+        .train()
+        .unwrap();
+    let distributed = TrainingSession::builder()
+        .dataset(ds)
+        .sampler(sampler)
+        .backend(
+            ReplicatedBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(32, 4))).unwrap(),
+        )
+        .hidden_dim(24)
+        .learning_rate(0.05)
+        .epochs(3)
+        .seed(11)
+        .without_evaluation()
+        .build()
+        .unwrap()
+        .train()
+        .unwrap();
     let s = single.epochs.last().unwrap().mean_loss;
-    let d = distributed.last().unwrap().mean_loss;
-    assert!(
-        (s - d).abs() < 1.0,
-        "single-device final loss {s} vs distributed {d} diverged"
-    );
+    let d = distributed.epochs.last().unwrap().mean_loss;
+    assert!((s - d).abs() < 1.0, "single-device final loss {s} vs distributed {d} diverged");
 }

@@ -1,13 +1,13 @@
-//! Cross-crate integration tests: the distributed sampling algorithms must
+//! Cross-crate integration tests: the distributed sampling backends must
 //! produce the same samples as the single-device matrix formulation, and all
 //! sampler outputs must satisfy the structural invariants the GNN layer
 //! relies on.
 
-use dmbs::comm::Runtime;
 use dmbs::graph::generators::{figure1_example, rmat, RmatConfig};
-use dmbs::sampling::partitioned::{flatten_row_outputs, run_partitioned_ladies, run_partitioned_sage};
-use dmbs::sampling::replicated::sample_replicated_flat;
-use dmbs::sampling::{BulkSamplerConfig, GraphSageSampler, LadiesSampler, Sampler};
+use dmbs::sampling::{
+    BulkSamplerConfig, DistConfig, GraphSageSampler, LadiesSampler, LocalBackend,
+    Partitioned1p5dBackend, ReplicatedBackend, Sampler, SamplingBackend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,25 +16,24 @@ fn random_batches(n: usize, k: usize, b: usize) -> Vec<Vec<usize>> {
 }
 
 #[test]
-fn replicated_sampling_equals_single_device_with_full_fanout() {
-    // With fanout >= max degree nothing is random: the replicated algorithm
+fn replicated_backend_equals_single_device_with_full_fanout() {
+    // With fanout >= max degree nothing is random: the replicated strategy
     // must agree exactly with a single-device run on the same batches.
     let graph = figure1_example();
     let batches = vec![vec![1, 5], vec![0, 3], vec![2, 4], vec![5, 0]];
-    let fanout = vec![10, 10];
-    let config = BulkSamplerConfig::new(2, batches.len());
+    let bulk = BulkSamplerConfig::new(2, batches.len());
 
-    let sampler = GraphSageSampler::new(fanout.clone());
-    let single = sampler
-        .sample_bulk(graph.adjacency(), &batches, &config, &mut StdRng::seed_from_u64(1))
+    let sampler = GraphSageSampler::new(vec![10, 10]);
+    let single = LocalBackend::new(bulk)
+        .unwrap()
+        .sample_epoch(&sampler, graph.adjacency(), &batches, 1)
         .unwrap();
 
     for p in [1usize, 2, 3, 4] {
-        let runtime = Runtime::new(p).unwrap();
-        let distributed =
-            sample_replicated_flat(&runtime, &sampler, graph.adjacency(), &batches, &config, 99).unwrap();
+        let backend = ReplicatedBackend::new(DistConfig::new(p, 1, bulk)).unwrap();
+        let distributed = backend.sample_epoch(&sampler, graph.adjacency(), &batches, 99).unwrap();
         assert_eq!(distributed.num_batches(), single.num_batches());
-        for (d, s) in distributed.minibatches.iter().zip(&single.minibatches) {
+        for (d, s) in distributed.minibatches().iter().zip(single.minibatches()) {
             assert_eq!(d.batch, s.batch);
             for (dl, sl) in d.layers.iter().zip(&s.layers) {
                 assert_eq!(dl.rows, sl.rows);
@@ -46,22 +45,21 @@ fn replicated_sampling_equals_single_device_with_full_fanout() {
 }
 
 #[test]
-fn partitioned_sampling_equals_single_device_with_full_fanout() {
+fn partitioned_backend_equals_single_device_with_full_fanout() {
     let graph = rmat(&RmatConfig::new(7, 4), &mut StdRng::seed_from_u64(3)).unwrap();
     let n = graph.num_vertices();
     let batches = random_batches(n, 6, 8);
-    let fanout = vec![n]; // keep whole neighborhoods: deterministic
-    let config = BulkSamplerConfig::new(8, batches.len());
-    let single = GraphSageSampler::new(fanout.clone())
-        .sample_bulk(graph.adjacency(), &batches, &config, &mut StdRng::seed_from_u64(5))
+    let bulk = BulkSamplerConfig::new(8, batches.len());
+    let sampler = GraphSageSampler::new(vec![n]); // keep whole neighborhoods: deterministic
+    let single = LocalBackend::new(bulk)
+        .unwrap()
+        .sample_epoch(&sampler, graph.adjacency(), &batches, 5)
         .unwrap();
 
     for (p, c) in [(4usize, 2usize), (6, 2), (8, 4)] {
-        let runtime = Runtime::new(p).unwrap();
-        let per_row =
-            run_partitioned_sage(&runtime, c, graph.adjacency(), &batches, &fanout, false, 7).unwrap();
-        let flat = flatten_row_outputs(per_row, batches.len()).unwrap();
-        for (d, s) in flat.minibatches.iter().zip(&single.minibatches) {
+        let backend = Partitioned1p5dBackend::new(DistConfig::new(p, c, bulk)).unwrap();
+        let flat = backend.sample_epoch(&sampler, graph.adjacency(), &batches, 7).unwrap();
+        for (d, s) in flat.minibatches().iter().zip(single.minibatches()) {
             assert_eq!(d.layers[0].rows, s.layers[0].rows, "p={p} c={c}");
             assert_eq!(d.layers[0].cols, s.layers[0].cols, "p={p} c={c}");
             assert_eq!(d.layers[0].adjacency, s.layers[0].adjacency, "p={p} c={c}");
@@ -73,14 +71,15 @@ fn partitioned_sampling_equals_single_device_with_full_fanout() {
 fn partitioned_ladies_equals_single_device_when_sample_covers_support() {
     let graph = figure1_example();
     let batches = vec![vec![1, 5], vec![0, 2], vec![3, 4]];
-    let config = BulkSamplerConfig::new(2, batches.len());
-    let single = LadiesSampler::new(1, 10)
-        .sample_bulk(graph.adjacency(), &batches, &config, &mut StdRng::seed_from_u64(2))
+    let bulk = BulkSamplerConfig::new(2, batches.len());
+    let sampler = LadiesSampler::new(1, 10);
+    let single = LocalBackend::new(bulk)
+        .unwrap()
+        .sample_epoch(&sampler, graph.adjacency(), &batches, 2)
         .unwrap();
-    let runtime = Runtime::new(6).unwrap();
-    let per_row = run_partitioned_ladies(&runtime, 2, graph.adjacency(), &batches, 1, 10, 17).unwrap();
-    let flat = flatten_row_outputs(per_row, batches.len()).unwrap();
-    for (d, s) in flat.minibatches.iter().zip(&single.minibatches) {
+    let backend = Partitioned1p5dBackend::new(DistConfig::new(6, 2, bulk)).unwrap();
+    let flat = backend.sample_epoch(&sampler, graph.adjacency(), &batches, 17).unwrap();
+    for (d, s) in flat.minibatches().iter().zip(single.minibatches()) {
         assert_eq!(d.layers[0].rows, s.layers[0].rows);
         assert_eq!(d.layers[0].cols, s.layers[0].cols);
         assert!(d.layers[0].adjacency.approx_eq(&s.layers[0].adjacency, 1e-12));

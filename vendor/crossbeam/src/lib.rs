@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! `dmbs-comm` uses only `crossbeam::channel::{unbounded, Sender, Receiver}`
+//! in a strictly point-to-point pattern (one dedicated channel per ordered
+//! rank pair), so `std::sync::mpsc` provides identical semantics.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives, failing if every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a pending value if one is ready.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(41usize).unwrap();
+            let tx2 = tx.clone();
+            tx2.send(1).unwrap();
+            assert_eq!(rx.recv().unwrap(), 41);
+            assert_eq!(rx.recv().unwrap(), 1);
+        }
+
+        #[test]
+        fn disconnect_is_reported() {
+            let (tx, rx) = unbounded::<usize>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+            let (tx, rx) = unbounded::<usize>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || tx.send(7usize).unwrap());
+            assert_eq!(rx.recv().unwrap(), 7);
+            handle.join().unwrap();
+        }
+    }
+}

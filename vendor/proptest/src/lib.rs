@@ -1,0 +1,217 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides deterministic seeded random-case testing with the subset of the
+//! real API the dmbs workspace uses: range strategies, tuple strategies,
+//! `proptest::collection::vec`, the [`proptest!`] macro and
+//! `prop_assert!`/`prop_assert_eq!`.  No shrinking — failures report the
+//! case seed instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::Range;
+
+/// Re-export used by the [`proptest!`] macro so dependent crates do not need
+/// their own `rand` dependency.
+pub use rand as rand_shim;
+
+/// Number of random cases each `proptest!` test runs.
+pub const CASES: u64 = 64;
+
+/// A generator of random values for one test argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Length specifications accepted by [`collection::vec`].
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn draw_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn draw_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn draw_len(&self, rng: &mut StdRng) -> usize {
+        if self.start >= self.end {
+            self.start
+        } else {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{IntoSizeRange, Strategy};
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.len.draw_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Derives the per-case RNG seed from the test name and case index, so every
+/// test draws an independent, reproducible stream.
+pub fn case_seed(test_name: &str, case: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares seeded random-case tests: each `fn` runs [`CASES`] times with
+/// arguments drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            use $crate::Strategy as _;
+            for __case in 0..$crate::CASES {
+                let __seed = $crate::case_seed(stringify!($name), __case);
+                let mut __rng = <$crate::rand_shim::rngs::StdRng as $crate::rand_shim::SeedableRng>::seed_from_u64(__seed);
+                $(let $arg = ($strategy).generate(&mut __rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 3usize..9, v in collection::vec(0.0f64..1.0, 1..5)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|f| (0.0..1.0).contains(f)));
+        }
+
+        #[test]
+        fn tuples_and_exact_len(t in (0usize..4, -1.0f64..1.0), v in collection::vec(0u64..10, 6)) {
+            prop_assert!(t.0 < 4);
+            prop_assert_eq!(v.len(), 6);
+        }
+    }
+}

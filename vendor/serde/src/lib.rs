@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The dmbs workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking markers — nothing serializes anything yet, and no bounds
+//! reference these traits.  This shim provides the two marker traits and
+//! re-exports derive macros (from the sibling `serde_derive` shim) that
+//! implement them, so the seed sources compile unchanged without network
+//! access.
+
+#![warn(missing_docs)]
+
+/// Marker replacement for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker replacement for `serde::Deserialize`.  The lifetime mirrors the
+/// real trait so `#[derive(Deserialize)]` expansions stay source-compatible.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,54 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Each derive emits a trivial trait impl for the deriving type (or nothing
+//! when the type is generic, which the dmbs workspace never is), keeping the
+//! marker traits honest without pulling in `syn`/`quote`.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct`/`enum`/`union`
+/// keyword, returning `None` when the type has generic parameters (no `impl`
+/// is emitted for those).
+fn type_ident(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // A `<` right after the name means generics: bail out.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// No-op replacement for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_ident(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op replacement for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_ident(input) {
+        Some(name) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+        }
+        None => TokenStream::new(),
+    }
+}
