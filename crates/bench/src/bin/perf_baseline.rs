@@ -1,0 +1,281 @@
+//! Perf-trajectory harness for the shared-memory hot paths.
+//!
+//! Runs the three parallelized kernels — SpGEMM (`P ← Q · A`), per-row ITS
+//! (`SAMPLE`), and a full bulk sampling epoch through `LocalBackend` — at
+//! 1..N threads on a synthetic RMAT workload, verifies that every parallel
+//! result is byte-identical to the serial one, and writes one JSON record
+//! file per kernel (`BENCH_spgemm.json`, `BENCH_its.json`,
+//! `BENCH_epoch.json`) with wall time, throughput and speedup-vs-serial so
+//! future PRs have a recorded trajectory to beat.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin perf_baseline [output_dir]
+//! ```
+//!
+//! `output_dir` defaults to the current directory.  `DMBS_SCALE=large`
+//! roughly quadruples the workload; `DMBS_PERF_THREADS` (comma-separated,
+//! default `1,2,4,8`) overrides the thread sweep.
+
+use dmbs_graph::generators::{rmat, RmatConfig};
+use dmbs_matrix::pool::Parallelism;
+use dmbs_matrix::spgemm::{spgemm, spgemm_parallel};
+use dmbs_sampling::its::{sample_rows_par, sample_rows_seeded};
+use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler, LocalBackend, SamplingBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One measured configuration of one kernel.
+struct Record {
+    threads: usize,
+    wall_s: f64,
+    throughput: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Workload description embedded in each JSON file.
+struct Workload {
+    name: &'static str,
+    detail: String,
+    /// Work items per run — nonzeros touched for the matrix kernels,
+    /// minibatches for the epoch — used for the throughput field.
+    items: usize,
+    throughput_unit: &'static str,
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_json(path: &std::path::Path, workload: &Workload, records: &[Record]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", workload.name));
+    out.push_str(&format!("  \"workload\": \"{}\",\n", workload.detail));
+    out.push_str(&format!("  \"items_per_run\": {},\n", workload.items));
+    out.push_str(&format!("  \"throughput_unit\": \"{}\",\n", workload.throughput_unit));
+    out.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    ));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_s\": {}, \"throughput\": {}, \
+             \"speedup_vs_serial\": {}, \"identical_to_serial\": {}}}{}\n",
+            r.threads,
+            json_f64(r.wall_s),
+            json_f64(r.throughput),
+            json_f64(r.speedup),
+            r.identical,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Best-of-`reps` wall time of `f`.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(value);
+    }
+    (best, result.expect("reps >= 1"))
+}
+
+/// Turns raw `(threads, wall, identical)` measurements into records.  The
+/// speedup baseline is the 1-thread wall, which [`thread_sweep`] guarantees
+/// is always measured; it runs the serial code path inside the same
+/// measurement loop as the other thread counts (measuring the baseline in a
+/// separate earlier phase proved systematically biased).
+fn finish_records(walls: &[(usize, f64, bool)], throughput: impl Fn(f64) -> f64) -> Vec<Record> {
+    let baseline = walls
+        .iter()
+        .find(|&&(t, _, _)| t == 1)
+        .map(|&(_, wall, _)| wall)
+        .expect("thread_sweep always includes 1");
+    walls
+        .iter()
+        .map(|&(t, wall, identical)| Record {
+            threads: t,
+            wall_s: wall,
+            throughput: throughput(wall),
+            speedup: baseline / wall,
+            identical,
+        })
+        .collect()
+}
+
+/// The thread counts to measure.  Always contains `1` (the serial speedup
+/// baseline); an unparsable or empty `DMBS_PERF_THREADS` falls back to the
+/// default sweep rather than silently producing empty BENCH records.
+fn thread_sweep() -> Vec<usize> {
+    const DEFAULT: [usize; 4] = [1, 2, 4, 8];
+    let mut sweep: Vec<usize> = match std::env::var("DMBS_PERF_THREADS") {
+        Ok(spec) => spec
+            .split(',')
+            .filter_map(|t| t.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .collect(),
+        Err(_) => DEFAULT.to_vec(),
+    };
+    if sweep.is_empty() {
+        eprintln!("DMBS_PERF_THREADS parsed to an empty sweep; using the default {DEFAULT:?}");
+        sweep = DEFAULT.to_vec();
+    }
+    if !sweep.contains(&1) {
+        sweep.insert(0, 1);
+    }
+    sweep
+}
+
+/// Fails the run when any parallel result diverged from the serial kernel —
+/// the determinism contract the committed BENCH files advertise.  Called
+/// after the JSON is written so the diverging record is preserved on disk.
+fn assert_identical(bench: &str, records: &[Record]) {
+    for r in records {
+        assert!(
+            r.identical,
+            "{bench}: parallel output at {} threads diverged from the serial kernel",
+            r.threads
+        );
+    }
+}
+
+fn print_records(title: &str, unit: &str, records: &[Record]) {
+    println!("\n== {title} ==");
+    println!("{:>7}  {:>12}  {:>14}  {:>8}  identical", "threads", "wall_s", unit, "speedup");
+    for r in records {
+        println!(
+            "{:>7}  {:>12.6}  {:>14.3e}  {:>7.2}x  {}",
+            r.threads, r.wall_s, r.throughput, r.speedup, r.identical
+        );
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let large = matches!(std::env::var("DMBS_SCALE").as_deref(), Ok("large") | Ok("LARGE"));
+    let (scale, degree, q_rows, reps) =
+        if large { (15, 20, 131_072, 5) } else { (13, 16, 32_768, 3) };
+    let threads = thread_sweep();
+
+    // ---- Shared synthetic workload: an RMAT graph and a stacked Q of
+    // frontier rows, the shape of the paper's P ← Q^l · A probability step.
+    let graph = rmat(&RmatConfig::new(scale, degree), &mut StdRng::seed_from_u64(99))
+        .expect("valid RMAT config");
+    let a = graph.adjacency().clone();
+    let n = a.rows();
+    let stacked: Vec<usize> = (0..q_rows).map(|i| (i * 2_654_435_761) % n).collect();
+    let q = dmbs_matrix::ops::row_selection_matrix(&stacked, n).expect("valid selection");
+
+    // ---- SpGEMM: P = Q · A at each thread count.  The serial reference is
+    // computed once (untimed) for the byte-identity check; the speedup
+    // baseline is the *timed* 1-thread record, which runs the identical
+    // serial code path inside the same measurement loop (measuring the
+    // baseline in a separate earlier phase proved systematically biased).
+    let serial_p = spgemm(&q, &a).expect("spgemm");
+    let flops: usize = stacked.iter().map(|&v| a.row_nnz(v)).sum();
+    let mut walls = Vec::new();
+    for &t in &threads {
+        let par = Parallelism::new(t);
+        let (wall, p) = time_best(reps, || spgemm_parallel(&q, &a, par).expect("spgemm_parallel"));
+        walls.push((t, wall, p == serial_p));
+    }
+    let records = finish_records(&walls, |wall| flops as f64 / wall);
+    let workload = Workload {
+        name: "spgemm",
+        detail: format!(
+            "P = Q*A, rmat scale {scale} deg {degree} (n = {n}, nnz(A) = {}), Q = {q_rows} \
+             stacked frontier rows",
+            a.nnz()
+        ),
+        items: flops,
+        throughput_unit: "multiply-adds/s",
+    };
+    print_records("SpGEMM P = Q*A", "flops/s", &records);
+    write_json(&out_dir.join("BENCH_spgemm.json"), &workload, &records);
+    assert_identical("spgemm", &records);
+
+    // ---- Per-row ITS over the normalized probability rows.
+    let mut p_norm = serial_p.clone();
+    p_norm.normalize_rows();
+    let fanout = 10;
+    let its_serial = sample_rows_seeded(&p_norm, fanout, 4242).expect("its");
+    let mut walls = Vec::new();
+    for &t in &threads {
+        let par = Parallelism::new(t);
+        let (wall, sampled) =
+            time_best(reps, || sample_rows_par(&p_norm, fanout, 4242, par).expect("its par"));
+        walls.push((t, wall, sampled == its_serial));
+    }
+    let records = finish_records(&walls, |wall| p_norm.rows() as f64 / wall);
+    let workload = Workload {
+        name: "its",
+        detail: format!(
+            "per-row ITS without replacement, s = {fanout}, over {} probability rows \
+             (nnz(P) = {})",
+            p_norm.rows(),
+            p_norm.nnz()
+        ),
+        items: p_norm.rows(),
+        throughput_unit: "rows/s",
+    };
+    print_records("Per-row ITS", "rows/s", &records);
+    write_json(&out_dir.join("BENCH_its.json"), &workload, &records);
+    assert_identical("its", &records);
+
+    // ---- Bulk epoch: GraphSAGE through LocalBackend.
+    let batch_size = 256;
+    let num_batches = 16;
+    let batches: Vec<Vec<usize>> = (0..num_batches)
+        .map(|i| (0..batch_size).map(|j| (i * batch_size + j * 7) % n).collect())
+        .collect();
+    let sampler = GraphSageSampler::new(vec![15, 10, 5]);
+    let epoch_of = |t: usize| {
+        let backend = LocalBackend::new(BulkSamplerConfig::new(batch_size, 4))
+            .expect("valid bulk config")
+            .with_parallelism(Parallelism::new(t));
+        backend.sample_epoch(&sampler, &a, &batches, 7).expect("epoch")
+    };
+    let epoch_serial = epoch_of(1);
+    let mut walls = Vec::new();
+    for &t in &threads {
+        let (wall, epoch) = time_best(reps, || epoch_of(t));
+        walls.push((t, wall, epoch.output.minibatches == epoch_serial.output.minibatches));
+    }
+    let records = finish_records(&walls, |wall| num_batches as f64 / wall);
+    let workload = Workload {
+        name: "bulk_epoch",
+        detail: format!(
+            "GraphSAGE [15,10,5] bulk epoch via LocalBackend: {num_batches} batches of \
+             {batch_size} on rmat scale {scale} (bulk k = 4)"
+        ),
+        items: num_batches,
+        throughput_unit: "minibatches/s",
+    };
+    print_records("Bulk sampling epoch", "batches/s", &records);
+    write_json(&out_dir.join("BENCH_epoch.json"), &workload, &records);
+    assert_identical("bulk_epoch", &records);
+
+    println!(
+        "\nAll parallel results byte-identical to serial; records written to {}",
+        out_dir.display()
+    );
+}

@@ -12,6 +12,9 @@
 //! sweep; `DMBS_SCALE=small` (default) keeps every harness under a few
 //! minutes.
 
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
 use dmbs_gnn::trainer::SamplerChoice;
 use dmbs_gnn::{EpochStats, TrainingConfig, TrainingReport, TrainingSession};
 use dmbs_graph::datasets::{build_dataset, Dataset, DatasetConfig, DatasetKind};

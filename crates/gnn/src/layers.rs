@@ -2,7 +2,8 @@
 
 use crate::activations::{relu, relu_backward};
 use crate::Result;
-use dmbs_matrix::spmm::{spmm, spmm_transpose};
+use dmbs_matrix::pool::Parallelism;
+use dmbs_matrix::spmm::{spmm_parallel, spmm_transpose_parallel};
 use dmbs_matrix::{CsrMatrix, DenseMatrix};
 
 /// Cache of intermediate values produced by [`sage_forward`] and consumed by
@@ -46,6 +47,9 @@ pub struct SageGrads {
 /// mean) produced by the sampling step, `H_neigh` holds embeddings for the
 /// layer's column vertices and `H_self` embeddings for its row vertices.
 ///
+/// The aggregation SpMM runs on `parallelism` worker threads
+/// (byte-identical to serial at any thread count).
+///
 /// # Errors
 ///
 /// Returns [`crate::GnnError::Matrix`] on dimension mismatches.
@@ -56,10 +60,11 @@ pub fn sage_forward(
     w_self: &DenseMatrix,
     w_neigh: &DenseMatrix,
     apply_relu: bool,
+    parallelism: Parallelism,
 ) -> Result<(DenseMatrix, SageCache)> {
     let mut a_norm = adjacency.clone();
     a_norm.normalize_rows();
-    let aggregated = spmm(&a_norm, h_neigh)?;
+    let aggregated = spmm_parallel(&a_norm, h_neigh, parallelism)?;
     let pre = h_self.matmul(w_self)?.add(&aggregated.matmul(w_neigh)?)?;
     let out = if apply_relu { relu(&pre) } else { pre.clone() };
     Ok((
@@ -76,7 +81,8 @@ pub fn sage_forward(
 }
 
 /// Backward pass of the GraphSAGE layer.  `w_self` and `w_neigh` must be the
-/// same weights used in the forward pass.
+/// same weights used in the forward pass.  The transposed-aggregation SpMM
+/// runs on `parallelism` worker threads.
 ///
 /// # Errors
 ///
@@ -86,6 +92,7 @@ pub fn sage_backward(
     w_self: &DenseMatrix,
     w_neigh: &DenseMatrix,
     upstream: &DenseMatrix,
+    parallelism: Parallelism,
 ) -> Result<SageGrads> {
     let d_pre = if cache.applied_relu {
         relu_backward(&cache.pre_activation, upstream)
@@ -98,7 +105,7 @@ pub fn sage_backward(
     // Input gradients.
     let d_h_self = d_pre.matmul_transpose(w_self)?;
     let d_aggregated = d_pre.matmul_transpose(w_neigh)?;
-    let d_h_neigh = spmm_transpose(&cache.a_norm, &d_aggregated)?;
+    let d_h_neigh = spmm_transpose_parallel(&cache.a_norm, &d_aggregated, parallelism)?;
     Ok(SageGrads { d_w_self, d_w_neigh, d_h_neigh, d_h_self })
 }
 
@@ -158,7 +165,9 @@ mod tests {
         let h_self = DenseMatrix::from_rows(&[vec![10.0], vec![20.0]]).unwrap();
         let w_self = DenseMatrix::identity(1);
         let w_neigh = DenseMatrix::identity(1);
-        let (out, cache) = sage_forward(&a, &h_neigh, &h_self, &w_self, &w_neigh, false).unwrap();
+        let (out, cache) =
+            sage_forward(&a, &h_neigh, &h_self, &w_self, &w_neigh, false, Parallelism::serial())
+                .unwrap();
         // Row 0 aggregates mean(1, 3) = 2 plus self 10 = 12; row 1: 5 + 20 = 25.
         assert_eq!(out.get(0, 0), 12.0);
         assert_eq!(out.get(1, 0), 25.0);
@@ -177,6 +186,7 @@ mod tests {
             &DenseMatrix::identity(1),
             &DenseMatrix::identity(1),
             true,
+            Parallelism::serial(),
         )
         .unwrap();
         assert_eq!(out.get(0, 0), 0.0);
@@ -195,11 +205,14 @@ mod tests {
 
         // Scalar objective: sum of outputs (upstream gradient of ones).
         let objective = |hn: &DenseMatrix, hs: &DenseMatrix, ws: &DenseMatrix, wn: &DenseMatrix| {
-            sage_forward(&a, hn, hs, ws, wn, true).unwrap().0.sum()
+            sage_forward(&a, hn, hs, ws, wn, true, Parallelism::serial()).unwrap().0.sum()
         };
-        let (out, cache) = sage_forward(&a, &h_neigh, &h_self, &w_self, &w_neigh, true).unwrap();
+        let (out, cache) =
+            sage_forward(&a, &h_neigh, &h_self, &w_self, &w_neigh, true, Parallelism::serial())
+                .unwrap();
         let upstream = DenseMatrix::filled(out.rows(), out.cols(), 1.0);
-        let grads = sage_backward(&cache, &w_self, &w_neigh, &upstream).unwrap();
+        let grads =
+            sage_backward(&cache, &w_self, &w_neigh, &upstream, Parallelism::serial()).unwrap();
 
         let eps = 1e-6;
         let check = |analytic: &DenseMatrix,
@@ -276,7 +289,9 @@ mod tests {
         let bad_h_neigh = DenseMatrix::zeros(2, 2); // needs 3 rows
         let h_self = DenseMatrix::zeros(2, 2);
         let w = DenseMatrix::identity(2);
-        assert!(sage_forward(&a, &bad_h_neigh, &h_self, &w, &w, true).is_err());
+        assert!(
+            sage_forward(&a, &bad_h_neigh, &h_self, &w, &w, true, Parallelism::serial()).is_err()
+        );
         let input = DenseMatrix::zeros(2, 3);
         let weight = DenseMatrix::zeros(4, 2);
         assert!(linear_forward(&input, &weight).is_err());

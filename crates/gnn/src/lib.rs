@@ -13,7 +13,7 @@
 //!   both with explicit forward/backward passes (no autograd dependency);
 //! * [`loss`] — softmax cross-entropy with gradient;
 //! * [`optim`] — SGD and Adam optimizers;
-//! * [`model`] — a multi-layer [`SageModel`](model::SageModel) that trains on
+//! * [`model`] — a multi-layer [`SageModel`] that trains on
 //!   the [`MinibatchSample`](dmbs_sampling::MinibatchSample)s produced by the
 //!   sampling crate;
 //! * [`features`] — the 1.5D-partitioned feature store with all-to-allv
@@ -21,7 +21,7 @@
 //! * [`trainer`] — single-device and distributed training drivers that
 //!   produce the per-phase epoch breakdowns reported in Figures 4 and 6.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod activations;

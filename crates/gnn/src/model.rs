@@ -13,6 +13,7 @@ use crate::layers::{
 };
 use crate::loss::cross_entropy;
 use crate::Result;
+use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::DenseMatrix;
 use dmbs_sampling::MinibatchSample;
 use rand::Rng;
@@ -31,6 +32,7 @@ pub struct SageModel {
     num_classes: usize,
     num_layers: usize,
     params: Vec<DenseMatrix>,
+    parallelism: Parallelism,
 }
 
 /// Forward-pass cache for one minibatch, consumed by [`SageModel::backward`].
@@ -70,7 +72,28 @@ impl SageModel {
         }
         let scale = (6.0 / (hidden_dim + num_classes) as f64).sqrt();
         params.push(DenseMatrix::random_uniform(hidden_dim, num_classes, scale, rng));
-        Ok(SageModel { input_dim, hidden_dim, num_classes, num_layers, params })
+        Ok(SageModel {
+            input_dim,
+            hidden_dim,
+            num_classes,
+            num_layers,
+            params,
+            parallelism: Parallelism::serial(),
+        })
+    }
+
+    /// Returns this model with its propagation SpMM kernels running on
+    /// `parallelism` worker threads.  Parallelism changes nothing about the
+    /// computed values (the kernels are byte-identical to serial), only the
+    /// wall time of forward/backward propagation.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The shared-memory parallelism of the propagation kernels.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Number of GNN layers.
@@ -218,6 +241,7 @@ impl SageModel {
                 self.w_self(l),
                 self.w_neigh(l),
                 apply_relu,
+                self.parallelism,
             )?;
             sage_caches.push(cache);
             self_positions.push(positions);
@@ -244,7 +268,13 @@ impl SageModel {
         grads[2 * self.num_layers] = d_w_out;
 
         for l in (0..self.num_layers).rev() {
-            let sage = sage_backward(&cache.sage_caches[l], self.w_self(l), self.w_neigh(l), &d_h)?;
+            let sage = sage_backward(
+                &cache.sage_caches[l],
+                self.w_self(l),
+                self.w_neigh(l),
+                &d_h,
+                self.parallelism,
+            )?;
             grads[2 * l] = sage.d_w_self;
             grads[2 * l + 1] = sage.d_w_neigh;
             // Gradient for the previous layer's output: neighbor gradient plus

@@ -66,6 +66,7 @@ use crate::Result;
 use dmbs_comm::{CommStats, Group, Phase, PhaseProfile, ProcessGrid};
 use dmbs_graph::datasets::Dataset;
 use dmbs_graph::minibatch::MinibatchPlan;
+use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::DenseMatrix;
 use dmbs_sampling::backend::group_seed;
 use dmbs_sampling::{BulkSampleOutput, MinibatchSample, Sampler, SamplingBackend};
@@ -92,6 +93,7 @@ struct SessionConfig {
     replicate_features: bool,
     feature_replication: Option<usize>,
     evaluate: bool,
+    parallelism: Parallelism,
 }
 
 /// One sampled minibatch yielded by a [`MinibatchStream`].
@@ -222,6 +224,7 @@ pub struct SessionBuilder<S, B> {
     replicate_features: bool,
     feature_replication: Option<usize>,
     evaluate: bool,
+    parallelism: Option<Parallelism>,
 }
 
 impl<S, B> Default for SessionBuilder<S, B> {
@@ -239,6 +242,7 @@ impl<S, B> Default for SessionBuilder<S, B> {
             replicate_features: true,
             feature_replication: None,
             evaluate: true,
+            parallelism: None,
         }
     }
 }
@@ -330,6 +334,19 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         self
     }
 
+    /// Shared-memory parallelism of the session's matrix kernels: the
+    /// backend's bulk SpGEMM / per-row ITS *and* the model's propagation
+    /// SpMMs all run on this many worker threads (default: the backend's own
+    /// setting, serial unless configured).
+    ///
+    /// The parallel kernels are byte-identical to their serial forms, so
+    /// this knob never changes what is sampled or trained — see the
+    /// `stream_is_invariant_under_parallelism` test.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -347,6 +364,13 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         let backend = self
             .backend
             .ok_or_else(|| GnnError::InvalidConfig("session needs a backend".into()))?;
+        // An explicit session-level parallelism overrides the backend's own;
+        // otherwise the backend keeps whatever it was configured with.
+        let backend = match self.parallelism {
+            Some(parallelism) => backend.with_parallelism(parallelism),
+            None => backend,
+        };
+        let parallelism = backend.parallelism();
         let batch_size = self.batch_size.unwrap_or(backend.bulk().batch_size);
         let bulk_size = self.bulk_size.unwrap_or(backend.bulk().bulk_size);
         if batch_size == 0 || bulk_size == 0 {
@@ -382,6 +406,7 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
                 replicate_features: self.replicate_features,
                 feature_replication: self.feature_replication,
                 evaluate: self.evaluate,
+                parallelism,
             },
         })
     }
@@ -558,7 +583,8 @@ where
             num_classes,
             self.sampler.num_layers(),
             &mut rng,
-        )?;
+        )?
+        .with_parallelism(self.config.parallelism);
         let mut optimizer = Sgd::new(self.config.learning_rate);
 
         let mut report = TrainingReport::default();
@@ -632,7 +658,8 @@ where
                     num_classes,
                     self.sampler.num_layers(),
                     &mut init_rng,
-                )?;
+                )?
+                .with_parallelism(config.parallelism);
                 let mut optimizer = Sgd::new(config.learning_rate);
 
                 let mut epochs = Vec::with_capacity(config.epochs);

@@ -18,7 +18,10 @@
 //!   row/column extraction) used by bulk sampling,
 //! * a small dense matrix type ([`DenseMatrix`]) with the GEMM/transpose/
 //!   reduction kernels needed by the GNN training substrate,
-//! * prefix sums used by inverse transform sampling.
+//! * prefix sums used by inverse transform sampling,
+//! * a scoped worker pool ([`pool`]) with a [`Parallelism`] knob driving the
+//!   deterministic row-blocked parallel kernels
+//!   ([`spgemm::spgemm_parallel`], [`spmm::spmm_parallel`]).
 //!
 //! All numeric values are `f64`.  Indices are `usize` throughout; shapes are
 //! validated eagerly and dimension mismatches are reported through
@@ -54,7 +57,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod coo;
@@ -63,6 +66,7 @@ pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod ops;
+pub mod pool;
 pub mod prefix;
 pub mod spgemm;
 pub mod spmm;
@@ -72,6 +76,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
+pub use pool::Parallelism;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, MatrixError>;

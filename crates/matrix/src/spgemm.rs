@@ -5,11 +5,24 @@
 //! which are sparse × sparse products.  The paper uses nsparse / cuSPARSE on
 //! GPU; here we implement the same row-wise (Gustavson) formulation with a
 //! dense-accumulator or hash-map accumulator chosen per row.
+//!
+//! The serial kernels ([`spgemm`]) are deliberately kept as an *independent
+//! reference implementation* of the parallel two-pass kernel
+//! ([`spgemm_parallel`]): the inner Gustavson loops exist in both, and the
+//! byte-identity contract between them is pinned by
+//! `prop_spgemm_parallel_byte_identical_to_serial` (random inputs, 1/2/8
+//! threads, including cancellation zeros).  When editing either copy, keep
+//! the accumulation order, the dense/hash `DENSE_ACCUM_MAX_COLS` dispatch
+//! and the explicit-zero retention in sync — the proptests will fail loudly
+//! if they drift.
 
 use crate::csr::CsrMatrix;
 use crate::error::MatrixError;
+use crate::pool::{block_ranges, Parallelism};
+use crate::prefix::counts_to_offsets;
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 
 /// Threshold on the number of columns below which a dense accumulator row is
 /// used instead of a hash map.  Dense accumulation is faster but costs
@@ -52,6 +65,197 @@ pub fn spgemm(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<CsrMatrix> {
         spgemm_dense_accum(lhs, rhs)
     } else {
         spgemm_hash_accum(lhs, rhs)
+    }
+}
+
+/// Computes the sparse product `lhs * rhs` on a scoped worker pool.
+///
+/// Row-blocked Gustavson SpGEMM in two passes: a **symbolic** pass counts the
+/// output nonzeros of every row (parallel over contiguous row blocks, one
+/// dense/hash scratch per worker), a prefix sum turns the counts into CSR
+/// offsets, and a **numeric** pass fills each block's disjoint slice of the
+/// output `indices`/`values` buffers in place.  Because every output row is
+/// computed exactly as the serial kernel computes it (same accumulation
+/// order, same sort), the result is **byte-identical to [`spgemm`] at any
+/// thread count** — see the determinism proptests.
+///
+/// With [`Parallelism::serial`] (or a single effective block) this delegates
+/// to [`spgemm`] directly.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `lhs.cols() != rhs.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::pool::Parallelism;
+/// use dmbs_matrix::spgemm::{spgemm, spgemm_parallel};
+/// use dmbs_matrix::{CooMatrix, CsrMatrix};
+///
+/// # fn main() -> Result<(), dmbs_matrix::MatrixError> {
+/// let a = CsrMatrix::from_coo(&CooMatrix::from_triples(
+///     3, 3, vec![(0, 1, 2.0), (1, 2, 0.5), (2, 0, -1.0)],
+/// )?);
+/// let serial = spgemm(&a, &a)?;
+/// let parallel = spgemm_parallel(&a, &a, Parallelism::new(4))?;
+/// assert_eq!(parallel, serial); // byte-identical, not just approximately
+/// # Ok(())
+/// # }
+/// ```
+pub fn spgemm_parallel(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    parallelism: Parallelism,
+) -> Result<CsrMatrix> {
+    if lhs.cols() != rhs.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spgemm_parallel",
+            lhs: lhs.shape(),
+            rhs: rhs.shape(),
+        });
+    }
+    let rows = lhs.rows();
+    let blocks = block_ranges(rows, parallelism.effective_blocks(rows));
+    if blocks.len() <= 1 {
+        return spgemm(lhs, rhs);
+    }
+    let use_dense = rhs.cols() <= DENSE_ACCUM_MAX_COLS;
+
+    // Pass 1 (symbolic): per-row output nnz, computed block-parallel.
+    let counts: Vec<usize> = parallelism
+        .map_blocks(rows, |range| symbolic_count_block(lhs, rhs, range, use_dense))
+        .into_iter()
+        .flatten()
+        .collect();
+
+    // Prefix: counts -> CSR row offsets.
+    let indptr = counts_to_offsets(&counts);
+    let total = indptr[rows];
+
+    // Pass 2 (numeric): every block fills its disjoint slice of the output.
+    let mut indices = vec![0usize; total];
+    let mut values = vec![0.0f64; total];
+    let fill = crossbeam::thread::scope(|scope| {
+        let mut idx_tail = indices.as_mut_slice();
+        let mut val_tail = values.as_mut_slice();
+        let mut handles = Vec::with_capacity(blocks.len());
+        for range in blocks {
+            let len = indptr[range.end] - indptr[range.start];
+            let (idx_head, rest) = std::mem::take(&mut idx_tail).split_at_mut(len);
+            idx_tail = rest;
+            let (val_head, rest) = std::mem::take(&mut val_tail).split_at_mut(len);
+            val_tail = rest;
+            let indptr = &indptr;
+            handles.push(scope.spawn(move || {
+                numeric_fill_block(lhs, rhs, range, indptr, idx_head, val_head, use_dense)
+            }));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    if let Err(payload) = fill {
+        std::panic::resume_unwind(payload);
+    }
+    CsrMatrix::from_raw(rows, rhs.cols(), indptr, indices, values)
+}
+
+/// Symbolic pass: the number of distinct output columns of every row in
+/// `range`, using a worker-local dense mark vector or hash set.
+fn symbolic_count_block(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    range: Range<usize>,
+    use_dense: bool,
+) -> Vec<usize> {
+    let mut counts = Vec::with_capacity(range.len());
+    if use_dense {
+        let mut marked = vec![false; rhs.cols()];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in range {
+            for &k in lhs.row_indices(i) {
+                for &j in rhs.row_indices(k) {
+                    if !marked[j] {
+                        marked[j] = true;
+                        touched.push(j);
+                    }
+                }
+            }
+            counts.push(touched.len());
+            for &j in &touched {
+                marked[j] = false;
+            }
+            touched.clear();
+        }
+    } else {
+        let mut seen: HashSet<usize> = HashSet::new();
+        for i in range {
+            for &k in lhs.row_indices(i) {
+                seen.extend(rhs.row_indices(k).iter().copied());
+            }
+            counts.push(seen.len());
+            seen.clear();
+        }
+    }
+    counts
+}
+
+/// Numeric pass: recomputes the rows of `range` with the same accumulation
+/// order as the serial kernel and writes them into this block's slice of the
+/// output buffers (`indices`/`values` start at `indptr[range.start]`).
+fn numeric_fill_block(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    range: Range<usize>,
+    indptr: &[usize],
+    indices: &mut [usize],
+    values: &mut [f64],
+    use_dense: bool,
+) {
+    let base = indptr[range.start];
+    if use_dense {
+        let mut accum = vec![0.0f64; rhs.cols()];
+        let mut marked = vec![false; rhs.cols()];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in range {
+            for (&k, &lv) in lhs.row_indices(i).iter().zip(lhs.row_values(i)) {
+                for (&j, &rv) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                    if !marked[j] {
+                        marked[j] = true;
+                        touched.push(j);
+                    }
+                    accum[j] += lv * rv;
+                }
+            }
+            touched.sort_unstable();
+            let start = indptr[i] - base;
+            for (slot, &j) in touched.iter().enumerate() {
+                indices[start + slot] = j;
+                values[start + slot] = accum[j];
+                accum[j] = 0.0;
+                marked[j] = false;
+            }
+            touched.clear();
+        }
+    } else {
+        for i in range {
+            let mut accum: HashMap<usize, f64> = HashMap::new();
+            for (&k, &lv) in lhs.row_indices(i).iter().zip(lhs.row_values(i)) {
+                for (&j, &rv) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {
+                    *accum.entry(j).or_insert(0.0) += lv * rv;
+                }
+            }
+            let mut row: Vec<(usize, f64)> = accum.into_iter().collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let start = indptr[i] - base;
+            for (slot, (j, v)) in row.into_iter().enumerate() {
+                indices[start + slot] = j;
+                values[start + slot] = v;
+            }
+        }
     }
 }
 
@@ -318,6 +522,77 @@ mod tests {
                 )
             })
         })
+    }
+
+    #[test]
+    fn parallel_matches_serial_byte_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut coo_a = CooMatrix::new(64, 48);
+        let mut coo_b = CooMatrix::new(48, 57);
+        for _ in 0..600 {
+            coo_a
+                .push(rng.gen_range(0..64), rng.gen_range(0..48), rng.gen_range(-2.0..2.0))
+                .unwrap();
+            coo_b
+                .push(rng.gen_range(0..48), rng.gen_range(0..57), rng.gen_range(-2.0..2.0))
+                .unwrap();
+        }
+        let a = CsrMatrix::from_coo(&coo_a);
+        let b = CsrMatrix::from_coo(&coo_b);
+        let serial = spgemm(&a, &b).unwrap();
+        for threads in [1usize, 2, 8] {
+            let parallel = spgemm_parallel(&a, &b, Parallelism::new(threads)).unwrap();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_hash_path_matches_serial() {
+        // Force the hash accumulator by exceeding the dense-column threshold.
+        let wide = DENSE_ACCUM_MAX_COLS + 10;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut coo_a = CooMatrix::new(20, 30);
+        let mut coo_b = CooMatrix::new(30, wide);
+        for _ in 0..200 {
+            coo_a
+                .push(rng.gen_range(0..20), rng.gen_range(0..30), rng.gen_range(-2.0..2.0))
+                .unwrap();
+            coo_b
+                .push(rng.gen_range(0..30), rng.gen_range(0..wide), rng.gen_range(-2.0..2.0))
+                .unwrap();
+        }
+        let a = CsrMatrix::from_coo(&coo_a);
+        let b = CsrMatrix::from_coo(&coo_b);
+        let serial = spgemm(&a, &b).unwrap();
+        for threads in [2usize, 8] {
+            assert_eq!(spgemm_parallel(&a, &b, Parallelism::new(threads)).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn parallel_dimension_mismatch_and_empty() {
+        let a = CsrMatrix::zeros(2, 3);
+        assert!(matches!(
+            spgemm_parallel(&a, &a, Parallelism::new(4)),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+        let empty = CsrMatrix::zeros(0, 0);
+        let c = spgemm_parallel(&empty, &empty, Parallelism::new(4)).unwrap();
+        assert_eq!(c.shape(), (0, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spgemm_parallel_byte_identical_to_serial(
+            (a, b) in arb_pair(),
+            thread_choice in 0usize..3,
+        ) {
+            let threads = [1usize, 2, 8][thread_choice];
+            let serial = spgemm(&a, &b).unwrap();
+            let parallel = spgemm_parallel(&a, &b, Parallelism::new(threads)).unwrap();
+            // Structural and value equality must be exact (not approximate).
+            prop_assert_eq!(parallel, serial);
+        }
     }
 
     proptest! {

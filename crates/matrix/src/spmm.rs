@@ -8,6 +8,7 @@
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::MatrixError;
+use crate::pool::{block_ranges, Parallelism};
 use crate::Result;
 
 /// Computes `sparse * dense`.
@@ -50,6 +51,135 @@ pub fn spmm(sparse: &CsrMatrix, dense: &DenseMatrix) -> Result<DenseMatrix> {
             }
         }
         out.row_mut(r).copy_from_slice(&acc);
+    }
+    Ok(out)
+}
+
+/// Computes `sparse * dense` on a scoped worker pool, row-blocking the
+/// output across `parallelism` threads.
+///
+/// Every output row is the same linear combination the serial kernel
+/// computes, in the same order, so the result is **byte-identical to
+/// [`spmm`] at any thread count**.  With a single effective block this
+/// delegates to [`spmm`].
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `sparse.cols() != dense.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::pool::Parallelism;
+/// use dmbs_matrix::spmm::{spmm, spmm_parallel};
+/// use dmbs_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+///
+/// # fn main() -> Result<(), dmbs_matrix::MatrixError> {
+/// let a = CsrMatrix::from_coo(&CooMatrix::from_triples(2, 3, vec![(0, 1, 2.0), (1, 2, 1.0)])?);
+/// let h = DenseMatrix::from_rows(&[vec![1.0], vec![10.0], vec![100.0]])?;
+/// assert_eq!(spmm_parallel(&a, &h, Parallelism::new(2))?, spmm(&a, &h)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spmm_parallel(
+    sparse: &CsrMatrix,
+    dense: &DenseMatrix,
+    parallelism: Parallelism,
+) -> Result<DenseMatrix> {
+    if sparse.cols() != dense.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spmm_parallel",
+            lhs: sparse.shape(),
+            rhs: dense.shape(),
+        });
+    }
+    let rows = sparse.rows();
+    let cols = dense.cols();
+    let blocks = block_ranges(rows, parallelism.effective_blocks(rows));
+    if blocks.len() <= 1 {
+        return spmm(sparse, dense);
+    }
+    let mut out = DenseMatrix::zeros(rows, cols);
+    let fill = crossbeam::thread::scope(|scope| {
+        let mut tail = out.as_mut_slice();
+        let mut handles = Vec::with_capacity(blocks.len());
+        for range in blocks {
+            let (head, rest) = std::mem::take(&mut tail).split_at_mut(range.len() * cols);
+            tail = rest;
+            handles.push(scope.spawn(move || {
+                for (local, r) in range.enumerate() {
+                    let acc = &mut head[local * cols..(local + 1) * cols];
+                    for (&c, &v) in sparse.row_indices(r).iter().zip(sparse.row_values(r)) {
+                        for (a, d) in acc.iter_mut().zip(dense.row(c)) {
+                            *a += v * d;
+                        }
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    if let Err(payload) = fill {
+        std::panic::resume_unwind(payload);
+    }
+    Ok(out)
+}
+
+/// Computes `sparse^T * dense` on a scoped worker pool without materialising
+/// the transpose.
+///
+/// The transposed product scatters into output rows, so row-blocking the
+/// *output* would race; instead the **columns** of `dense` are blocked: each
+/// worker computes the full scatter restricted to its column slice, which
+/// touches a disjoint set of output entries and accumulates every entry in
+/// the serial kernel's input-row order.  The result is therefore
+/// byte-identical to [`spmm_transpose`] at any thread count.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `sparse.rows() != dense.rows()`.
+pub fn spmm_transpose_parallel(
+    sparse: &CsrMatrix,
+    dense: &DenseMatrix,
+    parallelism: Parallelism,
+) -> Result<DenseMatrix> {
+    if sparse.rows() != dense.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spmm_transpose_parallel",
+            lhs: sparse.shape(),
+            rhs: dense.shape(),
+        });
+    }
+    let cols = dense.cols();
+    let col_blocks = block_ranges(cols, parallelism.effective_blocks(cols));
+    if col_blocks.len() <= 1 {
+        return spmm_transpose(sparse, dense);
+    }
+    // Each worker fills a (sparse.cols() × block) slab over its column range.
+    let slabs: Vec<(std::ops::Range<usize>, Vec<f64>)> = parallelism.map_blocks(cols, |range| {
+        let width = range.len();
+        let mut slab = vec![0.0f64; sparse.cols() * width];
+        for r in 0..sparse.rows() {
+            let drow = &dense.row(r)[range.clone()];
+            for (&c, &v) in sparse.row_indices(r).iter().zip(sparse.row_values(r)) {
+                let orow = &mut slab[c * width..(c + 1) * width];
+                for (o, d) in orow.iter_mut().zip(drow) {
+                    *o += v * d;
+                }
+            }
+        }
+        (range, slab)
+    });
+    let mut out = DenseMatrix::zeros(sparse.cols(), cols);
+    for (range, slab) in slabs {
+        let width = range.len();
+        for r in 0..sparse.cols() {
+            out.row_mut(r)[range.clone()].copy_from_slice(&slab[r * width..(r + 1) * width]);
+        }
     }
     Ok(out)
 }
@@ -131,6 +261,49 @@ mod tests {
         let a = small_sparse();
         let g = DenseMatrix::zeros(4, 2);
         assert!(spmm_transpose(&a, &g).is_err());
+    }
+
+    #[test]
+    fn parallel_variants_match_serial_byte_identical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut coo = CooMatrix::new(40, 32);
+        for _ in 0..300 {
+            coo.push(rng.gen_range(0..40), rng.gen_range(0..32), rng.gen_range(-2.0..2.0)).unwrap();
+        }
+        let sparse = CsrMatrix::from_coo(&coo);
+        let dense = DenseMatrix::random_uniform(32, 9, 1.5, &mut rng);
+        let dense_t = DenseMatrix::random_uniform(40, 9, 1.5, &mut rng);
+        let serial = spmm(&sparse, &dense).unwrap();
+        let serial_t = spmm_transpose(&sparse, &dense_t).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads);
+            assert_eq!(spmm_parallel(&sparse, &dense, par).unwrap(), serial);
+            assert_eq!(spmm_transpose_parallel(&sparse, &dense_t, par).unwrap(), serial_t);
+        }
+    }
+
+    #[test]
+    fn parallel_variants_validate_dimensions() {
+        let sparse = small_sparse();
+        let par = Parallelism::new(4);
+        assert!(spmm_parallel(&sparse, &DenseMatrix::zeros(3, 2), par).is_err());
+        assert!(spmm_transpose_parallel(&sparse, &DenseMatrix::zeros(4, 2), par).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spmm_parallel_byte_identical(
+            entries in proptest::collection::vec((0usize..6, 0usize..7, -2.0f64..2.0), 0..30),
+            dense_vals in proptest::collection::vec(-2.0f64..2.0, 7 * 3),
+            thread_choice in 0usize..3,
+        ) {
+            let sparse = CsrMatrix::from_coo(&CooMatrix::from_triples(6, 7, entries).unwrap());
+            let dense = DenseMatrix::from_vec(7, 3, dense_vals).unwrap();
+            let par = Parallelism::new([1usize, 2, 8][thread_choice]);
+            prop_assert_eq!(spmm_parallel(&sparse, &dense, par).unwrap(), spmm(&sparse, &dense).unwrap());
+        }
     }
 
     proptest! {

@@ -56,6 +56,7 @@ use crate::sampler::{BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{CommStats, Communicator, PhaseProfile, ProcessGrid, Runtime};
 use dmbs_graph::partition::OneDPartition;
+use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,6 +81,25 @@ impl DistConfig {
     /// [`DistConfig::validate`] (backends validate on construction).
     pub fn new(ranks: usize, replication_c: usize, bulk: BulkSamplerConfig) -> Self {
         DistConfig { ranks, replication_c, bulk }
+    }
+
+    /// Returns this configuration with every rank's local matrix kernels
+    /// (SpGEMM, per-row ITS) running on `parallelism` worker threads —
+    /// shorthand for setting [`BulkSamplerConfig::parallelism`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmbs_matrix::pool::Parallelism;
+    /// use dmbs_sampling::{BulkSamplerConfig, DistConfig};
+    ///
+    /// let dist = DistConfig::new(4, 2, BulkSamplerConfig::new(1024, 4))
+    ///     .with_parallelism(Parallelism::new(8));
+    /// assert_eq!(dist.bulk.parallelism.threads(), 8);
+    /// ```
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.bulk.parallelism = parallelism;
+        self
     }
 
     /// Rejects zero ranks, zero/non-dividing replication and zero bulk
@@ -222,6 +242,19 @@ pub trait SamplingBackend {
     /// The bulk sampling shape this backend was configured with.
     fn bulk(&self) -> &BulkSamplerConfig;
 
+    /// The shared-memory parallelism the backend's matrix kernels run with.
+    fn parallelism(&self) -> Parallelism {
+        self.bulk().parallelism
+    }
+
+    /// Returns this backend with its matrix-kernel parallelism replaced.
+    /// Parallelism never changes *what* is sampled — the parallel kernels
+    /// are byte-identical to their serial forms — so this is always safe to
+    /// apply to an already-configured backend.
+    fn with_parallelism(self, parallelism: Parallelism) -> Self
+    where
+        Self: Sized;
+
     /// The simulated runtime, when the backend is distributed.
     fn runtime(&self) -> Option<&Runtime> {
         None
@@ -277,7 +310,8 @@ pub trait SamplingBackend {
         }
         let my_batches: Vec<Vec<usize>> = indices.iter().map(|&i| group[i].clone()).collect();
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(rank as u64));
-        let config = BulkSamplerConfig::new(self.bulk().batch_size, my_batches.len());
+        let config = BulkSamplerConfig::new(self.bulk().batch_size, my_batches.len())
+            .with_parallelism(self.parallelism());
         let out = sampler.sample_bulk(adjacency, &my_batches, &config, &mut rng)?;
         Ok(GroupShard {
             samples: indices.into_iter().zip(out.minibatches).collect(),
@@ -306,6 +340,19 @@ impl LocalBackend {
     /// # Errors
     ///
     /// Returns [`SamplingError::InvalidBulkConfig`] for zero fields.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmbs_sampling::{BulkSamplerConfig, LocalBackend, SamplingBackend};
+    ///
+    /// # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+    /// let backend = LocalBackend::new(BulkSamplerConfig::new(1024, 4))?;
+    /// assert_eq!(backend.units(), 1);
+    /// assert!(LocalBackend::new(BulkSamplerConfig::new(0, 4)).is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn new(bulk: BulkSamplerConfig) -> Result<Self> {
         bulk.validate()?;
         Ok(LocalBackend { bulk })
@@ -325,6 +372,11 @@ impl SamplingBackend for LocalBackend {
         &self.bulk
     }
 
+    fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.bulk.parallelism = parallelism;
+        self
+    }
+
     fn sample_epoch<S: Sampler + Sync>(
         &self,
         sampler: &S,
@@ -336,7 +388,8 @@ impl SamplingBackend for LocalBackend {
         check_square(adjacency)?;
         let mut output = BulkSampleOutput::default();
         for (gi, group) in batches.chunks(self.bulk.bulk_size).enumerate() {
-            let config = BulkSamplerConfig::new(self.bulk.batch_size, group.len());
+            let config = BulkSamplerConfig::new(self.bulk.batch_size, group.len())
+                .with_parallelism(self.bulk.parallelism);
             let mut rng = StdRng::seed_from_u64(group_seed(seed, gi));
             output.merge(sampler.sample_bulk(adjacency, group, &config, &mut rng)?);
         }
@@ -366,6 +419,20 @@ impl ReplicatedBackend {
     /// # Errors
     ///
     /// Returns typed configuration errors for invalid `dist` fields.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmbs_sampling::{BulkSamplerConfig, DistConfig, ReplicatedBackend, SamplingBackend};
+    ///
+    /// # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+    /// let bulk = BulkSamplerConfig::new(512, 4);
+    /// let backend = ReplicatedBackend::new(DistConfig::new(4, 2, bulk))?;
+    /// assert_eq!(backend.units(), 4); // every rank samples independently
+    /// assert!(ReplicatedBackend::new(DistConfig::new(0, 1, bulk)).is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn new(dist: DistConfig) -> Result<Self> {
         dist.validate()?;
         let runtime = Runtime::new(dist.ranks)?;
@@ -398,6 +465,11 @@ impl SamplingBackend for ReplicatedBackend {
 
     fn bulk(&self) -> &BulkSamplerConfig {
         &self.dist.bulk
+    }
+
+    fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.dist.bulk.parallelism = parallelism;
+        self
     }
 
     fn runtime(&self) -> Option<&Runtime> {
@@ -434,7 +506,8 @@ impl SamplingBackend for ReplicatedBackend {
                     return Ok(BulkSampleOutput::default());
                 }
                 let mut rng = StdRng::seed_from_u64(gseed.wrapping_add(rank as u64));
-                let config = BulkSamplerConfig::new(self.dist.bulk.batch_size, my_batches.len());
+                let config = BulkSamplerConfig::new(self.dist.bulk.batch_size, my_batches.len())
+                    .with_parallelism(self.dist.bulk.parallelism);
                 sampler.sample_bulk(adjacency, &my_batches, &config, &mut rng)
             })?;
 
@@ -487,6 +560,24 @@ impl Partitioned1p5dBackend {
     /// # Errors
     ///
     /// Returns typed configuration errors for invalid `dist` fields.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmbs_sampling::{
+    ///     BulkSamplerConfig, DistConfig, Partitioned1p5dBackend, SamplingBackend,
+    /// };
+    ///
+    /// # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+    /// let bulk = BulkSamplerConfig::new(512, 4);
+    /// // 8 ranks with replication factor c = 2 form a 4 × 2 grid.
+    /// let backend = Partitioned1p5dBackend::new(DistConfig::new(8, 2, bulk))?;
+    /// assert_eq!(backend.units(), 4); // one sampling unit per process row
+    /// // c must divide p.
+    /// assert!(Partitioned1p5dBackend::new(DistConfig::new(8, 3, bulk)).is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn new(dist: DistConfig) -> Result<Self> {
         dist.validate()?;
         let runtime = Runtime::new(dist.ranks)?;
@@ -534,6 +625,7 @@ impl Partitioned1p5dBackend {
                 vertex_partition,
                 my_batches: &my_batches,
                 seed,
+                parallelism: self.dist.bulk.parallelism,
             };
             sampler.sample_partitioned(&mut ctx)
         })?;
@@ -563,6 +655,11 @@ impl SamplingBackend for Partitioned1p5dBackend {
 
     fn bulk(&self) -> &BulkSamplerConfig {
         &self.dist.bulk
+    }
+
+    fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.dist.bulk.parallelism = parallelism;
+        self
     }
 
     fn runtime(&self) -> Option<&Runtime> {
@@ -638,6 +735,7 @@ impl SamplingBackend for Partitioned1p5dBackend {
             vertex_partition: &vertex_partition,
             my_batches: &my_batches,
             seed,
+            parallelism: self.dist.bulk.parallelism,
         };
         let out = sampler.sample_partitioned(&mut ctx)?;
 

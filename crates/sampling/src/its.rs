@@ -9,9 +9,11 @@
 
 use crate::error::SamplingError;
 use crate::Result;
+use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::prefix::{inclusive_scan, upper_bound};
 use dmbs_matrix::CsrMatrix;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Draws up to `s` *distinct* positions (indices into `weights`) without
 /// replacement using inverse transform sampling.
@@ -158,13 +160,97 @@ pub fn sample_rows<R: Rng + ?Sized>(p: &CsrMatrix, s: usize, rng: &mut R) -> Res
     Ok(CsrMatrix::from_rows(p.rows(), p.cols(), row_data)?)
 }
 
+/// The RNG seed of `row`'s private stream under `base_seed` — a splitmix64
+/// finalizer over the row index, so adjacent rows get decorrelated streams.
+///
+/// Every row owning its own seeded stream (rather than all rows sharing one
+/// sequential stream) is what makes per-row ITS parallelizable **and**
+/// reproducible: the draw for row `r` depends only on `(base_seed, r)`,
+/// never on which thread processed it or how many threads ran.
+pub fn row_stream_seed(base_seed: u64, row: usize) -> u64 {
+    let mut z = base_seed ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Serial reference for [`sample_rows_par`]: samples `s` nonzero columns from
+/// every row of `p` with a per-row RNG stream seeded by
+/// [`row_stream_seed`]`(base_seed, row)`.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidConfig`] if `s == 0`.
+pub fn sample_rows_seeded(p: &CsrMatrix, s: usize, base_seed: u64) -> Result<CsrMatrix> {
+    sample_rows_par(p, s, base_seed, Parallelism::serial())
+}
+
+/// Samples `s` nonzero columns from every row of a CSR probability matrix on
+/// a scoped worker pool — the parallel `SAMPLE` step of Algorithm 1.
+///
+/// Rows are processed in contiguous blocks across `parallelism` threads;
+/// each row draws from its own [`row_stream_seed`]-seeded RNG stream, so the
+/// output is **byte-identical at any thread count** (and identical to
+/// [`sample_rows_seeded`]).  Rows with no nonzeros stay empty.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InvalidConfig`] if `s == 0`.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::pool::Parallelism;
+/// use dmbs_matrix::{CooMatrix, CsrMatrix};
+/// use dmbs_sampling::its::sample_rows_par;
+///
+/// # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+/// let p = CsrMatrix::from_coo(&CooMatrix::from_triples(
+///     2, 4, vec![(0, 0, 0.5), (0, 2, 0.5), (1, 1, 1.0)],
+/// ).unwrap());
+/// let serial = sample_rows_par(&p, 1, 42, Parallelism::serial())?;
+/// let parallel = sample_rows_par(&p, 1, 42, Parallelism::new(8))?;
+/// assert_eq!(serial, parallel); // reproducible independent of thread count
+/// # Ok(())
+/// # }
+/// ```
+pub fn sample_rows_par(
+    p: &CsrMatrix,
+    s: usize,
+    base_seed: u64,
+    parallelism: Parallelism,
+) -> Result<CsrMatrix> {
+    if s == 0 {
+        return Err(SamplingError::InvalidConfig("sample count s must be positive".into()));
+    }
+    type SparseRows = Vec<Vec<(usize, f64)>>;
+    let block_rows: Vec<Result<SparseRows>> = parallelism.map_blocks(p.rows(), |range| {
+        let mut rows = Vec::with_capacity(range.len());
+        for r in range {
+            let cols = p.row_indices(r);
+            let vals = p.row_values(r);
+            if cols.is_empty() {
+                rows.push(Vec::new());
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(row_stream_seed(base_seed, r));
+            let picked = its_without_replacement(vals, s, &mut rng)?;
+            rows.push(picked.into_iter().map(|pos| (cols[pos], 1.0)).collect());
+        }
+        Ok(rows)
+    });
+    let mut row_data: Vec<Vec<(usize, f64)>> = Vec::with_capacity(p.rows());
+    for block in block_rows {
+        row_data.extend(block?);
+    }
+    Ok(CsrMatrix::from_rows(p.rows(), p.cols(), row_data)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dmbs_matrix::CooMatrix;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn without_replacement_returns_distinct_in_support() {
@@ -279,6 +365,77 @@ mod tests {
         let q = sample_rows(&p, 2, &mut rng).unwrap();
         assert_eq!(q.nnz(), 0);
         assert!(sample_rows(&p, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_rows_par_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut coo = CooMatrix::new(50, 64);
+        for _ in 0..400 {
+            coo.push(rng.gen_range(0..50), rng.gen_range(0..64), rng.gen_range(0.1..3.0)).ok();
+        }
+        let p = CsrMatrix::from_coo(&coo);
+        for seed in [0u64, 9, 0xDEAD_BEEF] {
+            let serial = sample_rows_seeded(&p, 3, seed).unwrap();
+            for threads in [1usize, 2, 8] {
+                let par = sample_rows_par(&p, 3, seed, Parallelism::new(threads)).unwrap();
+                assert_eq!(par, serial, "seed = {seed}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_rows_par_respects_support_and_fanout() {
+        let p = CsrMatrix::from_coo(
+            &CooMatrix::from_triples(
+                2,
+                6,
+                vec![
+                    (0, 0, 1.0 / 3.0),
+                    (0, 2, 1.0 / 3.0),
+                    (0, 4, 1.0 / 3.0),
+                    (1, 3, 0.5),
+                    (1, 4, 0.5),
+                ],
+            )
+            .unwrap(),
+        );
+        let q = sample_rows_par(&p, 2, 7, Parallelism::new(4)).unwrap();
+        assert_eq!(q.shape(), (2, 6));
+        assert_eq!(q.row_nnz(0), 2);
+        assert!(q.row_indices(0).iter().all(|c| [0, 2, 4].contains(c)));
+        assert_eq!(q.row_indices(1), &[3, 4]);
+        assert!(sample_rows_par(&p, 0, 7, Parallelism::new(4)).is_err());
+        // Empty rows stay empty.
+        let empty = CsrMatrix::zeros(3, 4);
+        assert_eq!(sample_rows_par(&empty, 2, 1, Parallelism::new(2)).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn row_stream_seeds_are_decorrelated() {
+        // Adjacent rows and adjacent base seeds must give distinct streams.
+        let a = row_stream_seed(1, 0);
+        let b = row_stream_seed(1, 1);
+        let c = row_stream_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sample_rows_par_thread_invariant(
+            entries in proptest::collection::vec((0usize..8, 0usize..12, 0.1f64..5.0), 1..60),
+            s in 1usize..5,
+            seed in 0u64..100,
+            thread_choice in 0usize..3,
+        ) {
+            let p = CsrMatrix::from_coo(&CooMatrix::from_triples(8, 12, entries).unwrap());
+            let threads = [1usize, 2, 8][thread_choice];
+            let serial = sample_rows_seeded(&p, s, seed).unwrap();
+            let par = sample_rows_par(&p, s, seed, Parallelism::new(threads)).unwrap();
+            prop_assert_eq!(par, serial);
+        }
     }
 
     proptest! {

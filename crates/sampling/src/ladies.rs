@@ -14,13 +14,13 @@
 //! extraction, and performs the column extraction as a batch of smaller
 //! products, exactly as §4.2.4 / §8.2.2 describe.
 
-use crate::its::sample_rows;
+use crate::its::sample_rows_par;
 use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
 use dmbs_matrix::ops::row_selection_matrix;
-use dmbs_matrix::spgemm::spgemm;
+use dmbs_matrix::spgemm::spgemm_parallel;
 use dmbs_matrix::{CooMatrix, CscMatrix, CsrMatrix};
 use rand::RngCore;
 
@@ -126,6 +126,7 @@ impl Sampler for LadiesSampler {
         validate_batches(batches, n)?;
 
         let k = batches.len();
+        let parallelism = config.parallelism;
         let mut profile = PhaseProfile::new();
         // Current layer's row vertex set per minibatch (starts as the batch).
         let mut frontiers: Vec<Vec<usize>> = batches.to_vec();
@@ -147,13 +148,16 @@ impl Sampler for LadiesSampler {
                     }
                 }
                 let q = CsrMatrix::from_coo(&coo);
-                let mut p = spgemm(&q, adjacency)?;
+                let mut p = spgemm_parallel(&q, adjacency, parallelism)?;
                 Self::norm(&mut p);
                 Ok(p)
             })?;
 
-            // ---- Sampling: s distinct vertices per minibatch row.
-            let sampled = profile.time_compute(Phase::Sampling, || sample_rows(&p, s, rng))?;
+            // ---- Sampling: s distinct vertices per minibatch row, one
+            // seeded RNG stream per row (thread-count invariant).
+            let step_seed = rng.next_u64();
+            let sampled = profile
+                .time_compute(Phase::Sampling, || sample_rows_par(&p, s, step_seed, parallelism))?;
 
             // ---- Extraction: A_S = Q_R A Q_C per minibatch, with the row
             // extraction done as one stacked SpGEMM and the column extraction
@@ -169,7 +173,7 @@ impl Sampler for LadiesSampler {
                     offsets.push(stacked_rows.len());
                 }
                 let q_r = row_selection_matrix(&stacked_rows, n)?;
-                let a_r = spgemm(&q_r, adjacency)?;
+                let a_r = spgemm_parallel(&q_r, adjacency, parallelism)?;
 
                 for (i, frontier) in frontiers.iter_mut().enumerate() {
                     let mut cols: Vec<usize> = sampled.row_indices(i).to_vec();
@@ -215,6 +219,7 @@ impl Sampler for LadiesSampler {
             self.num_layers,
             self.samples_per_layer,
             ctx.seed,
+            ctx.parallelism,
         )
     }
 }
@@ -251,7 +256,7 @@ mod tests {
         let q = CsrMatrix::from_coo(
             &CooMatrix::from_triples(1, 6, vec![(0, 1, 1.0), (0, 5, 1.0)]).unwrap(),
         );
-        let mut p = spgemm(&q, &a).unwrap();
+        let mut p = dmbs_matrix::spgemm::spgemm(&q, &a).unwrap();
         LadiesSampler::norm(&mut p);
         let expected = [1.0 / 7.0, 0.0, 1.0 / 7.0, 1.0 / 7.0, 4.0 / 7.0, 0.0];
         for (col, &want) in expected.iter().enumerate() {

@@ -35,7 +35,10 @@
 //!   [`EpochSamples`].
 //!
 //! Supporting modules: [`its`] — inverse transform sampling (and rejection
-//! sampling, for the ablation) over CSR probability rows; [`baseline`] —
+//! sampling, for the ablation) over CSR probability rows, including the
+//! per-row-seeded parallel [`its::sample_rows_par`] whose output is
+//! byte-identical at any thread count (the
+//! [`BulkSamplerConfig::parallelism`] knob); [`baseline`] —
 //! per-vertex samplers standing in for Quiver/DGL (including a UVA-style
 //! slow-memory model) and a reference per-batch CPU LADIES; [`replicated`] /
 //! [`partitioned`] — the rank-level machinery behind the backends (their
@@ -71,7 +74,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod backend;

@@ -15,12 +15,13 @@
 //! reuses the same 1.5D SpGEMM and its column extraction is split across the
 //! process row as a batch of smaller SpGEMMs (§5.2.3, §8.2.2).
 
-use crate::its::{its_without_replacement, sample_rows};
+use crate::its::{its_without_replacement, sample_rows_par};
 use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Communicator, Group, Phase, PhaseProfile, ProcessGrid, Runtime};
 use dmbs_graph::partition::OneDPartition;
 use dmbs_matrix::ops::row_selection_matrix;
+use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::spgemm::spgemm_with_fetched_rows;
 use dmbs_matrix::{CooMatrix, CscMatrix, CsrMatrix};
 use rand::rngs::StdRng;
@@ -214,6 +215,7 @@ pub fn sample_partitioned_sage(
         fanouts,
         include_self_loops,
         seed,
+        Parallelism::serial(),
     )
 }
 
@@ -229,6 +231,7 @@ pub(crate) fn sage_on_rank(
     fanouts: &[usize],
     include_self_loops: bool,
     seed: u64,
+    parallelism: Parallelism,
 ) -> Result<BulkSampleOutput> {
     if fanouts.is_empty() || fanouts.contains(&0) {
         return Err(SamplingError::InvalidConfig("fanouts must be non-empty and positive".into()));
@@ -272,9 +275,11 @@ pub(crate) fn sage_on_rank(
         )?;
         profile.time_compute(Phase::Probability, || p.normalize_rows());
 
-        // Sampling: replicated within the process row via a shared seed.
-        let mut rng = StdRng::seed_from_u64(row_seed(seed, my_row, step));
-        let q_next = profile.time_compute(Phase::Sampling, || sample_rows(&p, s, &mut rng))?;
+        // Sampling: replicated within the process row via a shared seed, one
+        // RNG stream per probability row (thread-count invariant).
+        let q_next = profile.time_compute(Phase::Sampling, || {
+            sample_rows_par(&p, s, row_seed(seed, my_row, step), parallelism)
+        })?;
 
         // Extraction: local per minibatch block (§5.2.3).
         profile.time_compute(Phase::Extraction, || -> Result<()> {
@@ -356,6 +361,7 @@ pub fn sample_partitioned_ladies(
         num_layers,
         samples_per_layer,
         seed,
+        Parallelism::serial(),
     )
 }
 
@@ -371,6 +377,7 @@ pub(crate) fn ladies_on_rank(
     num_layers: usize,
     samples_per_layer: usize,
     seed: u64,
+    parallelism: Parallelism,
 ) -> Result<BulkSampleOutput> {
     if num_layers == 0 || samples_per_layer == 0 {
         return Err(SamplingError::InvalidConfig(
@@ -422,9 +429,9 @@ pub(crate) fn ladies_on_rank(
             p.normalize_rows();
         });
 
-        let mut rng = StdRng::seed_from_u64(row_seed(seed, my_row, step));
-        let sampled = profile
-            .time_compute(Phase::Sampling, || sample_rows(&p, samples_per_layer, &mut rng))?;
+        let sampled = profile.time_compute(Phase::Sampling, || {
+            sample_rows_par(&p, samples_per_layer, row_seed(seed, my_row, step), parallelism)
+        })?;
 
         // Row extraction via the same 1.5D SpGEMM: Q_R selects every frontier
         // vertex's row of A.
@@ -662,6 +669,7 @@ pub fn run_partitioned_sage(
             fanouts,
             include_self_loops,
             seed,
+            Parallelism::serial(),
         )
     })?;
 
@@ -721,6 +729,7 @@ pub fn run_partitioned_ladies(
             num_layers,
             samples_per_layer,
             seed,
+            Parallelism::serial(),
         )
     })?;
 

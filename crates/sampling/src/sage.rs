@@ -9,13 +9,13 @@
 //! as the row set, and bulk sampling vertically stacks the matrices of `k`
 //! minibatches (Equation 1).
 
-use crate::its::sample_rows;
+use crate::its::sample_rows_par;
 use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
 use dmbs_matrix::ops::row_selection_matrix;
-use dmbs_matrix::spgemm::spgemm;
+use dmbs_matrix::spgemm::spgemm_parallel;
 use dmbs_matrix::{CooMatrix, CsrMatrix};
 use rand::RngCore;
 
@@ -148,6 +148,7 @@ impl Sampler for GraphSageSampler {
         validate_batches(batches, n)?;
 
         let k = batches.len();
+        let parallelism = config.parallelism;
         let mut profile = PhaseProfile::new();
         // Per-batch frontier (row vertex ids) for the current sampling step.
         let mut frontiers: Vec<Vec<usize>> = batches.to_vec();
@@ -167,13 +168,16 @@ impl Sampler for GraphSageSampler {
                     offsets.push(stacked.len());
                 }
                 let q = row_selection_matrix(&stacked, n)?;
-                let mut p = spgemm(&q, adjacency)?;
+                let mut p = spgemm_parallel(&q, adjacency, parallelism)?;
                 p.normalize_rows();
                 Ok((p, offsets))
             })?;
 
-            // ---- Sample s columns per row with ITS.
-            let q_next = profile.time_compute(Phase::Sampling, || sample_rows(&p, s, rng))?;
+            // ---- Sample s columns per row with ITS, one seeded RNG stream
+            // per row (reproducible at any thread count).
+            let step_seed = rng.next_u64();
+            let q_next = profile
+                .time_compute(Phase::Sampling, || sample_rows_par(&p, s, step_seed, parallelism))?;
 
             // ---- Extraction: per minibatch block, drop empty columns.
             profile.time_compute(Phase::Extraction, || -> Result<()> {
@@ -209,6 +213,7 @@ impl Sampler for GraphSageSampler {
             &self.fanouts,
             self.include_self_loops,
             ctx.seed,
+            ctx.parallelism,
         )
     }
 }

@@ -5,6 +5,7 @@ use crate::plan::{BulkSampleOutput, MinibatchSample};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Communicator, ProcessGrid};
 use dmbs_graph::partition::OneDPartition;
+use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::CsrMatrix;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -13,21 +14,45 @@ use serde::{Deserialize, Serialize};
 ///
 /// `batch_size` is `b` and `bulk_size` is `k`: the number of minibatches whose
 /// `Q`, `P` and `A^l` matrices are vertically stacked and processed by a
-/// single sequence of matrix operations.
+/// single sequence of matrix operations.  `parallelism` is the shared-memory
+/// worker count those matrix operations (SpGEMM, per-row ITS) run with; it
+/// never changes *what* is sampled, only how fast (the parallel kernels are
+/// byte-identical to their serial forms at any thread count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BulkSamplerConfig {
     /// Minibatch size `b`.
     pub batch_size: usize,
     /// Number of minibatches `k` sampled in one bulk operation.
     pub bulk_size: usize,
+    /// Shared-memory parallelism of the bulk matrix kernels (default:
+    /// serial).
+    pub parallelism: Parallelism,
 }
 
 impl BulkSamplerConfig {
     /// Creates a configuration with batch size `b` and bulk minibatch count
-    /// `k`.  Use [`BulkSamplerConfig::validate`] (or any `sample_bulk` call,
-    /// which validates implicitly) to reject zero values.
+    /// `k`, running the matrix kernels serially.  Use
+    /// [`BulkSamplerConfig::validate`] (or any `sample_bulk` call, which
+    /// validates implicitly) to reject zero values.
     pub fn new(batch_size: usize, bulk_size: usize) -> Self {
-        BulkSamplerConfig { batch_size, bulk_size }
+        BulkSamplerConfig { batch_size, bulk_size, parallelism: Parallelism::serial() }
+    }
+
+    /// Returns this configuration with the bulk matrix kernels (SpGEMM,
+    /// per-row ITS) running on `parallelism` worker threads.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmbs_matrix::pool::Parallelism;
+    /// use dmbs_sampling::BulkSamplerConfig;
+    ///
+    /// let bulk = BulkSamplerConfig::new(1024, 4).with_parallelism(Parallelism::new(8));
+    /// assert_eq!(bulk.parallelism.threads(), 8);
+    /// ```
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Rejects zero `batch_size` / `bulk_size` with a typed error.
@@ -50,7 +75,7 @@ impl Default for BulkSamplerConfig {
     fn default() -> Self {
         // The paper's GraphSAGE defaults (Table 4): b = 1024; k is chosen per
         // run, 1 bulk group by default.
-        BulkSamplerConfig { batch_size: 1024, bulk_size: 1 }
+        BulkSamplerConfig::new(1024, 1)
     }
 }
 
@@ -147,6 +172,8 @@ pub struct PartitionedContext<'a> {
     /// Seed shared by every rank; samplers derive per-process-row streams
     /// from it so sampling stays replicated within a process row.
     pub seed: u64,
+    /// Shared-memory parallelism of this rank's local matrix kernels.
+    pub parallelism: Parallelism,
 }
 
 /// Validates that every batch is non-empty and references vertices inside the

@@ -72,6 +72,8 @@
 //! the shared [`DistConfig`](sampling::DistConfig) — and the same session
 //! trains data-parallel over simulated ranks.
 
+#![deny(missing_docs)]
+
 pub use dmbs_comm as comm;
 pub use dmbs_gnn as gnn;
 pub use dmbs_graph as graph;

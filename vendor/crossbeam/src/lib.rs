@@ -3,8 +3,11 @@
 //! `dmbs-comm` uses only `crossbeam::channel::{unbounded, Sender, Receiver}`
 //! in a strictly point-to-point pattern (one dedicated channel per ordered
 //! rank pair), so `std::sync::mpsc` provides identical semantics.
+//! `dmbs-matrix` additionally uses [`thread::scope`] for its shared-memory
+//! worker pool; the stand-in delegates to `std::thread::scope`, which offers
+//! the same borrow-friendly scoped-spawn semantics.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
@@ -85,6 +88,111 @@ pub mod channel {
             let handle = std::thread::spawn(move || tx.send(7usize).unwrap());
             assert_eq!(rx.recv().unwrap(), 7);
             handle.join().unwrap();
+        }
+    }
+}
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+///
+/// A scope guarantees that every thread spawned inside it has finished before
+/// [`scope`](thread::scope) returns, which lets the spawned closures borrow
+/// from the caller's stack.  The stand-in delegates to `std::thread::scope`
+/// and keeps crossbeam's error-reporting convention:
+/// [`scope`](thread::scope) returns `Err` when any unjoined child thread
+/// panicked instead of unwinding through the caller.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// A handle to a scope for spawning borrowed threads; see [`scope`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// An owned handle to a thread spawned inside a [`scope`].
+    ///
+    /// Joining is optional: threads whose handle is dropped are still joined
+    /// when the scope ends.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result; `Err` holds
+        /// the panic payload if the thread panicked.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from outside the scope; it is
+        /// joined no later than the end of the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(f) }
+        }
+    }
+
+    /// Creates a scope in which borrowed threads can be spawned, joining all
+    /// of them before returning.
+    ///
+    /// Returns `Err` when a child thread panicked and was not individually
+    /// joined, `Ok` with the closure's value otherwise.  Unlike real
+    /// crossbeam, the `Err` payload for an *unjoined* panicking child is
+    /// `std::thread::scope`'s generic "a scoped thread panicked" message,
+    /// not the child's own payload — join the handle yourself
+    /// ([`ScopedJoinHandle::join`]) when the payload matters, as the
+    /// `dmbs-matrix` pool does.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn threads_borrow_stack_data() {
+            let data = [1usize, 2, 3, 4];
+            let total = AtomicUsize::new(0);
+            scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|| {
+                        total.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.load(Ordering::SeqCst), 10);
+        }
+
+        #[test]
+        fn join_returns_thread_value() {
+            let doubled = scope(|s| {
+                let handles: Vec<_> = (0..4).map(|i| s.spawn(move || i * 2)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<usize>>()
+            })
+            .unwrap();
+            assert_eq!(doubled, vec![0, 2, 4, 6]);
+        }
+
+        #[test]
+        fn child_panic_is_reported_not_propagated() {
+            let result = scope(|s| {
+                s.spawn(|| panic!("child failed"));
+            });
+            assert!(result.is_err());
         }
     }
 }
