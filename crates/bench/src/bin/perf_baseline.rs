@@ -1,28 +1,43 @@
 //! Perf-trajectory harness for the shared-memory hot paths.
 //!
-//! Runs the three parallelized kernels — SpGEMM (`P ← Q · A`), per-row ITS
-//! (`SAMPLE`), and a full bulk sampling epoch through `LocalBackend` — at
-//! 1..N threads on a synthetic RMAT workload, verifies that every parallel
-//! result is byte-identical to the serial one, and writes one JSON record
-//! file per kernel (`BENCH_spgemm.json`, `BENCH_its.json`,
-//! `BENCH_epoch.json`) with wall time, throughput and speedup-vs-serial so
-//! future PRs have a recorded trajectory to beat.
+//! Runs the parallelized kernels — SpGEMM (`P ← Q · A`), the structure-aware
+//! extraction kernels (row gather / masked column filter vs the
+//! selection-matrix SpGEMM formulation they replaced), per-row ITS
+//! (`SAMPLE`), and two full bulk sampling epochs (GraphSAGE and LADIES)
+//! through `LocalBackend` — at 1..N threads on a synthetic RMAT workload,
+//! verifies that every result is byte-identical to its reference
+//! formulation, and writes one JSON record file per bench
+//! (`BENCH_spgemm.json`, `BENCH_extract.json`, `BENCH_its.json`,
+//! `BENCH_epoch.json`, `BENCH_ladies_epoch.json`) with wall time,
+//! throughput, speedup-vs-serial and — for the epoch benches — the
+//! per-`Phase` breakdown (probability / sampling / extraction attributed
+//! separately via `PhaseProfile`), so future PRs have a recorded trajectory
+//! to beat.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin perf_baseline [output_dir]
+//! cargo run --release --bin perf_baseline [--smoke] [output_dir]
 //! ```
 //!
-//! `output_dir` defaults to the current directory.  `DMBS_SCALE=large`
-//! roughly quadruples the workload; `DMBS_PERF_THREADS` (comma-separated,
-//! default `1,2,4,8`) overrides the thread sweep.
+//! `output_dir` defaults to the current directory.  `--smoke` shrinks the
+//! workload to a seconds-long CI-sized run that still sweeps every kernel
+//! and asserts every byte-identity contract — the regression tripwire wired
+//! into the CI workflow.  `DMBS_SCALE=large` roughly quadruples the
+//! workload; `DMBS_PERF_THREADS` (comma-separated, default `1,2,4,8`)
+//! overrides the thread sweep.
 
+use dmbs_comm::Phase;
 use dmbs_graph::generators::{rmat, RmatConfig};
+use dmbs_matrix::extract::{extract_columns_masked, extract_rows};
+use dmbs_matrix::ops::row_selection_matrix;
 use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::spgemm::{spgemm, spgemm_parallel};
+use dmbs_matrix::{CscMatrix, CsrMatrix};
 use dmbs_sampling::its::{sample_rows_par, sample_rows_seeded};
-use dmbs_sampling::{BulkSamplerConfig, GraphSageSampler, LocalBackend, SamplingBackend};
+use dmbs_sampling::{
+    BulkSamplerConfig, GraphSageSampler, LadiesSampler, LocalBackend, Sampler, SamplingBackend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -34,6 +49,22 @@ struct Record {
     throughput: f64,
     speedup: f64,
     identical: bool,
+    /// Optional per-phase compute-seconds breakdown (epoch benches).
+    phases: Vec<(&'static str, f64)>,
+}
+
+/// One measured configuration of an extraction kernel against its SpGEMM
+/// formulation.
+struct ExtractRecord {
+    kernel: &'static str,
+    threads: usize,
+    /// Wall time of the structure-aware kernel.
+    wall_s: f64,
+    /// Wall time of the selection-matrix SpGEMM formulation it replaced.
+    spgemm_wall_s: f64,
+    /// Nonzeros this kernel's run touches (its throughput numerator).
+    items: usize,
+    identical: bool,
 }
 
 /// Workload description embedded in each JSON file.
@@ -41,7 +72,7 @@ struct Workload {
     name: &'static str,
     detail: String,
     /// Work items per run — nonzeros touched for the matrix kernels,
-    /// minibatches for the epoch — used for the throughput field.
+    /// minibatches for the epochs — used for the throughput field.
     items: usize,
     throughput_unit: &'static str,
 }
@@ -54,26 +85,69 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn write_json(path: &std::path::Path, workload: &Workload, records: &[Record]) {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"bench\": \"{}\",\n", workload.name));
-    out.push_str(&format!("  \"workload\": \"{}\",\n", workload.detail));
-    out.push_str(&format!("  \"items_per_run\": {},\n", workload.items));
-    out.push_str(&format!("  \"throughput_unit\": \"{}\",\n", workload.throughput_unit));
-    out.push_str(&format!(
-        "  \"host_threads\": {},\n",
+/// The header fields shared by every BENCH JSON file; keep the schema of
+/// the whole `BENCH_*.json` family in one place.
+fn json_header(workload: &Workload) -> String {
+    format!(
+        "{{\n  \"bench\": \"{}\",\n  \"workload\": \"{}\",\n  \"items_per_run\": {},\n  \
+         \"throughput_unit\": \"{}\",\n  \"host_threads\": {},\n",
+        workload.name,
+        workload.detail,
+        workload.items,
+        workload.throughput_unit,
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
-    ));
+    )
+}
+
+fn write_json(path: &std::path::Path, workload: &Workload, records: &[Record]) {
+    let mut out = json_header(workload);
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let phases = if r.phases.is_empty() {
+            String::new()
+        } else {
+            let fields: Vec<String> = r
+                .phases
+                .iter()
+                .map(|(name, secs)| format!("\"{name}\": {}", json_f64(*secs)))
+                .collect();
+            format!(", \"phase_compute_s\": {{{}}}", fields.join(", "))
+        };
         out.push_str(&format!(
             "    {{\"threads\": {}, \"wall_s\": {}, \"throughput\": {}, \
-             \"speedup_vs_serial\": {}, \"identical_to_serial\": {}}}{}\n",
+             \"speedup_vs_serial\": {}, \"identical_to_serial\": {}{}}}{}\n",
             r.threads,
             json_f64(r.wall_s),
             json_f64(r.throughput),
             json_f64(r.speedup),
+            r.identical,
+            phases,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn write_extract_json(path: &std::path::Path, workload: &Workload, records: &[ExtractRecord]) {
+    let mut out = json_header(workload);
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        // Each record carries its own `items` (the two kernels process
+        // different nnz counts), so `throughput == items / wall_s` holds
+        // per record; the header's `items_per_run` is the combined total.
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"threads\": {}, \"wall_s\": {}, \"items\": {}, \
+             \"throughput\": {}, \"spgemm_formulation_wall_s\": {}, \
+             \"speedup_vs_spgemm_formulation\": {}, \"identical_to_spgemm_formulation\": {}}}{}\n",
+            r.kernel,
+            r.threads,
+            json_f64(r.wall_s),
+            r.items,
+            json_f64(r.items as f64 / r.wall_s),
+            json_f64(r.spgemm_wall_s),
+            json_f64(r.spgemm_wall_s / r.wall_s),
             r.identical,
             if i + 1 < records.len() { "," } else { "" }
         ));
@@ -96,45 +170,49 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, result.expect("reps >= 1"))
 }
 
-/// Turns raw `(threads, wall, identical)` measurements into records.  The
-/// speedup baseline is the 1-thread wall, which [`thread_sweep`] guarantees
-/// is always measured; it runs the serial code path inside the same
-/// measurement loop as the other thread counts (measuring the baseline in a
-/// separate earlier phase proved systematically biased).
-fn finish_records(walls: &[(usize, f64, bool)], throughput: impl Fn(f64) -> f64) -> Vec<Record> {
+/// Turns raw `(threads, wall, identical, phases)` measurements into records.
+/// The speedup baseline is the 1-thread wall, which [`thread_sweep`]
+/// guarantees is always measured; it runs the serial code path inside the
+/// same measurement loop as the other thread counts (measuring the baseline
+/// in a separate earlier phase proved systematically biased).
+#[allow(clippy::type_complexity)]
+fn finish_records(
+    walls: &[(usize, f64, bool, Vec<(&'static str, f64)>)],
+    throughput: impl Fn(f64) -> f64,
+) -> Vec<Record> {
     let baseline = walls
         .iter()
-        .find(|&&(t, _, _)| t == 1)
-        .map(|&(_, wall, _)| wall)
+        .find(|&&(t, _, _, _)| t == 1)
+        .map(|&(_, wall, _, _)| wall)
         .expect("thread_sweep always includes 1");
     walls
         .iter()
-        .map(|&(t, wall, identical)| Record {
-            threads: t,
-            wall_s: wall,
-            throughput: throughput(wall),
+        .map(|(t, wall, identical, phases)| Record {
+            threads: *t,
+            wall_s: *wall,
+            throughput: throughput(*wall),
             speedup: baseline / wall,
-            identical,
+            identical: *identical,
+            phases: phases.clone(),
         })
         .collect()
 }
 
 /// The thread counts to measure.  Always contains `1` (the serial speedup
 /// baseline); an unparsable or empty `DMBS_PERF_THREADS` falls back to the
-/// default sweep rather than silently producing empty BENCH records.
-fn thread_sweep() -> Vec<usize> {
-    const DEFAULT: [usize; 4] = [1, 2, 4, 8];
+/// given default sweep rather than silently producing empty BENCH records.
+fn thread_sweep(default: &[usize]) -> Vec<usize> {
     let mut sweep: Vec<usize> = match std::env::var("DMBS_PERF_THREADS") {
         Ok(spec) => spec
             .split(',')
             .filter_map(|t| t.trim().parse::<usize>().ok())
             .filter(|&t| t > 0)
             .collect(),
-        Err(_) => DEFAULT.to_vec(),
+        Err(_) => default.to_vec(),
     };
     if sweep.is_empty() {
-        eprintln!("DMBS_PERF_THREADS parsed to an empty sweep; using the default {DEFAULT:?}");
-        sweep = DEFAULT.to_vec();
+        eprintln!("DMBS_PERF_THREADS parsed to an empty sweep; using the default {default:?}");
+        sweep = default.to_vec();
     }
     if !sweep.contains(&1) {
         sweep.insert(0, 1);
@@ -166,15 +244,59 @@ fn print_records(title: &str, unit: &str, records: &[Record]) {
     }
 }
 
+fn print_extract_records(title: &str, records: &[ExtractRecord]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>12}  {:>7}  {:>12}  {:>14}  {:>10}  identical",
+        "kernel", "threads", "wall_s", "spgemm_wall_s", "speedup"
+    );
+    for r in records {
+        println!(
+            "{:>12}  {:>7}  {:>12.6}  {:>14.6}  {:>9.2}x  {}",
+            r.kernel,
+            r.threads,
+            r.wall_s,
+            r.spgemm_wall_s,
+            r.spgemm_wall_s / r.wall_s,
+            r.identical
+        );
+    }
+}
+
+/// Per-phase compute seconds of an epoch, in display order.
+fn phase_breakdown(profile: &dmbs_comm::PhaseProfile) -> Vec<(&'static str, f64)> {
+    Phase::sampling_phases().iter().map(|&p| (p.name(), profile.compute(p))).collect()
+}
+
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let mut smoke = false;
+    let mut out_dir = std::path::PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else if arg.starts_with("--") {
+            // Reject unknown flags up front instead of running the full
+            // multi-minute sweep and panicking at the first JSON write.
+            eprintln!("unknown flag {arg:?}; usage: perf_baseline [--smoke] [output_dir]");
+            std::process::exit(2);
+        } else {
+            out_dir = std::path::PathBuf::from(arg);
+        }
+    }
     let large = matches!(std::env::var("DMBS_SCALE").as_deref(), Ok("large") | Ok("LARGE"));
-    let (scale, degree, q_rows, reps) =
-        if large { (15, 20, 131_072, 5) } else { (13, 16, 32_768, 3) };
-    let threads = thread_sweep();
+    // (rmat scale, rmat degree, stacked Q rows, timing reps, batch size,
+    // batches per epoch)
+    let (scale, degree, q_rows, reps, batch_size, num_batches) = if smoke {
+        (8, 8, 1024, 1, 64, 4)
+    } else if large {
+        (15, 20, 131_072, 5, 256, 16)
+    } else {
+        (13, 16, 32_768, 3, 256, 16)
+    };
+    let threads = if smoke { thread_sweep(&[1, 2]) } else { thread_sweep(&[1, 2, 4, 8]) };
+    if smoke {
+        println!("smoke mode: tiny workload, full kernel sweep + identity checks");
+    }
 
     // ---- Shared synthetic workload: an RMAT graph and a stacked Q of
     // frontier rows, the shape of the paper's P ← Q^l · A probability step.
@@ -183,7 +305,7 @@ fn main() {
     let a = graph.adjacency().clone();
     let n = a.rows();
     let stacked: Vec<usize> = (0..q_rows).map(|i| (i * 2_654_435_761) % n).collect();
-    let q = dmbs_matrix::ops::row_selection_matrix(&stacked, n).expect("valid selection");
+    let q = row_selection_matrix(&stacked, n).expect("valid selection");
 
     // ---- SpGEMM: P = Q · A at each thread count.  The serial reference is
     // computed once (untimed) for the byte-identity check; the speedup
@@ -196,7 +318,7 @@ fn main() {
     for &t in &threads {
         let par = Parallelism::new(t);
         let (wall, p) = time_best(reps, || spgemm_parallel(&q, &a, par).expect("spgemm_parallel"));
-        walls.push((t, wall, p == serial_p));
+        walls.push((t, wall, p == serial_p, Vec::new()));
     }
     let records = finish_records(&walls, |wall| flops as f64 / wall);
     let workload = Workload {
@@ -213,6 +335,93 @@ fn main() {
     write_json(&out_dir.join("BENCH_spgemm.json"), &workload, &records);
     assert_identical("spgemm", &records);
 
+    // ---- Extraction kernels vs their selection-matrix SpGEMM formulation.
+    // Row gather: extract_rows(A, stacked) vs spgemm(row_selection, A) — the
+    // exact product LADIES row extraction and the GraphSAGE probability step
+    // used to pay Gustavson prices for.  Column filter: per-batch masked
+    // extraction vs the hypersparse CSC selection SpGEMM of §8.2.2.
+    let gathered_nnz = serial_p.nnz();
+    let mut extract_records = Vec::new();
+    for &t in &threads {
+        let par = Parallelism::new(t);
+        let (gather_wall, gathered) =
+            time_best(reps, || extract_rows(&a, &stacked, par).expect("extract_rows"));
+        let (spgemm_wall, via_spgemm) =
+            time_best(reps, || spgemm_parallel(&q, &a, par).expect("spgemm_parallel"));
+        extract_records.push(ExtractRecord {
+            kernel: "row_gather",
+            threads: t,
+            wall_s: gather_wall,
+            spgemm_wall_s: spgemm_wall,
+            items: gathered_nnz,
+            identical: gathered == via_spgemm && gathered == serial_p,
+        });
+    }
+    // Column extraction on LADIES-shaped per-batch blocks: k blocks of
+    // `batch_size` gathered rows, each filtered down to `s` sampled columns.
+    let col_k = num_batches;
+    let col_s = if smoke { 64 } else { 512 };
+    let block_rows = batch_size;
+    let blocks: Vec<CsrMatrix> = (0..col_k)
+        .map(|i| {
+            let rows: Vec<usize> = (0..block_rows).map(|j| (i * block_rows + j * 13) % n).collect();
+            extract_rows(&a, &rows, Parallelism::serial()).expect("block gather")
+        })
+        .collect();
+    let col_lists: Vec<Vec<usize>> = (0..col_k)
+        .map(|i| {
+            let mut cols: Vec<usize> = (0..col_s).map(|j| (i * 7 + j * 97) % n).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols
+        })
+        .collect();
+    let filter_nnz: usize = blocks.iter().map(CsrMatrix::nnz).sum();
+    let (mask_wall, masked) = time_best(reps, || {
+        blocks
+            .iter()
+            .zip(&col_lists)
+            .map(|(block, cols)| extract_columns_masked(block, cols).expect("masked filter"))
+            .collect::<Vec<_>>()
+    });
+    let (csc_wall, via_csc) = time_best(reps, || {
+        blocks
+            .iter()
+            .zip(&col_lists)
+            .map(|(block, cols)| {
+                CscMatrix::selection(n, cols).left_multiply(block).expect("csc spgemm")
+            })
+            .collect::<Vec<_>>()
+    });
+    extract_records.push(ExtractRecord {
+        kernel: "column_mask",
+        threads: 1,
+        wall_s: mask_wall,
+        spgemm_wall_s: csc_wall,
+        items: filter_nnz,
+        identical: masked == via_csc,
+    });
+    let workload = Workload {
+        name: "extract",
+        detail: format!(
+            "row gather of {q_rows} frontier rows (nnz = {gathered_nnz}) + masked column \
+             filter of {col_k} blocks of {block_rows} rows down to {col_s} columns (nnz in = \
+             {filter_nnz}), vs the selection-matrix SpGEMM formulation, rmat scale {scale} \
+             deg {degree}"
+        ),
+        items: gathered_nnz + filter_nnz,
+        throughput_unit: "nnz/s",
+    };
+    print_extract_records("Extraction kernels vs SpGEMM formulation", &extract_records);
+    write_extract_json(&out_dir.join("BENCH_extract.json"), &workload, &extract_records);
+    for r in &extract_records {
+        assert!(
+            r.identical,
+            "extract: {} at {} threads diverged from the SpGEMM formulation",
+            r.kernel, r.threads
+        );
+    }
+
     // ---- Per-row ITS over the normalized probability rows.
     let mut p_norm = serial_p.clone();
     p_norm.normalize_rows();
@@ -223,7 +432,7 @@ fn main() {
         let par = Parallelism::new(t);
         let (wall, sampled) =
             time_best(reps, || sample_rows_par(&p_norm, fanout, 4242, par).expect("its par"));
-        walls.push((t, wall, sampled == its_serial));
+        walls.push((t, wall, sampled == its_serial, Vec::new()));
     }
     let records = finish_records(&walls, |wall| p_norm.rows() as f64 / wall);
     let workload = Workload {
@@ -241,41 +450,102 @@ fn main() {
     write_json(&out_dir.join("BENCH_its.json"), &workload, &records);
     assert_identical("its", &records);
 
-    // ---- Bulk epoch: GraphSAGE through LocalBackend.
-    let batch_size = 256;
-    let num_batches = 16;
+    // ---- Bulk epochs through LocalBackend: GraphSAGE and the full LADIES
+    // pipeline (probability SpGEMM → ITS → gather + masked column filter),
+    // with extraction attributed to its own PhaseProfile phase.
     let batches: Vec<Vec<usize>> = (0..num_batches)
         .map(|i| (0..batch_size).map(|j| (i * batch_size + j * 7) % n).collect())
         .collect();
-    let sampler = GraphSageSampler::new(vec![15, 10, 5]);
-    let epoch_of = |t: usize| {
+    let run_epoch = |sampler: &dyn SamplerEpoch, t: usize| {
         let backend = LocalBackend::new(BulkSamplerConfig::new(batch_size, 4))
             .expect("valid bulk config")
             .with_parallelism(Parallelism::new(t));
-        backend.sample_epoch(&sampler, &a, &batches, 7).expect("epoch")
+        sampler.epoch(&backend, &a, &batches)
     };
-    let epoch_serial = epoch_of(1);
-    let mut walls = Vec::new();
-    for &t in &threads {
-        let (wall, epoch) = time_best(reps, || epoch_of(t));
-        walls.push((t, wall, epoch.output.minibatches == epoch_serial.output.minibatches));
-    }
-    let records = finish_records(&walls, |wall| num_batches as f64 / wall);
-    let workload = Workload {
-        name: "bulk_epoch",
-        detail: format!(
-            "GraphSAGE [15,10,5] bulk epoch via LocalBackend: {num_batches} batches of \
-             {batch_size} on rmat scale {scale} (bulk k = 4)"
+
+    let sage = GraphSageSampler::new(if smoke { vec![5, 5] } else { vec![15, 10, 5] });
+    let ladies = LadiesSampler::new(if smoke { 2 } else { 3 }, if smoke { 64 } else { 512 });
+    for (file, title, name, sampler) in [
+        (
+            "BENCH_epoch.json",
+            "Bulk sampling epoch (GraphSAGE)",
+            "bulk_epoch",
+            &sage as &dyn SamplerEpoch,
         ),
-        items: num_batches,
-        throughput_unit: "minibatches/s",
-    };
-    print_records("Bulk sampling epoch", "batches/s", &records);
-    write_json(&out_dir.join("BENCH_epoch.json"), &workload, &records);
-    assert_identical("bulk_epoch", &records);
+        (
+            "BENCH_ladies_epoch.json",
+            "Bulk sampling epoch (LADIES)",
+            "ladies_bulk_epoch",
+            &ladies as &dyn SamplerEpoch,
+        ),
+    ] {
+        let epoch_serial = run_epoch(sampler, 1);
+        let mut walls = Vec::new();
+        for &t in &threads {
+            let (wall, epoch) = time_best(reps, || run_epoch(sampler, t));
+            let identical = epoch.0 == epoch_serial.0;
+            walls.push((t, wall, identical, phase_breakdown(&epoch.1)));
+        }
+        let records = finish_records(&walls, |wall| num_batches as f64 / wall);
+        let workload = Workload {
+            name,
+            detail: format!(
+                "{} bulk epoch via LocalBackend: {num_batches} batches of {batch_size} on \
+                 rmat scale {scale} (bulk k = 4)",
+                sampler.describe()
+            ),
+            items: num_batches,
+            throughput_unit: "minibatches/s",
+        };
+        print_records(title, "batches/s", &records);
+        write_json(&out_dir.join(file), &workload, &records);
+        assert_identical(name, &records);
+    }
 
     println!(
-        "\nAll parallel results byte-identical to serial; records written to {}",
+        "\nAll kernels byte-identical to their reference formulations; records written to {}",
         out_dir.display()
     );
+}
+
+/// Object-safe epoch runner so the GraphSAGE and LADIES sweeps share one
+/// measurement loop.
+trait SamplerEpoch {
+    fn epoch(
+        &self,
+        backend: &LocalBackend,
+        a: &CsrMatrix,
+        batches: &[Vec<usize>],
+    ) -> (Vec<dmbs_sampling::MinibatchSample>, dmbs_comm::PhaseProfile);
+    fn describe(&self) -> String;
+}
+
+impl SamplerEpoch for GraphSageSampler {
+    fn epoch(
+        &self,
+        backend: &LocalBackend,
+        a: &CsrMatrix,
+        batches: &[Vec<usize>],
+    ) -> (Vec<dmbs_sampling::MinibatchSample>, dmbs_comm::PhaseProfile) {
+        let epoch = backend.sample_epoch(self, a, batches, 7).expect("epoch");
+        (epoch.output.minibatches, epoch.output.profile)
+    }
+    fn describe(&self) -> String {
+        format!("GraphSAGE {:?}", self.fanouts())
+    }
+}
+
+impl SamplerEpoch for LadiesSampler {
+    fn epoch(
+        &self,
+        backend: &LocalBackend,
+        a: &CsrMatrix,
+        batches: &[Vec<usize>],
+    ) -> (Vec<dmbs_sampling::MinibatchSample>, dmbs_comm::PhaseProfile) {
+        let epoch = backend.sample_epoch(self, a, batches, 7).expect("epoch");
+        (epoch.output.minibatches, epoch.output.profile)
+    }
+    fn describe(&self) -> String {
+        format!("LADIES {} layers x s = {}", self.num_layers(), self.samples_per_layer())
+    }
 }

@@ -225,6 +225,7 @@ pub struct SessionBuilder<S, B> {
     feature_replication: Option<usize>,
     evaluate: bool,
     parallelism: Option<Parallelism>,
+    workspace_reuse: Option<bool>,
 }
 
 impl<S, B> Default for SessionBuilder<S, B> {
@@ -243,6 +244,7 @@ impl<S, B> Default for SessionBuilder<S, B> {
             feature_replication: None,
             evaluate: true,
             parallelism: None,
+            workspace_reuse: None,
         }
     }
 }
@@ -347,6 +349,20 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         self
     }
 
+    /// Whether the sampling kernels reuse the thread-local SpGEMM/extraction
+    /// scratch workspace across kernel calls (default: the backend's own
+    /// setting, reuse on).  Reuse spans every layer, minibatch and bulk
+    /// group sampled on one thread; the streaming path spawns one sampling
+    /// worker per epoch, so its workspace regrows once per epoch, while the
+    /// distributed training path keeps each rank's workspace alive for the
+    /// whole run.  Like [`SessionBuilder::parallelism`], this knob never
+    /// changes what is sampled or trained — it only removes per-call scratch
+    /// allocation from the probability and extraction steps.
+    pub fn workspace_reuse(mut self, reuse: bool) -> Self {
+        self.workspace_reuse = Some(reuse);
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -368,6 +384,12 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         // otherwise the backend keeps whatever it was configured with.
         let backend = match self.parallelism {
             Some(parallelism) => backend.with_parallelism(parallelism),
+            None => backend,
+        };
+        // Likewise for workspace reuse: an explicit session-level setting
+        // overrides the backend's.
+        let backend = match self.workspace_reuse {
+            Some(reuse) => backend.with_workspace_reuse(reuse),
             None => backend,
         };
         let parallelism = backend.parallelism();

@@ -191,6 +191,28 @@ impl CsrMatrix {
         Ok(CsrMatrix { rows, cols, indptr, indices, values })
     }
 
+    /// Builds a CSR matrix from raw buffers **without** revalidating the
+    /// invariants.  For kernels (gathers, masked filters) whose construction
+    /// guarantees them; debug builds still assert.
+    pub(crate) fn from_raw_unchecked(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), rows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert_eq!(indptr.first().copied(), Some(0));
+        debug_assert_eq!(indptr[rows], indices.len());
+        debug_assert!(indptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..rows).all(|r| {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            row.windows(2).all(|w| w[0] < w[1]) && row.last().is_none_or(|&c| c < cols)
+        }));
+        CsrMatrix { rows, cols, indptr, indices, values }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -374,36 +396,15 @@ impl CsrMatrix {
     ///
     /// This is the "row extraction" primitive: multiplying a selection matrix
     /// `Q_R` with `A` (as the paper does for LADIES row extraction) is exactly
-    /// this gather when `Q_R` has one nonzero per row.
+    /// this gather when `Q_R` has one nonzero per row.  Delegates to the
+    /// serial form of [`crate::extract::extract_rows`] so the repo has a
+    /// single row-gather implementation.
     ///
     /// # Errors
     ///
     /// Returns [`MatrixError::IndexOutOfBounds`] if any index is out of range.
     pub fn gather_rows(&self, rows: &[usize]) -> Result<CsrMatrix> {
-        let counts: Vec<usize> = rows
-            .iter()
-            .map(|&r| {
-                if r < self.rows {
-                    Ok(self.row_nnz(r))
-                } else {
-                    Err(MatrixError::IndexOutOfBounds {
-                        row: r,
-                        col: 0,
-                        rows: self.rows,
-                        cols: self.cols,
-                    })
-                }
-            })
-            .collect::<Result<_>>()?;
-        let indptr = counts_to_offsets(&counts);
-        let nnz = indptr[rows.len()];
-        let mut indices = Vec::with_capacity(nnz);
-        let mut values = Vec::with_capacity(nnz);
-        for &r in rows {
-            indices.extend_from_slice(self.row_indices(r));
-            values.extend_from_slice(self.row_values(r));
-        }
-        Ok(CsrMatrix { rows: rows.len(), cols: self.cols, indptr, indices, values })
+        crate::extract::extract_rows(self, rows, crate::pool::Parallelism::serial())
     }
 
     /// Keeps only the listed columns, relabelling them `0..cols.len()` in the
@@ -453,13 +454,34 @@ impl CsrMatrix {
     /// columns consecutively.  Returns the compacted matrix together with the
     /// original indices of the kept columns (the "frontier" of sampled
     /// vertices in GraphSAGE extraction, §4.1.3).
+    ///
+    /// Implemented as a marker-array pass, not a hash set or a
+    /// [`CsrMatrix::select_columns`] detour: one sweep marks the occupied
+    /// columns, one sweep derives the (sorted) kept list and the dense
+    /// old→new remap, and one sweep renumbers the indices in place order.
+    /// The remap is monotone over the kept columns, so rows stay sorted and
+    /// the structure (`indptr`, values, nnz) is reused verbatim — this sits
+    /// on the GraphSAGE extraction hot path.
     pub fn compact_columns(&self) -> (CsrMatrix, Vec<usize>) {
-        let mut seen = vec![false; self.cols];
+        let mut remap = vec![0usize; self.cols];
         for &c in &self.indices {
-            seen[c] = true;
+            remap[c] = 1;
         }
-        let kept: Vec<usize> = (0..self.cols).filter(|&c| seen[c]).collect();
-        let compacted = self.select_columns(&kept).expect("kept columns are unique and in range");
+        let mut kept: Vec<usize> = Vec::new();
+        for (c, slot) in remap.iter_mut().enumerate() {
+            if *slot != 0 {
+                *slot = kept.len();
+                kept.push(c);
+            }
+        }
+        let indices: Vec<usize> = self.indices.iter().map(|&c| remap[c]).collect();
+        let compacted = CsrMatrix {
+            rows: self.rows,
+            cols: kept.len(),
+            indptr: self.indptr.clone(),
+            indices,
+            values: self.values.clone(),
+        };
         (compacted, kept)
     }
 

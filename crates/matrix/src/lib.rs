@@ -13,6 +13,11 @@
 //!   conversions between them,
 //! * a hash-based row-wise (Gustavson) SpGEMM ([`spgemm::spgemm`]) standing in
 //!   for cuSPARSE / nsparse,
+//! * structure-aware extraction kernels ([`extract`]) that compute the
+//!   selection-matrix products (`Q_R · A`, `A · Q_C`) as a row gather and a
+//!   masked column filter, byte-identical to their SpGEMM formulation,
+//! * a reusable kernel scratch ([`workspace::SpgemmWorkspace`]) so repeated
+//!   products and extractions stop reallocating their accumulators,
 //! * sparse × dense SpMM ([`spmm::spmm`]) used by neighborhood aggregation,
 //! * structural operators (vertical stacking, block-diagonal composition,
 //!   row/column extraction) used by bulk sampling,
@@ -65,11 +70,13 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod extract;
 pub mod ops;
 pub mod pool;
 pub mod prefix;
 pub mod spgemm;
 pub mod spmm;
+pub mod workspace;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;

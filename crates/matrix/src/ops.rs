@@ -6,6 +6,17 @@
 //! extraction multiplies a *block-diagonal* matrix of per-batch row
 //! extractions by a stacked column-selection matrix.  The operators in this
 //! module implement those compositions for CSR matrices.
+//!
+//! The selection-matrix *constructors* here ([`row_selection_matrix`],
+//! [`indicator_row`]) sit at the boundary of the three-tier kernel story
+//! (see [`crate::spgemm`]): a product against a [`row_selection_matrix`]
+//! never needs to be materialised as an SpGEMM — the row gather
+//! [`crate::extract::extract_rows`] computes the byte-identical result in
+//! `O(nnz of the selected rows)` — whereas an [`indicator_row`] product has
+//! several nonzeros per `Q` row and genuinely requires the general Gustavson
+//! kernel.  The constructors remain for the distributed 1.5D path (which
+//! ships `Q` blocks between ranks) and as the reference formulation the
+//! extraction proptests pin against.
 
 use crate::csr::CsrMatrix;
 use crate::error::MatrixError;

@@ -1,4 +1,5 @@
-//! Sparse general matrix-matrix multiplication (SpGEMM).
+//! Sparse general matrix-matrix multiplication (SpGEMM) — the *general* tier
+//! of the three-tier kernel story.
 //!
 //! The central kernel of the paper: sampling probability distributions are
 //! produced by `P ← Q^l · A` and LADIES extraction by `Q_R · A · Q_C`, all of
@@ -6,20 +7,41 @@
 //! GPU; here we implement the same row-wise (Gustavson) formulation with a
 //! dense-accumulator or hash-map accumulator chosen per row.
 //!
+//! Not every product needs the general machinery, though.  The extraction
+//! operands are selection matrices with one nonzero per row/column, and for
+//! those the [`crate::extract`] kernels compute the identical result as a
+//! row gather ([`crate::extract::extract_rows`]) or a masked column filter
+//! ([`crate::extract::extract_columns_masked`]) with no accumulation at all.
+//! The tiers, from general to structure-exploiting:
+//!
+//! 1. **Gustavson SpGEMM** (this module) — arbitrary operands: the LADIES
+//!    indicator probability step (several nonzeros per `Q` row) and the
+//!    distributed 1.5D multiplies;
+//! 2. **masked column filter** — `A · Q_C` with one nonzero per column of
+//!    `Q_C`;
+//! 3. **row gather** — `Q_R · A` with one nonzero per row of `Q_R`
+//!    (GraphSAGE's entire probability step and LADIES row extraction).
+//!
 //! The serial kernels ([`spgemm`]) are deliberately kept as an *independent
-//! reference implementation* of the parallel two-pass kernel
-//! ([`spgemm_parallel`]): the inner Gustavson loops exist in both, and the
-//! byte-identity contract between them is pinned by
-//! `prop_spgemm_parallel_byte_identical_to_serial` (random inputs, 1/2/8
-//! threads, including cancellation zeros).  When editing either copy, keep
-//! the accumulation order, the dense/hash `DENSE_ACCUM_MAX_COLS` dispatch
-//! and the explicit-zero retention in sync — the proptests will fail loudly
-//! if they drift.
+//! reference implementation* of the two-pass kernel
+//! ([`spgemm_parallel`] / [`spgemm_parallel_with`]): the inner Gustavson
+//! loops exist in both, and the byte-identity contract between them is
+//! pinned by `prop_spgemm_parallel_byte_identical_to_serial` (random inputs,
+//! 1/2/8 threads, including cancellation zeros).  When editing either copy,
+//! keep the accumulation order, the dense/hash `DENSE_ACCUM_MAX_COLS`
+//! dispatch and the explicit-zero retention in sync — the proptests will
+//! fail loudly if they drift.
+//!
+//! The two-pass kernel draws its dense accumulators, marker arrays and
+//! symbolic-count scratch from a [`SpgemmWorkspace`] (thread-local by
+//! default), so repeated probability steps stop reallocating their scratch
+//! on every call — see [`crate::workspace`].
 
 use crate::csr::CsrMatrix;
 use crate::error::MatrixError;
 use crate::pool::{block_ranges, Parallelism};
 use crate::prefix::counts_to_offsets;
+use crate::workspace::{with_workspace, SpgemmWorkspace, WorkerScratch};
 use crate::Result;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
@@ -79,8 +101,11 @@ pub fn spgemm(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<CsrMatrix> {
 /// order, same sort), the result is **byte-identical to [`spgemm`] at any
 /// thread count** — see the determinism proptests.
 ///
-/// With [`Parallelism::serial`] (or a single effective block) this delegates
-/// to [`spgemm`] directly.
+/// Scratch (dense accumulators, markers, symbolic counts) comes from this
+/// thread's reusable [`SpgemmWorkspace`], so back-to-back products — the
+/// per-layer probability steps of a bulk sampling epoch — allocate nothing
+/// but their output buffers.  Use [`spgemm_parallel_with`] to supply an
+/// explicit workspace instead.
 ///
 /// # Errors
 ///
@@ -108,6 +133,25 @@ pub fn spgemm_parallel(
     rhs: &CsrMatrix,
     parallelism: Parallelism,
 ) -> Result<CsrMatrix> {
+    with_workspace(true, |ws| spgemm_parallel_with(lhs, rhs, parallelism, ws))
+}
+
+/// [`spgemm_parallel`] with an explicit scratch workspace.
+///
+/// Runs the two-pass kernel at any block count (including one, where the
+/// preallocated-buffer fill still beats the serial `from_rows` path), and is
+/// byte-identical to [`spgemm`] regardless of `parallelism` or the state of
+/// `ws`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `lhs.cols() != rhs.rows()`.
+pub fn spgemm_parallel_with(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    parallelism: Parallelism,
+    ws: &mut SpgemmWorkspace,
+) -> Result<CsrMatrix> {
     if lhs.cols() != rhs.rows() {
         return Err(MatrixError::DimensionMismatch {
             op: "spgemm_parallel",
@@ -116,65 +160,130 @@ pub fn spgemm_parallel(
         });
     }
     let rows = lhs.rows();
-    let blocks = block_ranges(rows, parallelism.effective_blocks(rows));
-    if blocks.len() <= 1 {
-        return spgemm(lhs, rhs);
+    if rows == 0 {
+        return Ok(CsrMatrix::zeros(0, rhs.cols()));
     }
+    let blocks = block_ranges(rows, parallelism.effective_blocks(rows));
     let use_dense = rhs.cols() <= DENSE_ACCUM_MAX_COLS;
+    let dense_cols = if use_dense { rhs.cols() } else { 0 };
 
-    // Pass 1 (symbolic): per-row output nnz, computed block-parallel.
-    let counts: Vec<usize> = parallelism
-        .map_blocks(rows, |range| symbolic_count_block(lhs, rhs, range, use_dense))
-        .into_iter()
-        .flatten()
-        .collect();
+    // Disjoint borrows of the workspace fields used by the two passes.
+    let counts = &mut ws.counts;
+    counts.clear();
+    counts.resize(rows, 0);
+    if ws.workers.len() < blocks.len() {
+        ws.workers.resize_with(blocks.len(), WorkerScratch::default);
+    }
+    let workers = &mut ws.workers[..blocks.len()];
+    for w in workers.iter_mut() {
+        w.ensure_cols(dense_cols);
+    }
+
+    // Pass 1 (symbolic): per-row output nnz, computed block-parallel with
+    // one reusable scratch set per block.
+    if blocks.len() <= 1 {
+        symbolic_count_block(lhs, rhs, blocks[0].clone(), counts, &mut workers[0], use_dense);
+    } else {
+        let pass = crossbeam::thread::scope(|scope| {
+            let mut counts_tail = counts.as_mut_slice();
+            let mut workers_tail = &mut workers[..];
+            let mut handles = Vec::with_capacity(blocks.len());
+            for range in &blocks {
+                let (counts_head, rest) =
+                    std::mem::take(&mut counts_tail).split_at_mut(range.len());
+                counts_tail = rest;
+                let (scratch, rest) = std::mem::take(&mut workers_tail).split_at_mut(1);
+                workers_tail = rest;
+                let range = range.clone();
+                handles.push(scope.spawn(move || {
+                    symbolic_count_block(lhs, rhs, range, counts_head, &mut scratch[0], use_dense)
+                }));
+            }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        if let Err(payload) = pass {
+            std::panic::resume_unwind(payload);
+        }
+    }
 
     // Prefix: counts -> CSR row offsets.
-    let indptr = counts_to_offsets(&counts);
+    let indptr = counts_to_offsets(counts);
     let total = indptr[rows];
 
     // Pass 2 (numeric): every block fills its disjoint slice of the output.
     let mut indices = vec![0usize; total];
     let mut values = vec![0.0f64; total];
-    let fill = crossbeam::thread::scope(|scope| {
-        let mut idx_tail = indices.as_mut_slice();
-        let mut val_tail = values.as_mut_slice();
-        let mut handles = Vec::with_capacity(blocks.len());
-        for range in blocks {
-            let len = indptr[range.end] - indptr[range.start];
-            let (idx_head, rest) = std::mem::take(&mut idx_tail).split_at_mut(len);
-            idx_tail = rest;
-            let (val_head, rest) = std::mem::take(&mut val_tail).split_at_mut(len);
-            val_tail = rest;
-            let indptr = &indptr;
-            handles.push(scope.spawn(move || {
-                numeric_fill_block(lhs, rhs, range, indptr, idx_head, val_head, use_dense)
-            }));
-        }
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
+    if blocks.len() <= 1 {
+        numeric_fill_block(
+            lhs,
+            rhs,
+            blocks[0].clone(),
+            &indptr,
+            &mut indices,
+            &mut values,
+            &mut workers[0],
+            use_dense,
+        );
+    } else {
+        let fill = crossbeam::thread::scope(|scope| {
+            let mut idx_tail = indices.as_mut_slice();
+            let mut val_tail = values.as_mut_slice();
+            let mut workers_tail = &mut workers[..];
+            let mut handles = Vec::with_capacity(blocks.len());
+            for range in blocks {
+                let len = indptr[range.end] - indptr[range.start];
+                let (idx_head, rest) = std::mem::take(&mut idx_tail).split_at_mut(len);
+                idx_tail = rest;
+                let (val_head, rest) = std::mem::take(&mut val_tail).split_at_mut(len);
+                val_tail = rest;
+                let (scratch, rest) = std::mem::take(&mut workers_tail).split_at_mut(1);
+                workers_tail = rest;
+                let indptr = &indptr;
+                handles.push(scope.spawn(move || {
+                    numeric_fill_block(
+                        lhs,
+                        rhs,
+                        range,
+                        indptr,
+                        idx_head,
+                        val_head,
+                        &mut scratch[0],
+                        use_dense,
+                    )
+                }));
             }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        if let Err(payload) = fill {
+            std::panic::resume_unwind(payload);
         }
-    });
-    if let Err(payload) = fill {
-        std::panic::resume_unwind(payload);
     }
     CsrMatrix::from_raw(rows, rhs.cols(), indptr, indices, values)
 }
 
-/// Symbolic pass: the number of distinct output columns of every row in
-/// `range`, using a worker-local dense mark vector or hash set.
+/// Symbolic pass: writes the number of distinct output columns of every row
+/// in `range` into `counts` (one slot per row of the range), using the
+/// worker's reusable dense mark vector or a hash set.
 fn symbolic_count_block(
     lhs: &CsrMatrix,
     rhs: &CsrMatrix,
     range: Range<usize>,
+    counts: &mut [usize],
+    scratch: &mut WorkerScratch,
     use_dense: bool,
-) -> Vec<usize> {
-    let mut counts = Vec::with_capacity(range.len());
+) {
+    let start = range.start;
     if use_dense {
-        let mut marked = vec![false; rhs.cols()];
-        let mut touched: Vec<usize> = Vec::new();
+        let marked = &mut scratch.marked;
+        let touched = &mut scratch.touched;
         for i in range {
             for &k in lhs.row_indices(i) {
                 for &j in rhs.row_indices(k) {
@@ -184,8 +293,8 @@ fn symbolic_count_block(
                     }
                 }
             }
-            counts.push(touched.len());
-            for &j in &touched {
+            counts[i - start] = touched.len();
+            for &j in touched.iter() {
                 marked[j] = false;
             }
             touched.clear();
@@ -196,16 +305,16 @@ fn symbolic_count_block(
             for &k in lhs.row_indices(i) {
                 seen.extend(rhs.row_indices(k).iter().copied());
             }
-            counts.push(seen.len());
+            counts[i - start] = seen.len();
             seen.clear();
         }
     }
-    counts
 }
 
 /// Numeric pass: recomputes the rows of `range` with the same accumulation
 /// order as the serial kernel and writes them into this block's slice of the
 /// output buffers (`indices`/`values` start at `indptr[range.start]`).
+#[allow(clippy::too_many_arguments)]
 fn numeric_fill_block(
     lhs: &CsrMatrix,
     rhs: &CsrMatrix,
@@ -213,13 +322,14 @@ fn numeric_fill_block(
     indptr: &[usize],
     indices: &mut [usize],
     values: &mut [f64],
+    scratch: &mut WorkerScratch,
     use_dense: bool,
 ) {
     let base = indptr[range.start];
     if use_dense {
-        let mut accum = vec![0.0f64; rhs.cols()];
-        let mut marked = vec![false; rhs.cols()];
-        let mut touched: Vec<usize> = Vec::new();
+        let accum = &mut scratch.accum;
+        let marked = &mut scratch.marked;
+        let touched = &mut scratch.touched;
         for i in range {
             for (&k, &lv) in lhs.row_indices(i).iter().zip(lhs.row_values(i)) {
                 for (&j, &rv) in rhs.row_indices(k).iter().zip(rhs.row_values(k)) {

@@ -1,0 +1,250 @@
+//! Reusable scratch memory for the SpGEMM and extraction kernels.
+//!
+//! PR 2's perf trajectory (`BENCH_spgemm.json`) showed that on this class of
+//! workload the measurable wins come from *allocation and work avoidance*,
+//! not thread count: the two-pass SpGEMM's advantage over the serial
+//! `from_rows` path was its preallocated output buffers.  This module pushes
+//! that one level further: the per-row dense accumulators, marker arrays,
+//! column masks and symbolic-count scratch that every SpGEMM / extraction
+//! call needs are collected into one [`SpgemmWorkspace`] that is **reused
+//! across calls**: across layers of one bulk sampling step, across
+//! minibatches and bulk groups of an epoch, and across epochs for as long
+//! as sampling stays on one thread (a caller looping `sample_epoch`, or a
+//! distributed rank alive for the whole run; a pipeline that spawns a fresh
+//! sampling worker per epoch regrows the worker's workspace once per
+//! epoch).
+//!
+//! Two ways to get a workspace:
+//!
+//! * the `*_with` kernel variants ([`crate::spgemm::spgemm_parallel_with`],
+//!   [`crate::extract::extract_rows_with`],
+//!   [`crate::extract::extract_columns_masked_with`]) take an explicit
+//!   `&mut SpgemmWorkspace` the caller owns;
+//! * [`with_workspace`] borrows a **thread-local** workspace (the common
+//!   case), so the plain entry points (`spgemm_parallel`, `extract_rows`,
+//!   `extract_columns_masked`) stop paying per-call allocation without any
+//!   caller cooperation.  The `workspace_reuse` knob on
+//!   `BulkSamplerConfig` (threaded through the sampling backends and
+//!   `TrainingSession`) selects between the two.
+//!
+//! The workspace never changes *what* a kernel computes — every kernel
+//! restores its scratch invariants (accumulators zeroed, markers cleared)
+//! before returning, and the column mask uses generation stamps so stale
+//! entries from a previous call can never be misread.  Byte-identity of the
+//! workspace-backed kernels is pinned by the proptests in
+//! `crate::spgemm` and `crate::extract`.
+
+use std::cell::RefCell;
+
+/// Per-worker scratch of the dense-accumulator Gustavson kernels: one
+/// instance per parallel row block, reused across calls.
+///
+/// Invariant between uses: `accum` is all-zero, `marked` is all-`false` and
+/// `touched` is empty — each kernel resets exactly the entries it touched.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    /// Dense value accumulator, grown to the output column count.
+    pub(crate) accum: Vec<f64>,
+    /// Dense occupancy markers, grown alongside `accum`.
+    pub(crate) marked: Vec<bool>,
+    /// The columns touched while accumulating the current row.
+    pub(crate) touched: Vec<usize>,
+}
+
+impl WorkerScratch {
+    /// Grows the dense accumulator and marker array to at least `cols`
+    /// entries.  Growth preserves the all-zero / all-`false` invariant.
+    pub(crate) fn ensure_cols(&mut self, cols: usize) {
+        if self.accum.len() < cols {
+            self.accum.resize(cols, 0.0);
+            self.marked.resize(cols, false);
+        }
+    }
+}
+
+/// Reusable scratch for the SpGEMM and extraction kernels: per-worker dense
+/// accumulators and marker arrays, the symbolic-count buffer of the two-pass
+/// kernels, and the stamped column mask of the masked column filter.
+///
+/// A workspace is cheap to create empty and grows lazily to the largest
+/// problem it has seen; [`SpgemmWorkspace::clear`] releases the memory.  It
+/// is *not* shared between threads — each thread that runs kernels holds its
+/// own (see [`with_workspace`]).
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::pool::Parallelism;
+/// use dmbs_matrix::spgemm::{spgemm_parallel, spgemm_parallel_with};
+/// use dmbs_matrix::workspace::SpgemmWorkspace;
+/// use dmbs_matrix::CsrMatrix;
+///
+/// # fn main() -> Result<(), dmbs_matrix::MatrixError> {
+/// let a = CsrMatrix::identity(8);
+/// let mut ws = SpgemmWorkspace::new();
+/// // Explicit workspace: scratch is reused across both calls.
+/// let c1 = spgemm_parallel_with(&a, &a, Parallelism::new(2), &mut ws)?;
+/// let c2 = spgemm_parallel_with(&a, &a, Parallelism::new(2), &mut ws)?;
+/// // The workspace never changes results.
+/// assert_eq!(c1, spgemm_parallel(&a, &a, Parallelism::new(2))?);
+/// assert_eq!(c1, c2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SpgemmWorkspace {
+    /// One scratch set per parallel row block.
+    pub(crate) workers: Vec<WorkerScratch>,
+    /// Symbolic-pass output-nnz counts (length = output rows).
+    pub(crate) counts: Vec<usize>,
+    /// Column mask: `mask_pos[c]` is the output position of global column
+    /// `c`, valid only when `mask_stamp[c] == mask_gen`.
+    pub(crate) mask_pos: Vec<usize>,
+    /// Generation stamps validating `mask_pos` entries.
+    pub(crate) mask_stamp: Vec<u64>,
+    /// Current mask generation; bumped per masked-extraction call so the
+    /// mask never needs an `O(n)` clear.
+    pub(crate) mask_gen: u64,
+    /// Per-row `(output column, value)` staging buffer.
+    pub(crate) row_buf: Vec<(usize, f64)>,
+    /// `(global column, output position)` pairs, sorted, for selections with
+    /// duplicate columns.
+    pub(crate) pairs: Vec<(usize, usize)>,
+}
+
+impl SpgemmWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SpgemmWorkspace::default()
+    }
+
+    /// Releases all scratch memory (the workspace stays usable and will
+    /// regrow on demand).
+    pub fn clear(&mut self) {
+        *self = SpgemmWorkspace { mask_gen: self.mask_gen, ..SpgemmWorkspace::default() };
+    }
+
+    /// Approximate number of bytes currently held by the scratch buffers.
+    pub fn nbytes(&self) -> usize {
+        let per_worker = |w: &WorkerScratch| {
+            w.accum.capacity() * std::mem::size_of::<f64>()
+                + w.marked.capacity()
+                + w.touched.capacity() * std::mem::size_of::<usize>()
+        };
+        self.workers.iter().map(per_worker).sum::<usize>()
+            + self.counts.capacity() * std::mem::size_of::<usize>()
+            + self.mask_pos.capacity() * std::mem::size_of::<usize>()
+            + self.mask_stamp.capacity() * std::mem::size_of::<u64>()
+            + self.row_buf.capacity() * std::mem::size_of::<(usize, f64)>()
+            + self.pairs.capacity() * std::mem::size_of::<(usize, usize)>()
+    }
+
+    /// Starts a new column-mask generation over `n` global columns and
+    /// returns the stamp value that marks entries of this generation.
+    pub(crate) fn begin_mask(&mut self, n: usize) -> u64 {
+        if self.mask_stamp.len() < n {
+            self.mask_stamp.resize(n, 0);
+            self.mask_pos.resize(n, 0);
+        }
+        self.mask_gen += 1;
+        self.mask_gen
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: RefCell<SpgemmWorkspace> = RefCell::new(SpgemmWorkspace::new());
+}
+
+/// Runs `f` with a scratch workspace.
+///
+/// With `reuse = true` (what the plain kernel entry points use), `f` borrows
+/// this thread's long-lived workspace, so scratch allocated by one call is
+/// reused by the next — across sampling layers, minibatches and epochs on
+/// the same thread.  With `reuse = false`, `f` gets a fresh workspace that
+/// is dropped afterwards, bounding kernel memory to a single call at the
+/// cost of per-call allocation (the `workspace_reuse` knob of
+/// `BulkSamplerConfig` maps directly onto this flag).
+///
+/// Re-entrant use (calling `with_workspace` while already inside it on the
+/// same thread) falls back to a fresh workspace rather than aliasing the
+/// borrowed one.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_matrix::workspace::with_workspace;
+///
+/// let grew = with_workspace(true, |ws| {
+///     // Kernels grow the workspace; it persists for this thread.
+///     ws.nbytes()
+/// });
+/// assert!(grew == with_workspace(true, |ws| ws.nbytes()));
+/// ```
+pub fn with_workspace<R>(reuse: bool, f: impl FnOnce(&mut SpgemmWorkspace) -> R) -> R {
+    if reuse {
+        THREAD_WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut ws) => f(&mut ws),
+            // Re-entrant call: never alias the outer borrow.
+            Err(_) => f(&mut SpgemmWorkspace::new()),
+        })
+    } else {
+        f(&mut SpgemmWorkspace::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_grows_and_clears() {
+        let mut ws = SpgemmWorkspace::new();
+        assert_eq!(ws.nbytes(), 0);
+        ws.workers.resize_with(3, WorkerScratch::default);
+        for w in &mut ws.workers {
+            w.ensure_cols(64);
+            assert!(w.accum.len() >= 64);
+            assert!(w.marked.len() >= 64);
+            // Growth never shrinks.
+            w.ensure_cols(8);
+            assert!(w.accum.len() >= 64);
+        }
+        assert!(ws.nbytes() > 0);
+        ws.clear();
+        assert_eq!(ws.nbytes(), 0);
+    }
+
+    #[test]
+    fn mask_generations_invalidate_old_entries() {
+        let mut ws = SpgemmWorkspace::new();
+        let g1 = ws.begin_mask(10);
+        ws.mask_stamp[3] = g1;
+        ws.mask_pos[3] = 7;
+        let g2 = ws.begin_mask(10);
+        assert_ne!(g1, g2);
+        // The old entry no longer matches the current generation.
+        assert_ne!(ws.mask_stamp[3], g2);
+    }
+
+    #[test]
+    fn with_workspace_reuses_thread_local() {
+        let before = with_workspace(true, |ws| {
+            ws.counts.resize(128, 0);
+            ws.nbytes()
+        });
+        let after = with_workspace(true, |ws| ws.nbytes());
+        assert_eq!(before, after);
+        // Fresh workspaces start empty.
+        assert_eq!(with_workspace(false, |ws| ws.nbytes()), 0);
+    }
+
+    #[test]
+    fn with_workspace_is_reentrant_safe() {
+        let v = with_workspace(true, |outer| {
+            outer.counts.resize(4, 0);
+            with_workspace(true, |inner| inner.nbytes())
+        });
+        // The inner call fell back to a fresh workspace.
+        assert_eq!(v, 0);
+    }
+}

@@ -102,6 +102,14 @@ impl DistConfig {
         self
     }
 
+    /// Returns this configuration with every rank's kernel workspace reuse
+    /// switched on or off — shorthand for setting
+    /// [`BulkSamplerConfig::workspace_reuse`].
+    pub fn with_workspace_reuse(mut self, reuse: bool) -> Self {
+        self.bulk.workspace_reuse = reuse;
+        self
+    }
+
     /// Rejects zero ranks, zero/non-dividing replication and zero bulk
     /// fields with typed errors.
     ///
@@ -255,6 +263,13 @@ pub trait SamplingBackend {
     where
         Self: Sized;
 
+    /// Returns this backend with kernel workspace reuse switched on or off
+    /// (see [`BulkSamplerConfig::workspace_reuse`]).  Like parallelism, the
+    /// setting never changes what is sampled.
+    fn with_workspace_reuse(self, reuse: bool) -> Self
+    where
+        Self: Sized;
+
     /// The simulated runtime, when the backend is distributed.
     fn runtime(&self) -> Option<&Runtime> {
         None
@@ -310,8 +325,7 @@ pub trait SamplingBackend {
         }
         let my_batches: Vec<Vec<usize>> = indices.iter().map(|&i| group[i].clone()).collect();
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(rank as u64));
-        let config = BulkSamplerConfig::new(self.bulk().batch_size, my_batches.len())
-            .with_parallelism(self.parallelism());
+        let config = BulkSamplerConfig { bulk_size: my_batches.len(), ..*self.bulk() };
         let out = sampler.sample_bulk(adjacency, &my_batches, &config, &mut rng)?;
         Ok(GroupShard {
             samples: indices.into_iter().zip(out.minibatches).collect(),
@@ -377,6 +391,11 @@ impl SamplingBackend for LocalBackend {
         self
     }
 
+    fn with_workspace_reuse(mut self, reuse: bool) -> Self {
+        self.bulk.workspace_reuse = reuse;
+        self
+    }
+
     fn sample_epoch<S: Sampler + Sync>(
         &self,
         sampler: &S,
@@ -388,8 +407,7 @@ impl SamplingBackend for LocalBackend {
         check_square(adjacency)?;
         let mut output = BulkSampleOutput::default();
         for (gi, group) in batches.chunks(self.bulk.bulk_size).enumerate() {
-            let config = BulkSamplerConfig::new(self.bulk.batch_size, group.len())
-                .with_parallelism(self.bulk.parallelism);
+            let config = BulkSamplerConfig { bulk_size: group.len(), ..self.bulk };
             let mut rng = StdRng::seed_from_u64(group_seed(seed, gi));
             output.merge(sampler.sample_bulk(adjacency, group, &config, &mut rng)?);
         }
@@ -472,6 +490,11 @@ impl SamplingBackend for ReplicatedBackend {
         self
     }
 
+    fn with_workspace_reuse(mut self, reuse: bool) -> Self {
+        self.dist.bulk.workspace_reuse = reuse;
+        self
+    }
+
     fn runtime(&self) -> Option<&Runtime> {
         Some(&self.runtime)
     }
@@ -506,8 +529,7 @@ impl SamplingBackend for ReplicatedBackend {
                     return Ok(BulkSampleOutput::default());
                 }
                 let mut rng = StdRng::seed_from_u64(gseed.wrapping_add(rank as u64));
-                let config = BulkSamplerConfig::new(self.dist.bulk.batch_size, my_batches.len())
-                    .with_parallelism(self.dist.bulk.parallelism);
+                let config = BulkSamplerConfig { bulk_size: my_batches.len(), ..self.dist.bulk };
                 sampler.sample_bulk(adjacency, &my_batches, &config, &mut rng)
             })?;
 
@@ -626,6 +648,7 @@ impl Partitioned1p5dBackend {
                 my_batches: &my_batches,
                 seed,
                 parallelism: self.dist.bulk.parallelism,
+                workspace_reuse: self.dist.bulk.workspace_reuse,
             };
             sampler.sample_partitioned(&mut ctx)
         })?;
@@ -659,6 +682,11 @@ impl SamplingBackend for Partitioned1p5dBackend {
 
     fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.dist.bulk.parallelism = parallelism;
+        self
+    }
+
+    fn with_workspace_reuse(mut self, reuse: bool) -> Self {
+        self.dist.bulk.workspace_reuse = reuse;
         self
     }
 
@@ -736,6 +764,7 @@ impl SamplingBackend for Partitioned1p5dBackend {
             my_batches: &my_batches,
             seed,
             parallelism: self.dist.bulk.parallelism,
+            workspace_reuse: self.dist.bulk.workspace_reuse,
         };
         let out = sampler.sample_partitioned(&mut ctx)?;
 
@@ -954,6 +983,64 @@ mod tests {
                 backend: "graph-partitioned-1.5d",
             }
         );
+    }
+
+    #[test]
+    fn bulk_output_is_invariant_under_workspace_reuse() {
+        // Workspace reuse is a pure allocation strategy: every backend must
+        // sample byte-identical minibatches with it on or off, for every
+        // sampler, at serial and parallel thread counts.
+        let a = random_graph(6, 5, 11);
+        let n = a.rows();
+        let batches: Vec<Vec<usize>> = (0..4).map(|i| vec![i * 9 % n, (i * 17 + 2) % n]).collect();
+        let sage = GraphSageSampler::new(vec![3, 2]);
+        let ladies = LadiesSampler::new(2, 6);
+        let fastgcn = FastGcnSampler::new(2, 6);
+        for threads in [1usize, 4] {
+            let bulk = BulkSamplerConfig::new(2, 4).with_parallelism(Parallelism::new(threads));
+            let local_reuse = LocalBackend::new(bulk).unwrap();
+            let local_fresh = LocalBackend::new(bulk).unwrap().with_workspace_reuse(false);
+            assert!(local_reuse.bulk().workspace_reuse);
+            assert!(!local_fresh.bulk().workspace_reuse);
+            macro_rules! check {
+                ($sampler:expr) => {
+                    assert_eq!(
+                        local_reuse
+                            .sample_epoch($sampler, &a, &batches, 5)
+                            .unwrap()
+                            .output
+                            .minibatches,
+                        local_fresh
+                            .sample_epoch($sampler, &a, &batches, 5)
+                            .unwrap()
+                            .output
+                            .minibatches,
+                        "threads = {threads}"
+                    );
+                };
+            }
+            check!(&sage);
+            check!(&ladies);
+            check!(&fastgcn);
+        }
+        // The partitioned backend threads the knob into the rank bodies.
+        let bulk = BulkSamplerConfig::new(2, 4);
+        let part_reuse = Partitioned1p5dBackend::new(DistConfig::new(4, 2, bulk)).unwrap();
+        let part_fresh = Partitioned1p5dBackend::new(DistConfig::new(4, 2, bulk))
+            .unwrap()
+            .with_workspace_reuse(false);
+        for epochs in [
+            (
+                part_reuse.sample_epoch(&ladies, &a, &batches, 5).unwrap(),
+                part_fresh.sample_epoch(&ladies, &a, &batches, 5).unwrap(),
+            ),
+            (
+                part_reuse.sample_epoch(&fastgcn, &a, &batches, 5).unwrap(),
+                part_fresh.sample_epoch(&fastgcn, &a, &batches, 5).unwrap(),
+            ),
+        ] {
+            assert_eq!(epochs.0.output.minibatches, epochs.1.output.minibatches);
+        }
     }
 
     #[test]

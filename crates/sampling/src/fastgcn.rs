@@ -12,6 +12,8 @@ use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
+use dmbs_matrix::extract::{extract_columns_masked_with, extract_rows_with};
+use dmbs_matrix::workspace::with_workspace;
 use dmbs_matrix::CsrMatrix;
 use rand::RngCore;
 
@@ -102,6 +104,7 @@ impl Sampler for FastGcnSampler {
         let weights =
             profile.time_compute(Phase::Probability, || Self::importance_weights(adjacency));
 
+        let parallelism = config.parallelism;
         let mut minibatches = Vec::with_capacity(batches.len());
         for batch in batches {
             let mut frontier = batch.clone();
@@ -110,10 +113,20 @@ impl Sampler for FastGcnSampler {
                 let sampled = profile.time_compute(Phase::Sampling, || {
                     its_without_replacement(&weights, self.samples_per_layer, rng)
                 })?;
+                // Extraction through the structure-aware kernels: a parallel
+                // row gather of the frontier followed by the bitmap-masked
+                // column filter (see dmbs_matrix::extract).  Note the filter
+                // follows the paper's CSC-selection SpGEMM semantics and
+                // drops stored-zero adjacency entries (the former
+                // `select_columns` retained them); such entries carry no
+                // edge weight and never arise from the graph generators.
                 let layer =
                     profile.time_compute(Phase::Extraction, || -> Result<LayerSample> {
-                        let rows_matrix = adjacency.gather_rows(&frontier)?;
-                        let a_s = rows_matrix.select_columns(&sampled)?;
+                        let a_s = with_workspace(config.workspace_reuse, |ws| {
+                            let rows_matrix =
+                                extract_rows_with(adjacency, &frontier, parallelism, ws)?;
+                            extract_columns_masked_with(&rows_matrix, &sampled, ws)
+                        })?;
                         Ok(LayerSample::new(frontier.clone(), sampled.clone(), a_s))
                     })?;
                 frontier = layer.cols.clone();
@@ -136,6 +149,7 @@ impl Sampler for FastGcnSampler {
             self.num_layers,
             self.samples_per_layer,
             ctx.seed,
+            ctx.workspace_reuse,
         )
     }
 }
@@ -219,6 +233,36 @@ mod tests {
             .filter(|&v| !g.neighbors(0).contains(&v))
             .collect();
         assert!(!non_neighbors.is_empty());
+    }
+
+    #[test]
+    fn stored_zero_adjacency_entries_follow_csc_formulation() {
+        // Since the extraction rewire, FastGCN's column extraction uses the
+        // paper's CSC-selection SpGEMM semantics: an explicitly-stored
+        // zero-weight edge is dropped from the sampled block (the former
+        // `select_columns` retained it).  Pin that as deliberate behavior.
+        use dmbs_matrix::{CooMatrix, CscMatrix, CsrMatrix};
+        let adjacency = CsrMatrix::from_coo(
+            &CooMatrix::from_triples(
+                4,
+                4,
+                vec![(0, 1, 0.0), (0, 2, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
+            )
+            .unwrap(),
+        );
+        assert_eq!(adjacency.row_nnz(0), 2, "explicit zero must be stored in A");
+        let sampler = FastGcnSampler::new(1, 4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sample = sampler.sample_minibatch(&adjacency, &[0], &mut rng).unwrap();
+        let layer = &sample.layers[0];
+        // Byte-identical to the CSC formulation on the same frontier/cols.
+        let expected = CscMatrix::selection(4, &layer.cols)
+            .left_multiply(&adjacency.gather_rows(&layer.rows).unwrap())
+            .unwrap();
+        assert_eq!(layer.adjacency, expected);
+        // The stored zero at (0, 1) is gone from the sampled block.
+        let zero_col = layer.cols.iter().position(|&c| c == 1).unwrap();
+        assert!(!layer.adjacency.row_indices(0).contains(&zero_col));
     }
 
     #[test]

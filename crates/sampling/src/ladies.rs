@@ -19,9 +19,10 @@ use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
-use dmbs_matrix::ops::row_selection_matrix;
-use dmbs_matrix::spgemm::spgemm_parallel;
-use dmbs_matrix::{CooMatrix, CscMatrix, CsrMatrix};
+use dmbs_matrix::extract::{extract_columns_masked_with, extract_rows_with};
+use dmbs_matrix::spgemm::spgemm_parallel_with;
+use dmbs_matrix::workspace::with_workspace;
+use dmbs_matrix::{CooMatrix, CsrMatrix};
 use rand::RngCore;
 
 /// The LADIES layer-wise sampler.
@@ -148,7 +149,12 @@ impl Sampler for LadiesSampler {
                     }
                 }
                 let q = CsrMatrix::from_coo(&coo);
-                let mut p = spgemm_parallel(&q, adjacency, parallelism)?;
+                // The indicator rows carry several nonzeros each, so this is
+                // a genuine SpGEMM (the general tier); the workspace keeps
+                // its accumulators across layers and bulk groups.
+                let mut p = with_workspace(config.workspace_reuse, |ws| {
+                    spgemm_parallel_with(&q, adjacency, parallelism, ws)
+                })?;
                 Self::norm(&mut p);
                 Ok(p)
             })?;
@@ -159,12 +165,15 @@ impl Sampler for LadiesSampler {
             let sampled = profile
                 .time_compute(Phase::Sampling, || sample_rows_par(&p, s, step_seed, parallelism))?;
 
-            // ---- Extraction: A_S = Q_R A Q_C per minibatch, with the row
-            // extraction done as one stacked SpGEMM and the column extraction
-            // as a batch of smaller SpGEMMs (§4.2.4, §8.2.2).
+            // ---- Extraction: A_S = Q_R A Q_C per minibatch (§4.2.4,
+            // §8.2.2).  Both factors are selection matrices, so neither pays
+            // the general SpGEMM price: the stacked row extraction is a
+            // parallel row gather and the per-batch column extraction is a
+            // bitmap-masked filter, each byte-identical to the
+            // selection-matrix SpGEMM it replaces (see dmbs_matrix::extract).
             profile.time_compute(Phase::Extraction, || -> Result<()> {
-                // Stacked row-extraction matrix: one row per (batch, frontier
-                // vertex), selecting that vertex's row of A.
+                // Stacked row gather: one output row per (batch, frontier
+                // vertex), copying that vertex's row of A.
                 let mut stacked_rows: Vec<usize> = Vec::new();
                 let mut offsets: Vec<usize> = Vec::with_capacity(k + 1);
                 offsets.push(0);
@@ -172,8 +181,9 @@ impl Sampler for LadiesSampler {
                     stacked_rows.extend_from_slice(frontier);
                     offsets.push(stacked_rows.len());
                 }
-                let q_r = row_selection_matrix(&stacked_rows, n)?;
-                let a_r = spgemm_parallel(&q_r, adjacency, parallelism)?;
+                let a_r = with_workspace(config.workspace_reuse, |ws| {
+                    extract_rows_with(adjacency, &stacked_rows, parallelism, ws)
+                })?;
 
                 for (i, frontier) in frontiers.iter_mut().enumerate() {
                     let mut cols: Vec<usize> = sampled.row_indices(i).to_vec();
@@ -186,10 +196,12 @@ impl Sampler for LadiesSampler {
                         cols.sort_unstable();
                     }
                     let block = a_r.row_block(offsets[i], offsets[i + 1]);
-                    // Column extraction as an SpGEMM with a hypersparse
-                    // selection matrix (stored in CSC, §8.2.2).
-                    let q_c = CscMatrix::selection(n, &cols);
-                    let a_s = q_c.left_multiply(&block)?;
+                    // Column extraction: masked filter renumbering into the
+                    // sampled vertex space (replaces the hypersparse CSC
+                    // selection SpGEMM of §8.2.2).
+                    let a_s = with_workspace(config.workspace_reuse, |ws| {
+                        extract_columns_masked_with(&block, &cols, ws)
+                    })?;
                     layers[i].push(LayerSample::new(frontier.clone(), cols.clone(), a_s));
                     *frontier = cols;
                 }
@@ -220,6 +232,7 @@ impl Sampler for LadiesSampler {
             self.samples_per_layer,
             ctx.seed,
             ctx.parallelism,
+            ctx.workspace_reuse,
         )
     }
 }

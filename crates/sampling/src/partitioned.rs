@@ -20,10 +20,12 @@ use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Communicator, Group, Phase, PhaseProfile, ProcessGrid, Runtime};
 use dmbs_graph::partition::OneDPartition;
+use dmbs_matrix::extract::extract_columns_masked_with;
 use dmbs_matrix::ops::row_selection_matrix;
 use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::spgemm::spgemm_with_fetched_rows;
-use dmbs_matrix::{CooMatrix, CscMatrix, CsrMatrix};
+use dmbs_matrix::workspace::with_workspace;
+use dmbs_matrix::{CooMatrix, CsrMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -362,6 +364,7 @@ pub fn sample_partitioned_ladies(
         samples_per_layer,
         seed,
         Parallelism::serial(),
+        true,
     )
 }
 
@@ -378,6 +381,7 @@ pub(crate) fn ladies_on_rank(
     samples_per_layer: usize,
     seed: u64,
     parallelism: Parallelism,
+    workspace_reuse: bool,
 ) -> Result<BulkSampleOutput> {
     if num_layers == 0 || samples_per_layer == 0 {
         return Err(SamplingError::InvalidConfig(
@@ -468,8 +472,11 @@ pub(crate) fn ladies_on_rank(
                     }
                     let cols: Vec<usize> = sampled.row_indices(i).to_vec();
                     let block = a_r.row_block(offsets[i], offsets[i + 1]);
-                    let q_c = CscMatrix::selection(n, &cols);
-                    let a_s = q_c.left_multiply(&block)?;
+                    // Bitmap-masked column filter, byte-identical to the
+                    // hypersparse CSC selection SpGEMM (§8.2.2) it replaces.
+                    let a_s = with_workspace(workspace_reuse, |ws| {
+                        extract_columns_masked_with(&block, &cols, ws)
+                    })?;
                     out.push((i, (frontiers[i].clone(), cols, a_s.iter().collect())));
                 }
                 Ok(out)
@@ -524,6 +531,7 @@ pub(crate) fn fastgcn_on_rank(
     num_layers: usize,
     samples_per_layer: usize,
     seed: u64,
+    workspace_reuse: bool,
 ) -> Result<BulkSampleOutput> {
     if num_layers == 0 || samples_per_layer == 0 {
         return Err(SamplingError::InvalidConfig(
@@ -589,7 +597,9 @@ pub(crate) fn fastgcn_on_rank(
         profile.time_compute(Phase::Extraction, || -> Result<()> {
             for (i, frontier) in frontiers.iter_mut().enumerate() {
                 let block = a_r.row_block(offsets[i], offsets[i + 1]);
-                let a_s = block.select_columns(&sampled_per_batch[i])?;
+                let a_s = with_workspace(workspace_reuse, |ws| {
+                    extract_columns_masked_with(&block, &sampled_per_batch[i], ws)
+                })?;
                 layers[i].push(LayerSample::new(
                     frontier.clone(),
                     sampled_per_batch[i].clone(),
@@ -730,6 +740,7 @@ pub fn run_partitioned_ladies(
             samples_per_layer,
             seed,
             Parallelism::serial(),
+            true,
         )
     })?;
 

@@ -14,8 +14,8 @@ use crate::plan::{BulkSampleOutput, LayerSample, MinibatchSample};
 use crate::sampler::{validate_batches, BulkSamplerConfig, PartitionedContext, Sampler};
 use crate::{Result, SamplingError};
 use dmbs_comm::{Phase, PhaseProfile};
-use dmbs_matrix::ops::row_selection_matrix;
-use dmbs_matrix::spgemm::spgemm_parallel;
+use dmbs_matrix::extract::extract_rows_with;
+use dmbs_matrix::workspace::with_workspace;
 use dmbs_matrix::{CooMatrix, CsrMatrix};
 use rand::RngCore;
 
@@ -159,6 +159,10 @@ impl Sampler for GraphSageSampler {
             let s = self.fanouts[step];
 
             // ---- Generate probability distributions: P = Q^l A, normalized.
+            // Q^l is a row-selection matrix (one nonzero per stacked frontier
+            // vertex), so the product is a structure-aware row gather rather
+            // than a general SpGEMM — byte-identical, O(nnz of the gathered
+            // rows), no accumulation (see dmbs_matrix::extract).
             let (p, offsets) = profile.time_compute(Phase::Probability, || -> Result<_> {
                 let mut stacked: Vec<usize> = Vec::new();
                 let mut offsets: Vec<usize> = Vec::with_capacity(k + 1);
@@ -167,8 +171,9 @@ impl Sampler for GraphSageSampler {
                     stacked.extend_from_slice(frontier);
                     offsets.push(stacked.len());
                 }
-                let q = row_selection_matrix(&stacked, n)?;
-                let mut p = spgemm_parallel(&q, adjacency, parallelism)?;
+                let mut p = with_workspace(config.workspace_reuse, |ws| {
+                    extract_rows_with(adjacency, &stacked, parallelism, ws)
+                })?;
                 p.normalize_rows();
                 Ok((p, offsets))
             })?;
