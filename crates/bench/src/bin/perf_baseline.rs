@@ -27,16 +27,18 @@
 //! workload; `DMBS_PERF_THREADS` (comma-separated, default `1,2,4,8`)
 //! overrides the thread sweep.
 
-use dmbs_comm::Phase;
+use dmbs_comm::{Group, Phase, ProcessGrid, Runtime};
+use dmbs_gnn::{FeatureCache, FeatureCacheConfig, FeatureStore};
 use dmbs_graph::generators::{rmat, RmatConfig};
 use dmbs_matrix::extract::{extract_columns_masked, extract_rows};
 use dmbs_matrix::ops::row_selection_matrix;
 use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::spgemm::{spgemm, spgemm_parallel};
-use dmbs_matrix::{CscMatrix, CsrMatrix};
+use dmbs_matrix::{CscMatrix, CsrMatrix, DenseMatrix};
 use dmbs_sampling::its::{sample_rows_par, sample_rows_seeded};
 use dmbs_sampling::{
-    BulkSamplerConfig, GraphSageSampler, LadiesSampler, LocalBackend, Sampler, SamplingBackend,
+    BulkSamplerConfig, FetchPlan, GraphSageSampler, LadiesSampler, LocalBackend, MinibatchSample,
+    Sampler, SamplingBackend,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -268,20 +270,176 @@ fn phase_breakdown(profile: &dmbs_comm::PhaseProfile) -> Vec<(&'static str, f64)
     Phase::sampling_phases().iter().map(|&p| (p.name(), profile.compute(p))).collect()
 }
 
+/// One measured (grid shape × cache mode) configuration of the feature-fetch
+/// sweep.
+struct FetchRecord {
+    p: usize,
+    c: usize,
+    mode: &'static str,
+    wall_s: f64,
+    /// All-to-allv words this mode moved over the whole epoch (all ranks).
+    words_per_epoch: usize,
+    messages: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    words_saved: usize,
+    /// `words_per_epoch(uncached) / words_per_epoch(this mode)`.
+    reduction_vs_uncached: f64,
+    identical: bool,
+}
+
+impl FetchRecord {
+    /// The record's hit rate through the one canonical implementation
+    /// (`CommStats::cache_hit_rate`), so the JSON, the table and the library
+    /// can never disagree on the formula.
+    fn hit_rate(&self) -> Option<f64> {
+        dmbs_comm::CommStats {
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            ..Default::default()
+        }
+        .cache_hit_rate()
+    }
+}
+
+fn write_fetch_json(path: &std::path::Path, workload: &Workload, records: &[FetchRecord]) {
+    let mut out = json_header(workload);
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let hit_rate = r.hit_rate().unwrap_or(f64::NAN); // json_f64: NaN → null
+        out.push_str(&format!(
+            "    {{\"p\": {}, \"c\": {}, \"mode\": \"{}\", \"wall_s\": {}, \
+             \"words_per_epoch\": {}, \"messages\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"cache_hit_rate\": {}, \"words_saved\": {}, \
+             \"reduction_vs_uncached\": {}, \"identical_to_uncached\": {}}}{}\n",
+            r.p,
+            r.c,
+            r.mode,
+            json_f64(r.wall_s),
+            r.words_per_epoch,
+            r.messages,
+            r.cache_hits,
+            r.cache_misses,
+            json_f64(hit_rate),
+            r.words_saved,
+            json_f64(r.reduction_vs_uncached),
+            r.identical,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn print_fetch_records(records: &[FetchRecord]) {
+    println!("\n== Feature-fetch epoch: words moved, cache on vs off ==");
+    println!(
+        "{:>3} {:>3} {:>9}  {:>12}  {:>10}  {:>9}  {:>9}  {:>9}  identical",
+        "p", "c", "mode", "words/epoch", "messages", "hit_rate", "saved", "reduction"
+    );
+    for r in records {
+        let hit_rate = r.hit_rate().map_or("-".to_string(), |h| format!("{h:.3}"));
+        println!(
+            "{:>3} {:>3} {:>9}  {:>12}  {:>10}  {:>9}  {:>9}  {:>8.2}x  {}",
+            r.p,
+            r.c,
+            r.mode,
+            r.words_per_epoch,
+            r.messages,
+            hit_rate,
+            r.words_saved,
+            r.reduction_vs_uncached,
+            r.identical
+        );
+    }
+}
+
+/// The feature-fetching phase of one epoch, run standalone on a simulated
+/// grid: each rank fetches the layer-0 frontiers of its round-robin share of
+/// the epoch's minibatches, step by step (bulk synchronous, empty requests
+/// for idle ranks — exactly the distributed trainer's schedule).  Returns
+/// per-rank fetched rows plus the summed communication counters.
+#[allow(clippy::type_complexity)]
+fn run_fetch_epoch(
+    runtime: &Runtime,
+    h: &DenseMatrix,
+    minibatches: &[MinibatchSample],
+    c: usize,
+    mode: FeatureCacheConfig,
+) -> (Vec<Vec<DenseMatrix>>, usize, usize, usize, usize, usize) {
+    let p = runtime.size();
+    let steps = minibatches.len().div_ceil(p);
+    let outs = runtime
+        .run(|comm| {
+            let rank = comm.rank();
+            let grid = ProcessGrid::new(p, c).expect("valid grid");
+            let (my_row, _) = grid.coords(rank);
+            let store = FeatureStore::from_full(h, grid.rows(), my_row).expect("store");
+            let group = Group::new(&grid.col_ranks(rank)).expect("group");
+            let my_mbs: Vec<&MinibatchSample> = minibatches.iter().skip(rank).step_by(p).collect();
+            let mut cache = mode.is_enabled().then(|| FeatureCache::new(mode, store.feature_dim()));
+            if let (Some(cache), FeatureCacheConfig::EpochPinned) = (cache.as_mut(), mode) {
+                let plan = FetchPlan::from_sample_iter(my_mbs.iter().copied());
+                cache.prefetch(&store, comm, &group, plan.unique_vertices()).expect("prefetch");
+            }
+            let mut fetched = Vec::with_capacity(my_mbs.len());
+            for step in 0..steps {
+                let wanted: Vec<usize> =
+                    my_mbs.get(step).map(|mb| mb.input_vertices().to_vec()).unwrap_or_default();
+                let rows = match cache.as_mut() {
+                    Some(cache) if mode == FeatureCacheConfig::EpochPinned => {
+                        cache.gather_pinned(&store, &wanted).expect("gather")
+                    }
+                    Some(cache) => {
+                        cache.fetch_through(&store, comm, &group, &wanted).expect("fetch")
+                    }
+                    None => store.fetch(comm, &group, &wanted).expect("fetch"),
+                };
+                if step < my_mbs.len() {
+                    fetched.push(rows);
+                }
+            }
+            let cache_stats = cache.map(|c| *c.stats()).unwrap_or_default();
+            (fetched, cache_stats)
+        })
+        .expect("fetch epoch");
+    let mut per_rank = Vec::with_capacity(outs.len());
+    let (mut words, mut messages, mut hits, mut misses, mut saved) = (0, 0, 0, 0, 0);
+    for o in outs {
+        words += o.stats.words_sent;
+        messages += o.stats.messages;
+        hits += o.value.1.cache_hits;
+        misses += o.value.1.cache_misses;
+        saved += o.value.1.words_saved;
+        per_rank.push(o.value.0);
+    }
+    (per_rank, words, messages, hits, misses, saved)
+}
+
 fn main() {
     let mut smoke = false;
+    let mut fetch_only = false;
     let mut out_dir = std::path::PathBuf::from(".");
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--fetch" {
+            fetch_only = true;
         } else if arg.starts_with("--") {
             // Reject unknown flags up front instead of running the full
             // multi-minute sweep and panicking at the first JSON write.
-            eprintln!("unknown flag {arg:?}; usage: perf_baseline [--smoke] [output_dir]");
+            eprintln!(
+                "unknown flag {arg:?}; usage: perf_baseline [--smoke] [--fetch] [output_dir]"
+            );
             std::process::exit(2);
         } else {
             out_dir = std::path::PathBuf::from(arg);
         }
+    }
+    if fetch_only {
+        run_fetch_sweep(smoke, &out_dir);
+        return;
     }
     let large = matches!(std::env::var("DMBS_SCALE").as_deref(), Ok("large") | Ok("LARGE"));
     // (rmat scale, rmat degree, stacked Q rows, timing reps, batch size,
@@ -506,6 +664,141 @@ fn main() {
         "\nAll kernels byte-identical to their reference formulations; records written to {}",
         out_dir.display()
     );
+}
+
+/// The `--fetch` sweep: the feature-fetching phase of one bulk-sampled epoch
+/// across grid shapes, cache-off vs epoch-pinned vs LRU, asserting that every
+/// cached run returns byte-identical rows, moves no more all-to-allv words
+/// than the uncached baseline, and that `sent + saved == uncached` (the α–β
+/// books balance).  Writes `BENCH_fetch.json`.
+fn run_fetch_sweep(smoke: bool, out_dir: &std::path::Path) {
+    // (rmat scale, rmat degree, feature dim, batch size, batches, fanouts)
+    let (scale, degree, f, batch_size, num_batches, fanouts) =
+        if smoke { (8, 8, 16, 64, 8, vec![5, 5]) } else { (12, 12, 64, 256, 16, vec![10, 5]) };
+    let shapes: &[(usize, usize)] =
+        if smoke { &[(2, 1), (2, 2), (4, 2)] } else { &[(4, 1), (4, 2), (4, 4), (8, 2), (8, 4)] };
+    if smoke {
+        println!("fetch smoke mode: tiny workload, full shape sweep + identity checks");
+    }
+
+    let graph = rmat(&RmatConfig::new(scale, degree), &mut StdRng::seed_from_u64(99))
+        .expect("valid RMAT config");
+    let a = graph.adjacency().clone();
+    let n = a.rows();
+    let h = DenseMatrix::from_rows(
+        &(0..n)
+            .map(|v| (0..f).map(|j| ((v * 31 + j * 7) % 1000) as f64 * 1e-3).collect())
+            .collect::<Vec<_>>(),
+    )
+    .expect("feature matrix");
+    let batches: Vec<Vec<usize>> = (0..num_batches)
+        .map(|i| (0..batch_size).map(|j| (i * batch_size + j * 7) % n).collect())
+        .collect();
+    // One bulk-sampled epoch, shared by every shape: the fetch phase is what
+    // varies, not the samples.
+    let sampler = GraphSageSampler::new(fanouts.clone());
+    let backend = LocalBackend::new(BulkSamplerConfig::new(batch_size, 4)).expect("bulk config");
+    let epoch = backend.sample_epoch(&sampler, &a, &batches, 7).expect("epoch");
+    let minibatches = epoch.output.minibatches;
+    let plan = FetchPlan::from_minibatches(&minibatches);
+    println!(
+        "epoch frontier: {} raw input-vertex requests, {} unique ({} duplicates, ≤ {} words \
+         avoidable at f = {f})",
+        plan.total_requests(),
+        plan.unique_len(),
+        plan.duplicate_requests(),
+        plan.words_avoided_upper_bound(f)
+    );
+
+    let mut records = Vec::new();
+    for &(p, c) in shapes {
+        let runtime = Runtime::new(p).expect("runtime");
+        // How the plan's unique rows spread over the owning feature blocks
+        // (the block rows of the p/c × c layout) — the request-balance view
+        // of the owner-block grouping the all-to-allv rides on.
+        let block_partition =
+            dmbs_graph::partition::OneDPartition::new(n, p / c).expect("partition");
+        let per_block = plan.by_owner_block(&block_partition).expect("plan in range");
+        let block_lens: Vec<usize> = per_block.iter().map(Vec::len).collect();
+        println!(
+            "p={p} c={c}: plan rows per owner block: min {} max {} (of {} blocks)",
+            block_lens.iter().min().unwrap(),
+            block_lens.iter().max().unwrap(),
+            block_lens.len()
+        );
+        // `time_best` returns the (deterministic) epoch output, so one sweep
+        // yields wall time, counters and the identity reference together.
+        let reps = if smoke { 1 } else { 3 };
+        let (base_wall, (base_rows, base_words, base_msgs, ..)) = time_best(reps, || {
+            run_fetch_epoch(&runtime, &h, &minibatches, c, FeatureCacheConfig::Off)
+        });
+        records.push(FetchRecord {
+            p,
+            c,
+            mode: "uncached",
+            wall_s: base_wall,
+            words_per_epoch: base_words,
+            messages: base_msgs,
+            cache_hits: 0,
+            cache_misses: 0,
+            words_saved: 0,
+            reduction_vs_uncached: 1.0,
+            identical: true,
+        });
+        let lru_budget = n * f * std::mem::size_of::<f64>() / 4; // a quarter of H
+        for (mode, label) in [
+            (FeatureCacheConfig::EpochPinned, "pinned"),
+            (FeatureCacheConfig::Lru { byte_budget: lru_budget }, "lru"),
+        ] {
+            let (wall, (rows, words, msgs, hits, misses, saved)) =
+                time_best(reps, || run_fetch_epoch(&runtime, &h, &minibatches, c, mode));
+            let identical = rows == base_rows;
+            assert!(identical, "p={p} c={c} {label}: cached fetch diverged from uncached");
+            assert!(
+                words <= base_words,
+                "p={p} c={c} {label}: cache moved more words ({words} > {base_words})"
+            );
+            assert_eq!(
+                words + saved,
+                base_words,
+                "p={p} c={c} {label}: sent + saved must equal the uncached bill"
+            );
+            records.push(FetchRecord {
+                p,
+                c,
+                mode: label,
+                wall_s: wall,
+                words_per_epoch: words,
+                messages: msgs,
+                cache_hits: hits,
+                cache_misses: misses,
+                words_saved: saved,
+                // A fully-replicated shape moves zero words either way.
+                reduction_vs_uncached: if base_words == 0 {
+                    1.0
+                } else {
+                    base_words as f64 / words.max(1) as f64
+                },
+                identical,
+            });
+        }
+    }
+
+    let workload = Workload {
+        name: "fetch_epoch",
+        detail: format!(
+            "feature-fetch phase of one GraphSAGE {fanouts:?} bulk epoch ({num_batches} batches \
+             of {batch_size}, f = {f}) on rmat scale {scale} deg {degree}; \
+             {} raw requests, {} unique",
+            plan.total_requests(),
+            plan.unique_len()
+        ),
+        items: plan.total_requests(),
+        throughput_unit: "requests/epoch",
+    };
+    print_fetch_records(&records);
+    write_fetch_json(&out_dir.join("BENCH_fetch.json"), &workload, &records);
+    println!("\nAll cached fetches byte-identical to the uncached all-to-allv baseline.");
 }
 
 /// Object-safe epoch runner so the GraphSAGE and LADIES sweeps share one

@@ -82,6 +82,15 @@ impl Default for CostModel {
 
 /// Per-rank communication statistics accumulated by a
 /// [`Communicator`](crate::Communicator).
+///
+/// Besides the words that actually crossed the (simulated) wire, the struct
+/// carries the *work-avoidance* counters of the communication-avoiding
+/// feature pipeline (§6.2): per-rank feature-cache hits and misses, and the
+/// α–β words those hits kept off the wire.  The communicator itself never
+/// touches the cache fields — they are folded in by the cache layer via
+/// [`CommStats::record_cache_hit`] / [`CommStats::record_cache_miss`] and
+/// travel through the same [`CommStats::merge`] aggregation as the wire
+/// counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
     /// Number of point-to-point messages sent (collectives decompose into
@@ -91,6 +100,13 @@ pub struct CommStats {
     pub words_sent: usize,
     /// Modeled communication time in seconds under the α–β model.
     pub modeled_time: f64,
+    /// Feature-cache hits: rows served locally instead of being re-fetched.
+    pub cache_hits: usize,
+    /// Feature-cache misses: rows that had to be fetched (or read) fresh.
+    pub cache_misses: usize,
+    /// Words that would have crossed the wire without the cache (request ids
+    /// plus feature rows of remote-owned hits) — the β term of the saving.
+    pub words_saved: usize,
 }
 
 impl CommStats {
@@ -106,11 +122,33 @@ impl CommStats {
         self.modeled_time += model.message_cost(words);
     }
 
+    /// Records one cache hit that kept `words_saved` words off the wire
+    /// (zero for hits on locally-owned rows, which never travel anyway).
+    pub fn record_cache_hit(&mut self, words_saved: usize) {
+        self.cache_hits += 1;
+        self.words_saved += words_saved;
+    }
+
+    /// Records one cache miss (the row was fetched or read fresh).
+    pub fn record_cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+
+    /// Fraction of cache lookups that hit, or `None` when nothing was looked
+    /// up (so callers can distinguish "no cache" from "cold cache").
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        (lookups > 0).then(|| self.cache_hits as f64 / lookups as f64)
+    }
+
     /// Combines statistics from another rank or phase (summing).
     pub fn merge(&mut self, other: &CommStats) {
         self.messages += other.messages;
         self.words_sent += other.words_sent;
         self.modeled_time += other.modeled_time;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.words_saved += other.words_saved;
     }
 
     /// Bytes sent, assuming 8-byte words.
@@ -186,5 +224,28 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.messages, 3);
         assert_eq!(b.words_sent, 16);
+    }
+
+    #[test]
+    fn cache_counters_record_and_merge() {
+        let mut a = CommStats::new();
+        assert_eq!(a.cache_hit_rate(), None);
+        a.record_cache_hit(17); // remote-owned row: 16 feature words + 1 id
+        a.record_cache_hit(0); // locally-owned row: nothing saved
+        a.record_cache_miss();
+        assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.cache_misses, 1);
+        assert_eq!(a.words_saved, 17);
+        assert!((a.cache_hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+
+        let mut b = CommStats::new();
+        b.record_cache_miss();
+        b.merge(&a);
+        assert_eq!(b.cache_hits, 2);
+        assert_eq!(b.cache_misses, 2);
+        assert_eq!(b.words_saved, 17);
+        // The wire counters are untouched by cache bookkeeping.
+        assert_eq!(b.messages, 0);
+        assert_eq!(b.words_sent, 0);
     }
 }

@@ -13,6 +13,31 @@ pub enum GnnError {
     /// The model or trainer was configured inconsistently (dimension
     /// mismatches, missing labels/features, zero epochs, …).
     InvalidConfig(String),
+    /// A feature fetch was issued over a group whose size does not match the
+    /// number of blocks the feature matrix is split into (§6.2: the fetch
+    /// group must hold exactly one replica of every block row).
+    FetchGroupMismatch {
+        /// Number of block rows of the feature matrix.
+        blocks: usize,
+        /// Size of the group the fetch was issued over.
+        group: usize,
+    },
+    /// A feature fetch or cache prefetch referenced a vertex id outside the
+    /// feature partition.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the feature partition.
+        limit: usize,
+    },
+    /// A pinned feature cache was asked for a row its prefetch plan never
+    /// covered — an invariant violation of the communication-avoiding
+    /// pipeline (the plan is computed from the same samples that are later
+    /// trained, so every lookup must hit).
+    CacheMiss {
+        /// The vertex whose features were not resident.
+        vertex: usize,
+    },
     /// An underlying matrix kernel failed.
     Matrix(MatrixError),
     /// An underlying graph/dataset operation failed.
@@ -27,6 +52,17 @@ impl fmt::Display for GnnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GnnError::InvalidConfig(msg) => write!(f, "invalid training configuration: {msg}"),
+            GnnError::FetchGroupMismatch { blocks, group } => write!(
+                f,
+                "feature matrix is split into {blocks} blocks but the fetch group has {group} \
+                 members"
+            ),
+            GnnError::VertexOutOfRange { vertex, limit } => {
+                write!(f, "vertex {vertex} out of range for a feature partition of {limit} rows")
+            }
+            GnnError::CacheMiss { vertex } => {
+                write!(f, "pinned feature cache has no row for vertex {vertex}")
+            }
             GnnError::Matrix(e) => write!(f, "matrix error during training: {e}"),
             GnnError::Graph(e) => write!(f, "graph error during training: {e}"),
             GnnError::Sampling(e) => write!(f, "sampling error during training: {e}"),
@@ -42,7 +78,10 @@ impl Error for GnnError {
             GnnError::Graph(e) => Some(e),
             GnnError::Sampling(e) => Some(e),
             GnnError::Comm(e) => Some(e),
-            GnnError::InvalidConfig(_) => None,
+            GnnError::InvalidConfig(_)
+            | GnnError::FetchGroupMismatch { .. }
+            | GnnError::VertexOutOfRange { .. }
+            | GnnError::CacheMiss { .. } => None,
         }
     }
 }
@@ -88,5 +127,12 @@ mod tests {
         assert!(e.to_string().contains("communication error"));
         let e = GnnError::InvalidConfig("bad".into());
         assert!(e.source().is_none());
+        let e = GnnError::FetchGroupMismatch { blocks: 2, group: 3 };
+        assert!(e.to_string().contains("2 blocks") && e.to_string().contains("3 members"));
+        assert!(e.source().is_none());
+        let e = GnnError::VertexOutOfRange { vertex: 99, limit: 8 };
+        assert!(e.to_string().contains("vertex 99") && e.to_string().contains("8 rows"));
+        let e = GnnError::CacheMiss { vertex: 5 };
+        assert!(e.to_string().contains("no row for vertex 5"));
     }
 }

@@ -1,4 +1,5 @@
-//! The distributed feature store and its all-to-allv fetching step (§6.2).
+//! The distributed feature store, its all-to-allv fetching step (§6.2), and
+//! the communication-avoiding per-rank feature cache layered on top of it.
 //!
 //! The input feature matrix `H` is partitioned into block rows.  With the
 //! paper's 1.5D scheme, `H` is split into `p/c` block rows, each replicated
@@ -9,12 +10,39 @@
 //! scaling of the feature-fetching phase.  Setting the number of blocks to
 //! `p` (one block per rank, `c = 1` for features) gives the "NoRep"
 //! configuration of Figure 6.
+//!
+//! # The communication-avoiding tier
+//!
+//! Feature fetching is the dominant communication cost of minibatch training,
+//! yet bulk sampling (§4) materializes *every* frontier of a bulk group
+//! before the first gradient step — exactly the information needed to move
+//! each remote feature row at most once.  [`FeatureCache`] exploits that in
+//! two modes:
+//!
+//! * [`FeatureCacheConfig::EpochPinned`] — a
+//!   [`FetchPlan`](dmbs_sampling::FetchPlan) built from the sampled
+//!   minibatches is prefetched with **one** all-to-allv round
+//!   ([`FeatureCache::prefetch`]) and pinned; per-step gathers
+//!   ([`FeatureCache::gather_pinned`]) are then purely local, so the
+//!   per-step collectives disappear entirely (α *and* β savings);
+//! * [`FeatureCacheConfig::Lru`] — a byte-budgeted read-through cache for
+//!   the streaming path ([`FeatureCache::fetch_through`]): the per-step
+//!   all-to-allv still runs on every rank (keeping collectives matched), but
+//!   only cache *misses* cross the wire, and resident rows are evicted
+//!   least-recently-used.
+//!
+//! Both modes are pure work avoidance: the rows a cache serves are exact
+//! copies of what [`FeatureStore::fetch`] would have returned, so cached and
+//! uncached training are byte-identical (pinned by the
+//! `tests/backend_equivalence.rs` sweep).  Hits, misses and the α–β words
+//! kept off the wire are recorded in [`CommStats`].
 
 use crate::error::GnnError;
 use crate::Result;
-use dmbs_comm::{Communicator, Group};
+use dmbs_comm::{CommStats, Communicator, Group};
 use dmbs_graph::partition::OneDPartition;
 use dmbs_matrix::DenseMatrix;
+use std::collections::{BTreeMap, HashMap};
 
 /// One rank's shard of the vertex feature matrix.
 #[derive(Debug, Clone)]
@@ -67,6 +95,17 @@ impl FeatureStore {
         &self.partition
     }
 
+    /// The block row this shard holds.
+    pub fn block_index(&self) -> usize {
+        self.block_index
+    }
+
+    /// True when `vertex` is owned by this shard's block, i.e. a fetch for it
+    /// never crosses the wire.
+    pub fn is_locally_owned(&self, vertex: usize) -> bool {
+        vertex < self.partition.len() && self.partition.owner_of(vertex) == self.block_index
+    }
+
     /// Reads the features of vertices that are stored locally.
     ///
     /// # Errors
@@ -101,8 +140,10 @@ impl FeatureStore {
     ///
     /// # Errors
     ///
-    /// Returns [`GnnError::InvalidConfig`] if the group size does not match
-    /// the number of blocks, or a communication error if a collective fails.
+    /// Returns [`GnnError::FetchGroupMismatch`] if the group size does not
+    /// match the number of blocks, [`GnnError::VertexOutOfRange`] for a
+    /// vertex id outside the partition, or a communication error if a
+    /// collective fails.
     pub fn fetch(
         &self,
         comm: &mut Communicator,
@@ -110,18 +151,17 @@ impl FeatureStore {
         vertices: &[usize],
     ) -> Result<DenseMatrix> {
         if group.len() != self.partition.num_parts() {
-            return Err(GnnError::InvalidConfig(format!(
-                "feature matrix is split into {} blocks but the fetch group has {} members",
-                self.partition.num_parts(),
-                group.len()
-            )));
+            return Err(GnnError::FetchGroupMismatch {
+                blocks: self.partition.num_parts(),
+                group: group.len(),
+            });
         }
         // Bucket the requested vertices by owning block.
         let mut requests: Vec<Vec<usize>> = vec![Vec::new(); group.len()];
         let mut origin: Vec<(usize, usize)> = Vec::with_capacity(vertices.len());
         for &v in vertices {
             if v >= self.partition.len() {
-                return Err(GnnError::InvalidConfig(format!("vertex {v} out of range")));
+                return Err(GnnError::VertexOutOfRange { vertex: v, limit: self.partition.len() });
             }
             let owner = self.partition.owner_of(v);
             origin.push((owner, requests[owner].len()));
@@ -149,6 +189,349 @@ impl FeatureStore {
         for (i, &(owner, slot)) in origin.iter().enumerate() {
             let start = slot * self.feature_dim;
             out.row_mut(i).copy_from_slice(&received[owner][start..start + self.feature_dim]);
+        }
+        Ok(out)
+    }
+}
+
+/// Configuration of the per-rank [`FeatureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureCacheConfig {
+    /// No caching: every minibatch re-fetches its full frontier (the
+    /// baseline all-to-allv pipeline).
+    Off,
+    /// Epoch-static pinning: the union of the planned frontiers is
+    /// prefetched once per bulk group and stays resident until
+    /// [`FeatureCache::clear`], so each remote row crosses the wire at most
+    /// once per epoch and the per-step collectives vanish.
+    EpochPinned,
+    /// A bounded read-through cache for the streaming path: resident rows up
+    /// to the byte budget, least-recently-used eviction.  The per-step
+    /// collective still runs (so ranks stay matched), but only misses cross
+    /// the wire.
+    Lru {
+        /// Maximum resident feature bytes (8 bytes per `f64` word).
+        byte_budget: usize,
+    },
+}
+
+impl FeatureCacheConfig {
+    /// True unless the mode is [`FeatureCacheConfig::Off`].
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, FeatureCacheConfig::Off)
+    }
+}
+
+/// One resident feature row.
+#[derive(Debug, Clone)]
+struct CachedRow {
+    data: Vec<f64>,
+    /// Last-use tick, mirrored in the LRU index.
+    tick: u64,
+    /// True while the wire cost of this row has been paid (by a prefetch)
+    /// but not yet consumed by a lookup.  The first hit on a charged row
+    /// saves nothing — the baseline would have paid the same single
+    /// transfer — every later hit saves the full request + reply.
+    charged: bool,
+}
+
+/// A per-rank feature cache layered on a [`FeatureStore`] — the
+/// communication-avoiding tier of the §6.2 feature pipeline (see the module
+/// docs for the two modes).
+///
+/// All accounting flows into a [`CommStats`] whose cache counters obey the
+/// invariant that, summed across ranks,
+/// `words_sent(cached run) + words_saved == words_sent(uncached run)` for
+/// the feature-fetch phase.
+#[derive(Debug, Clone)]
+pub struct FeatureCache {
+    config: FeatureCacheConfig,
+    feature_dim: usize,
+    rows: HashMap<usize, CachedRow>,
+    /// LRU index: last-use tick → vertex.  Ticks are unique, so eviction
+    /// (pop the smallest tick) is deterministic.
+    by_tick: BTreeMap<u64, usize>,
+    /// Maximum resident rows (`usize::MAX` when pinned, 0 when off).
+    max_rows: usize,
+    tick: u64,
+    stats: CommStats,
+}
+
+impl FeatureCache {
+    /// Creates a cache for rows of width `feature_dim`.
+    ///
+    /// An [`FeatureCacheConfig::Lru`] budget smaller than one row yields a
+    /// cache that stores nothing (every lookup misses); this is well-defined
+    /// and still byte-identical, just save-free.
+    pub fn new(config: FeatureCacheConfig, feature_dim: usize) -> Self {
+        let max_rows = match config {
+            FeatureCacheConfig::Off => 0,
+            FeatureCacheConfig::EpochPinned => usize::MAX,
+            FeatureCacheConfig::Lru { byte_budget } => {
+                byte_budget / (feature_dim.max(1) * std::mem::size_of::<f64>())
+            }
+        };
+        FeatureCache {
+            config,
+            feature_dim,
+            rows: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            max_rows,
+            tick: 0,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// The configured mode.
+    pub fn config(&self) -> FeatureCacheConfig {
+        self.config
+    }
+
+    /// Number of rows currently resident.
+    pub fn resident_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bytes currently resident (feature data only).
+    pub fn resident_bytes(&self) -> usize {
+        self.rows.len() * self.feature_dim * std::mem::size_of::<f64>()
+    }
+
+    /// Accumulated hit/miss/words-saved counters (the wire counters of the
+    /// returned [`CommStats`] are always zero — actual traffic is recorded
+    /// by the [`Communicator`]).
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Returns and resets the accumulated counters.
+    pub fn take_stats(&mut self) -> CommStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Drops every resident row (epoch boundary for the pinned mode); the
+    /// stats counters are kept.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.by_tick.clear();
+    }
+
+    /// Words a hit on `vertex` keeps off the wire: one request id plus one
+    /// feature row for remote-owned vertices, nothing for locally-owned ones
+    /// (they never travel in the baseline either).
+    fn words_for_remote(&self, store: &FeatureStore, vertex: usize) -> usize {
+        if store.is_locally_owned(vertex) {
+            0
+        } else {
+            self.feature_dim + 1
+        }
+    }
+
+    /// Bumps `vertex` to most-recently-used.
+    fn touch(&mut self, vertex: usize) {
+        if let Some(row) = self.rows.get_mut(&vertex) {
+            self.by_tick.remove(&row.tick);
+            self.tick += 1;
+            row.tick = self.tick;
+            self.by_tick.insert(self.tick, vertex);
+        }
+    }
+
+    /// Inserts a row, evicting least-recently-used entries beyond the
+    /// capacity.  `charged` marks a prefetched row whose first lookup must
+    /// not count as a saving.
+    fn insert(&mut self, vertex: usize, data: &[f64], charged: bool) {
+        if self.max_rows == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) =
+            self.rows.insert(vertex, CachedRow { data: data.to_vec(), tick: self.tick, charged })
+        {
+            self.by_tick.remove(&old.tick);
+        }
+        self.by_tick.insert(self.tick, vertex);
+        while self.rows.len() > self.max_rows {
+            let (_, evicted) = self.by_tick.pop_first().expect("rows and index stay in sync");
+            self.rows.remove(&evicted);
+        }
+    }
+
+    /// Prefetches the missing subset of `plan_vertices` with **one**
+    /// collective [`FeatureStore::fetch`] round and pins the rows.  Every
+    /// rank of `group` must call this collectively (with its own plan); a
+    /// rank whose plan is fully resident still participates with an empty
+    /// request, which is what keeps the collectives matched.
+    ///
+    /// Returns the number of rows that were actually fetched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureStore::fetch`] errors (group mismatch, vertex out
+    /// of range, collective failures).
+    pub fn prefetch(
+        &mut self,
+        store: &FeatureStore,
+        comm: &mut Communicator,
+        group: &Group,
+        plan_vertices: &[usize],
+    ) -> Result<usize> {
+        let missing: Vec<usize> =
+            plan_vertices.iter().copied().filter(|v| !self.rows.contains_key(v)).collect();
+        let fetched = store.fetch(comm, group, &missing)?;
+        for (i, &v) in missing.iter().enumerate() {
+            // A prefetched row is a cache *miss* — it was fetched fresh —
+            // exactly as `prime_local` counts on the streaming path, so hit
+            // rates are comparable across the two paths and a cold cache is
+            // visible in the counters.
+            self.stats.record_cache_miss();
+            self.insert(v, fetched.row(i), true);
+        }
+        Ok(missing.len())
+    }
+
+    /// Serves `vertices` purely from resident rows — the per-step gather of
+    /// the pinned mode, after [`FeatureCache::prefetch`] covered the plan.
+    /// No collective is issued, so **every** rank must be in pinned mode for
+    /// the pipeline to stay matched (the session builder guarantees this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::CacheMiss`] if a vertex was never prefetched —
+    /// an invariant violation, since the plan is computed from the same
+    /// samples that are being trained.
+    pub fn gather_pinned(
+        &mut self,
+        store: &FeatureStore,
+        vertices: &[usize],
+    ) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(vertices.len(), self.feature_dim);
+        for (i, &v) in vertices.iter().enumerate() {
+            let row = self.rows.get_mut(&v).ok_or(GnnError::CacheMiss { vertex: v })?;
+            out.row_mut(i).copy_from_slice(&row.data);
+            let first_use_of_charged = std::mem::replace(&mut row.charged, false);
+            let saved = if first_use_of_charged { 0 } else { self.words_for_remote(store, v) };
+            self.stats.record_cache_hit(saved);
+        }
+        Ok(out)
+    }
+
+    /// Read-through fetch for the LRU mode: the collective
+    /// [`FeatureStore::fetch`] is **always** issued (so ranks stay matched),
+    /// but it carries only the deduplicated cache misses; hits are served
+    /// from resident rows and the fetched rows are inserted (evicting LRU
+    /// entries beyond the byte budget).
+    ///
+    /// Returns the rows in the order of `vertices`, byte-identical to an
+    /// uncached [`FeatureStore::fetch`] of the full list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureStore::fetch`] errors.
+    pub fn fetch_through(
+        &mut self,
+        store: &FeatureStore,
+        comm: &mut Communicator,
+        group: &Group,
+        vertices: &[usize],
+    ) -> Result<DenseMatrix> {
+        // Deduplicated misses: even within one call, a repeated vertex
+        // crosses the wire once.
+        let mut missing: Vec<usize> = Vec::new();
+        let mut seen_missing: HashMap<usize, usize> = HashMap::new();
+        for &v in vertices {
+            if !self.rows.contains_key(&v) && !seen_missing.contains_key(&v) {
+                seen_missing.insert(v, missing.len());
+                missing.push(v);
+            }
+        }
+        let fetched = store.fetch(comm, group, &missing)?;
+
+        let mut out = DenseMatrix::zeros(vertices.len(), self.feature_dim);
+        let mut first_use: Vec<bool> = vec![true; missing.len()];
+        for (i, &v) in vertices.iter().enumerate() {
+            if let Some(&slot) = seen_missing.get(&v) {
+                out.row_mut(i).copy_from_slice(fetched.row(slot));
+                if first_use[slot] {
+                    // The use that paid for the transfer.
+                    first_use[slot] = false;
+                    self.stats.record_cache_miss();
+                } else {
+                    // A duplicate of a miss within the same call: the
+                    // baseline would have shipped the row again.
+                    let saved = self.words_for_remote(store, v);
+                    self.stats.record_cache_hit(saved);
+                }
+            } else {
+                let row = self.rows.get(&v).expect("resident: not in the miss set");
+                out.row_mut(i).copy_from_slice(&row.data);
+                self.touch(v);
+                let saved = self.words_for_remote(store, v);
+                self.stats.record_cache_hit(saved);
+            }
+        }
+        // Insert after assembly: the inserting use is the one that paid.
+        for (slot, &v) in missing.iter().enumerate() {
+            self.insert(v, fetched.row(slot), false);
+        }
+        Ok(out)
+    }
+
+    /// Primes the cache from a *local* full feature matrix — the streaming
+    /// analogue of [`FeatureCache::prefetch`]: every not-yet-resident vertex
+    /// of `vertices` (typically a bulk group's
+    /// [`FetchPlan`](dmbs_sampling::FetchPlan) union) is copied in, so the
+    /// per-minibatch [`FeatureCache::gather_local`] calls all hit.  Returns
+    /// the number of rows inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::VertexOutOfRange`] for vertices outside
+    /// `features`.
+    pub fn prime_local(&mut self, features: &DenseMatrix, vertices: &[usize]) -> Result<usize> {
+        let mut inserted = 0;
+        for &v in vertices {
+            if self.rows.contains_key(&v) {
+                continue;
+            }
+            if v >= features.rows() {
+                return Err(GnnError::VertexOutOfRange { vertex: v, limit: features.rows() });
+            }
+            self.stats.record_cache_miss();
+            self.insert(v, features.row(v), false);
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Read-through gather against a *local* full feature matrix — the
+    /// single-device streaming path.  Nothing crosses a wire here, so hits
+    /// save no α–β words; they only avoid re-copying rows (and exercise the
+    /// same cache machinery the distributed path relies on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::VertexOutOfRange`] for vertices outside
+    /// `features`.
+    pub fn gather_local(
+        &mut self,
+        features: &DenseMatrix,
+        vertices: &[usize],
+    ) -> Result<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(vertices.len(), self.feature_dim);
+        for (i, &v) in vertices.iter().enumerate() {
+            if let Some(row) = self.rows.get(&v) {
+                out.row_mut(i).copy_from_slice(&row.data);
+                self.touch(v);
+                self.stats.record_cache_hit(0);
+            } else {
+                if v >= features.rows() {
+                    return Err(GnnError::VertexOutOfRange { vertex: v, limit: features.rows() });
+                }
+                out.row_mut(i).copy_from_slice(features.row(v));
+                self.stats.record_cache_miss();
+                self.insert(v, features.row(v), false);
+            }
         }
         Ok(out)
     }
@@ -260,5 +643,150 @@ mod tests {
             })
             .unwrap();
         assert!(outs.iter().all(|o| o.value));
+    }
+
+    #[test]
+    fn pinned_prefetch_then_gather_matches_direct_fetch_and_saves_words() {
+        let n = 16;
+        let f = 4;
+        let h = full_features(n, f);
+        let runtime = Runtime::new(4).unwrap();
+        // Each rank wants the same scattered list twice (two "steps").
+        let wanted: Vec<usize> = vec![1, 7, 13, 7, 2];
+        let uncached = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                let a = store.fetch(comm, &world, &wanted).unwrap();
+                let b = store.fetch(comm, &world, &wanted).unwrap();
+                (a, b, comm.stats().words_sent)
+            })
+            .unwrap();
+        let cached = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                let mut cache = FeatureCache::new(FeatureCacheConfig::EpochPinned, f);
+                let mut plan = wanted.clone();
+                plan.sort_unstable();
+                plan.dedup();
+                cache.prefetch(&store, comm, &world, &plan).unwrap();
+                let a = cache.gather_pinned(&store, &wanted).unwrap();
+                let b = cache.gather_pinned(&store, &wanted).unwrap();
+                (a, b, comm.stats().words_sent, *cache.stats())
+            })
+            .unwrap();
+        let mut words_uncached = 0;
+        let mut words_cached = 0;
+        let mut words_saved = 0;
+        for (u, c) in uncached.iter().zip(&cached) {
+            assert_eq!(u.value.0, c.value.0, "first gather diverged");
+            assert_eq!(u.value.1, c.value.1, "second gather diverged");
+            words_uncached += u.value.2;
+            words_cached += c.value.2;
+            words_saved += c.value.3.words_saved;
+            // Ten lookups per rank, all hits after the prefetch; the four
+            // unique prefetched rows count as the misses that paid.
+            assert_eq!(c.value.3.cache_hits, 10);
+            assert_eq!(c.value.3.cache_misses, 4);
+        }
+        assert!(words_cached < words_uncached, "{words_cached} !< {words_uncached}");
+        // The cache's books balance: saved + sent == the uncached bill.
+        assert_eq!(words_cached + words_saved, words_uncached);
+    }
+
+    #[test]
+    fn pinned_gather_misses_are_typed() {
+        let h = full_features(8, 2);
+        let runtime = Runtime::new(1).unwrap();
+        let outs = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, 1, 0).unwrap();
+                let world = comm.world();
+                let mut cache = FeatureCache::new(FeatureCacheConfig::EpochPinned, 2);
+                cache.prefetch(&store, comm, &world, &[1, 2]).unwrap();
+                cache.gather_pinned(&store, &[1, 5]).unwrap_err()
+            })
+            .unwrap();
+        assert_eq!(outs[0].value, GnnError::CacheMiss { vertex: 5 });
+    }
+
+    #[test]
+    fn lru_fetch_through_matches_direct_fetch_and_respects_budget() {
+        let n = 12;
+        let f = 3;
+        let h = full_features(n, f);
+        let runtime = Runtime::new(2).unwrap();
+        let steps: Vec<Vec<usize>> = vec![vec![0, 5, 5, 9], vec![5, 9, 1], vec![0, 1, 11]];
+        let outs = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                // Budget for exactly two rows of 3 f64 words.
+                let budget = 2 * f * std::mem::size_of::<f64>();
+                let mut cache =
+                    FeatureCache::new(FeatureCacheConfig::Lru { byte_budget: budget }, f);
+                let mut outputs = Vec::new();
+                for wanted in &steps {
+                    let via_cache = cache.fetch_through(&store, comm, &world, wanted).unwrap();
+                    outputs.push(via_cache);
+                    assert!(cache.resident_rows() <= 2, "budget exceeded");
+                }
+                (outputs, *cache.stats())
+            })
+            .unwrap();
+        // Reference without any cache.
+        let reference = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                steps.iter().map(|w| store.fetch(comm, &world, w).unwrap()).collect::<Vec<_>>()
+            })
+            .unwrap();
+        for (o, r) in outs.iter().zip(&reference) {
+            assert_eq!(o.value.0, r.value, "LRU read-through diverged from direct fetch");
+            // The duplicate 5 in step one is served without a second transfer.
+            assert!(o.value.1.cache_hits > 0);
+            assert!(o.value.1.cache_misses > 0);
+        }
+    }
+
+    #[test]
+    fn zero_budget_lru_caches_nothing_but_stays_correct() {
+        let h = full_features(8, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let outs = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                let mut cache = FeatureCache::new(FeatureCacheConfig::Lru { byte_budget: 0 }, 2);
+                let a = cache.fetch_through(&store, comm, &world, &[3, 3, 6]).unwrap();
+                let direct = store.fetch(comm, &world, &[3, 3, 6]).unwrap();
+                assert_eq!(cache.resident_rows(), 0);
+                a == direct
+            })
+            .unwrap();
+        assert!(outs.iter().all(|o| o.value));
+    }
+
+    #[test]
+    fn gather_local_read_through_matches_gather_rows() {
+        let h = full_features(10, 3);
+        let mut cache = FeatureCache::new(FeatureCacheConfig::EpochPinned, 3);
+        let wanted = vec![2, 7, 2, 9, 7];
+        let via_cache = cache.gather_local(&h, &wanted).unwrap();
+        let direct = h.gather_rows(&wanted).unwrap();
+        assert_eq!(via_cache, direct);
+        assert_eq!(cache.stats().cache_misses, 3); // 2, 7, 9
+        assert_eq!(cache.stats().cache_hits, 2); // the repeats
+        assert_eq!(cache.stats().words_saved, 0); // nothing crosses a wire
+        assert_eq!(
+            cache.gather_local(&h, &[99]).unwrap_err(),
+            GnnError::VertexOutOfRange { vertex: 99, limit: 10 }
+        );
+        assert!(FeatureCacheConfig::EpochPinned.is_enabled());
+        assert!(!FeatureCacheConfig::Off.is_enabled());
+        cache.clear();
+        assert_eq!(cache.resident_rows(), 0);
     }
 }

@@ -17,7 +17,10 @@
 //!   the [`MinibatchSample`](dmbs_sampling::MinibatchSample)s produced by the
 //!   sampling crate;
 //! * [`features`] — the 1.5D-partitioned feature store with all-to-allv
-//!   fetching (§6.2), including the no-replication variant of Figure 6;
+//!   fetching (§6.2), including the no-replication variant of Figure 6, plus
+//!   the communication-avoiding [`FeatureCache`] (epoch-pinned prefetch of a
+//!   [`FetchPlan`](dmbs_sampling::FetchPlan), or byte-budgeted LRU) behind
+//!   the `TrainingSession::builder().feature_cache(...)` knob;
 //! * [`trainer`] — single-device and distributed training drivers that
 //!   produce the per-phase epoch breakdowns reported in Figures 4 and 6.
 
@@ -36,6 +39,7 @@ pub mod session;
 pub mod trainer;
 
 pub use error::GnnError;
+pub use features::{FeatureCache, FeatureCacheConfig, FeatureStore};
 pub use model::SageModel;
 pub use session::{Minibatch, MinibatchStream, Session, SessionBuilder, TrainingSession};
 pub use trainer::{EpochStats, TrainingConfig, TrainingReport};

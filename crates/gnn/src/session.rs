@@ -57,7 +57,7 @@
 //! ```
 
 use crate::error::GnnError;
-use crate::features::FeatureStore;
+use crate::features::{FeatureCache, FeatureCacheConfig, FeatureStore};
 use crate::metrics::{accuracy, RunningMean};
 use crate::model::SageModel;
 use crate::optim::{Optimizer, Sgd};
@@ -69,7 +69,7 @@ use dmbs_graph::minibatch::MinibatchPlan;
 use dmbs_matrix::pool::Parallelism;
 use dmbs_matrix::DenseMatrix;
 use dmbs_sampling::backend::group_seed;
-use dmbs_sampling::{BulkSampleOutput, MinibatchSample, Sampler, SamplingBackend};
+use dmbs_sampling::{BulkSampleOutput, FetchPlan, MinibatchSample, Sampler, SamplingBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -94,6 +94,7 @@ struct SessionConfig {
     feature_replication: Option<usize>,
     evaluate: bool,
     parallelism: Parallelism,
+    feature_cache: FeatureCacheConfig,
 }
 
 /// One sampled minibatch yielded by a [`MinibatchStream`].
@@ -109,7 +110,7 @@ pub struct Minibatch {
     pub sample: MinibatchSample,
 }
 
-type GroupMessage = Result<(usize, usize, BulkSampleOutput)>;
+type GroupMessage = Result<(usize, usize, BulkSampleOutput, FetchPlan)>;
 
 /// An iterator over one epoch's sampled minibatches with double-buffered
 /// bulk prefetch: a worker thread runs the backend one bulk group ahead of
@@ -125,6 +126,10 @@ pub struct MinibatchStream {
     pending: VecDeque<Minibatch>,
     profile: PhaseProfile,
     comm: CommStats,
+    /// Per-group communication-avoiding fetch plans, indexed by group.  The
+    /// worker thread computes each plan right after sampling its group, so
+    /// planning overlaps the consumer's compute on the previous group.
+    plans: Vec<FetchPlan>,
     worker: Option<JoinHandle<()>>,
     failed: bool,
 }
@@ -139,6 +144,14 @@ impl MinibatchStream {
     /// so far.
     pub fn comm_stats(&self) -> &CommStats {
         &self.comm
+    }
+
+    /// The communication-avoiding fetch plan of bulk group `group` — the
+    /// deduplicated union of the group's layer-0 frontiers, computed on the
+    /// sampling worker thread (§6 overlap).  Available from the moment the
+    /// group's first minibatch is yielded.
+    pub fn group_plan(&self, group: usize) -> Option<&FetchPlan> {
+        self.plans.get(group)
     }
 
     /// Joins the worker thread; returns `true` if it panicked.
@@ -178,9 +191,11 @@ impl Iterator for MinibatchStream {
                 }
             };
             match message {
-                Ok((group, base_index, output)) => {
+                Ok((group, base_index, output, plan)) => {
                     self.profile.merge_sum(&output.profile);
                     self.comm.merge(&output.comm_stats);
+                    debug_assert_eq!(self.plans.len(), group, "groups arrive in order");
+                    self.plans.push(plan);
                     let epoch = self.epoch;
                     self.pending.extend(output.minibatches.into_iter().enumerate().map(
                         |(offset, sample)| Minibatch {
@@ -226,6 +241,7 @@ pub struct SessionBuilder<S, B> {
     evaluate: bool,
     parallelism: Option<Parallelism>,
     workspace_reuse: Option<bool>,
+    feature_cache: FeatureCacheConfig,
 }
 
 impl<S, B> Default for SessionBuilder<S, B> {
@@ -245,6 +261,7 @@ impl<S, B> Default for SessionBuilder<S, B> {
             evaluate: true,
             parallelism: None,
             workspace_reuse: None,
+            feature_cache: FeatureCacheConfig::Off,
         }
     }
 }
@@ -363,6 +380,26 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         self
     }
 
+    /// The per-rank feature cache of the communication-avoiding §6.2
+    /// pipeline (default [`FeatureCacheConfig::Off`]):
+    ///
+    /// * [`FeatureCacheConfig::EpochPinned`] — each bulk group's
+    ///   [`FetchPlan`] (the deduplicated union of its layer-0 frontiers) is
+    ///   prefetched with one all-to-allv round and pinned for the epoch, so
+    ///   each remote feature row crosses the wire at most once per epoch and
+    ///   the per-step fetch collectives disappear;
+    /// * [`FeatureCacheConfig::Lru`] — a byte-budgeted read-through cache:
+    ///   per-step collectives still run (ranks stay matched) but carry only
+    ///   the misses.
+    ///
+    /// The cache is pure work avoidance: cached and uncached training are
+    /// byte-identical (see the `tests/backend_equivalence.rs` sweep), only
+    /// [`CommStats`] — words sent, cache hits/misses, words saved — differs.
+    pub fn feature_cache(mut self, cache: FeatureCacheConfig) -> Self {
+        self.feature_cache = cache;
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -429,6 +466,7 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
                 feature_replication: self.feature_replication,
                 evaluate: self.evaluate,
                 parallelism,
+                feature_cache: self.feature_cache,
             },
         })
     }
@@ -535,7 +573,13 @@ where
             for (gi, group) in batches.chunks(bulk_size).enumerate() {
                 let result = backend
                     .sample_epoch(&*sampler, dataset.graph.adjacency(), group, group_seed(seed, gi))
-                    .map(|epoch_samples| (gi, base_index, epoch_samples.output))
+                    .map(|epoch_samples| {
+                        // Plan the group's feature fetch here, on the worker:
+                        // deduplicating the frontier union overlaps the
+                        // consumer's compute on the previous group.
+                        let plan = epoch_samples.fetch_plan();
+                        (gi, base_index, epoch_samples.output, plan)
+                    })
                     .map_err(GnnError::Sampling);
                 let failed = result.is_err();
                 if tx.send(result).is_err() || failed {
@@ -551,6 +595,7 @@ where
             pending: VecDeque::new(),
             profile: PhaseProfile::new(),
             comm: CommStats::default(),
+            plans: Vec::new(),
             worker: Some(worker),
             failed: false,
         })
@@ -609,17 +654,50 @@ where
         .with_parallelism(self.config.parallelism);
         let mut optimizer = Sgd::new(self.config.learning_rate);
 
+        // The per-rank feature cache of the §6.2 pipeline; for the local
+        // path nothing crosses a wire, so the cache is pure copy avoidance
+        // (plus the hit-rate bookkeeping the harnesses report).
+        let mut cache = self
+            .config
+            .feature_cache
+            .is_enabled()
+            .then(|| FeatureCache::new(self.config.feature_cache, feature_dim));
+        let pinned = matches!(self.config.feature_cache, FeatureCacheConfig::EpochPinned);
+
         let mut report = TrainingReport::default();
         for epoch in 0..self.config.epochs {
             let mut stream = self.stream(epoch)?;
             let mut profile = PhaseProfile::new();
             let mut loss = RunningMean::new();
-            for minibatch in stream.by_ref() {
+            if pinned {
+                // Epoch-static pinning: resident rows live for one epoch.
+                cache.as_mut().expect("pinned implies enabled").clear();
+            }
+            let mut primed_group = None;
+            while let Some(minibatch) = stream.next() {
                 let minibatch = minibatch?;
                 let sample = &minibatch.sample;
-                let input = profile.time_compute(Phase::FeatureFetch, || {
-                    features.gather_rows(sample.input_vertices())
-                })?;
+                let input = if let Some(cache) = cache.as_mut() {
+                    // Prime the group's deduplicated frontier union once; the
+                    // plan itself was computed on the sampling worker thread,
+                    // overlapping the previous group's compute.
+                    if pinned && primed_group != Some(minibatch.group) {
+                        primed_group = Some(minibatch.group);
+                        if let Some(plan) = stream.group_plan(minibatch.group) {
+                            let union = plan.unique_vertices().to_vec();
+                            profile.time_compute(Phase::FeatureFetch, || {
+                                cache.prime_local(features, &union)
+                            })?;
+                        }
+                    }
+                    profile.time_compute(Phase::FeatureFetch, || {
+                        cache.gather_local(features, sample.input_vertices())
+                    })?
+                } else {
+                    profile.time_compute(Phase::FeatureFetch, || {
+                        features.gather_rows(sample.input_vertices())
+                    })?
+                };
                 let labels = self.batch_labels(&sample.batch);
                 let step_loss = profile.time_compute(Phase::Propagation, || -> Result<f64> {
                     let (l, _, grads) = model.loss_and_gradients(sample, &input, &labels)?;
@@ -629,7 +707,10 @@ where
                 loss.push(step_loss);
             }
             profile.merge_sum(stream.sampling_profile());
-            let comm = *stream.comm_stats();
+            let mut comm = *stream.comm_stats();
+            if let Some(cache) = cache.as_mut() {
+                comm.merge(&cache.take_stats());
+            }
             report.epochs.push(EpochStats { epoch, profile, comm, mean_loss: loss.mean() });
         }
 
@@ -683,6 +764,16 @@ where
                 )?
                 .with_parallelism(config.parallelism);
                 let mut optimizer = Sgd::new(config.learning_rate);
+                // The communication-avoiding feature cache (§6.2).  Every
+                // rank makes the same mode decision, so the collective
+                // schedule stays matched: pinned mode replaces the per-step
+                // all-to-allv with one prefetch round per bulk group, LRU
+                // mode keeps the per-step round but ships only misses.
+                let pinned = matches!(config.feature_cache, FeatureCacheConfig::EpochPinned);
+                let mut cache = config
+                    .feature_cache
+                    .is_enabled()
+                    .then(|| FeatureCache::new(config.feature_cache, store.feature_dim()));
 
                 let mut epochs = Vec::with_capacity(config.epochs);
                 for (epoch, plan) in plans.iter().enumerate() {
@@ -690,6 +781,12 @@ where
                     let mut loss = RunningMean::new();
                     let comm_start = comm.stats();
                     let epoch_seed = self.epoch_sample_seed(epoch);
+                    if pinned {
+                        // Epoch-static pinning: resident rows live for one
+                        // epoch, so a remote row crosses at most once per
+                        // epoch even when bulk groups share frontiers.
+                        cache.as_mut().expect("pinned implies enabled").clear();
+                    }
 
                     for (gi, group) in plan.batches().chunks(config.bulk_size).enumerate() {
                         // --- Phase 1: sampling through the backend, inside
@@ -707,6 +804,33 @@ where
                         profile.merge_sum(&shard.profile);
                         let my_samples = shard.samples;
 
+                        // --- Phase 2a (pinned cache only): one collective
+                        // prefetch of the group's deduplicated frontier
+                        // union.  Bulk sampling materialized every frontier
+                        // already, so the fetch plan costs a dedup, and the
+                        // per-step all-to-allv rounds below disappear.
+                        if pinned {
+                            let cache = cache.as_mut().expect("pinned implies enabled");
+                            let fetch_plan =
+                                FetchPlan::from_sample_iter(my_samples.iter().map(|(_, mb)| mb));
+                            let fetch_start = std::time::Instant::now();
+                            let comm_before = comm.stats().modeled_time;
+                            cache.prefetch(
+                                &store,
+                                comm,
+                                &fetch_group,
+                                fetch_plan.unique_vertices(),
+                            )?;
+                            profile.add_compute(
+                                Phase::FeatureFetch,
+                                fetch_start.elapsed().as_secs_f64(),
+                            );
+                            profile.add_comm(
+                                Phase::FeatureFetch,
+                                comm.stats().modeled_time - comm_before,
+                            );
+                        }
+
                         // --- Phases 2 and 3, bulk synchronous: every rank
                         // takes the same number of steps so the collectives
                         // stay matched.
@@ -718,7 +842,16 @@ where
                             let comm_before = comm.stats().modeled_time;
                             let wanted: Vec<usize> =
                                 sample.map(|s| s.input_vertices().to_vec()).unwrap_or_default();
-                            let input = store.fetch(comm, &fetch_group, &wanted)?;
+                            let input = match cache.as_mut() {
+                                // Pinned: served locally, no collective.
+                                Some(cache) if pinned => cache.gather_pinned(&store, &wanted)?,
+                                // LRU: the collective always runs, carrying
+                                // only the misses.
+                                Some(cache) => {
+                                    cache.fetch_through(&store, comm, &fetch_group, &wanted)?
+                                }
+                                None => store.fetch(comm, &fetch_group, &wanted)?,
+                            };
                             profile.add_compute(
                                 Phase::FeatureFetch,
                                 fetch_start.elapsed().as_secs_f64(),
@@ -766,6 +899,11 @@ where
                     comm_delta.messages -= comm_start.messages;
                     comm_delta.words_sent -= comm_start.words_sent;
                     comm_delta.modeled_time -= comm_start.modeled_time;
+                    if let Some(cache) = cache.as_mut() {
+                        // Fold in this epoch's hit/miss/saved-words counters
+                        // (and reset them for the next epoch).
+                        comm_delta.merge(&cache.take_stats());
+                    }
                     epochs.push((profile, comm_delta, loss.mean()));
                 }
                 let params = model.parameters().to_vec();
@@ -1017,6 +1155,108 @@ mod tests {
         assert!(e.mean_loss.is_finite());
         // Partitioned sampling really communicates.
         assert!(e.comm.messages > 0);
+    }
+
+    #[test]
+    fn stream_exposes_the_worker_computed_fetch_plans() {
+        let session = local_session(8);
+        let eager = session.sample_epoch_eager(0).unwrap();
+        let mut stream = session.stream(0).unwrap();
+        let mut groups_seen = Vec::new();
+        while let Some(mb) = stream.next() {
+            let mb = mb.unwrap();
+            let plan = stream.group_plan(mb.group).expect("plan arrives with the group");
+            assert!(!plan.unique_vertices().is_empty());
+            if groups_seen.last() != Some(&mb.group) {
+                groups_seen.push(mb.group);
+            }
+        }
+        // Per-group plans match planning the eager groups directly.
+        for &g in &groups_seen {
+            let group_mbs: Vec<_> = eager.minibatches.iter().skip(g * 4).take(4).cloned().collect();
+            assert_eq!(
+                stream.group_plan(g).unwrap(),
+                &dmbs_sampling::FetchPlan::from_minibatches(&group_mbs),
+                "group {g} plan mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn feature_cache_modes_leave_local_training_byte_identical() {
+        // The cache is pure work avoidance: same losses, same accuracy, bit
+        // for bit — only the hit/miss bookkeeping differs.
+        let dataset = Arc::new(tiny_dataset(9));
+        let base = TrainingSession::<GraphSageSampler, LocalBackend>::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+            .backend(LocalBackend::new(BulkSamplerConfig::new(16, 4)).unwrap())
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(31);
+        let off = base.clone().build().unwrap().train().unwrap();
+        let pinned = base
+            .clone()
+            .feature_cache(FeatureCacheConfig::EpochPinned)
+            .build()
+            .unwrap()
+            .train()
+            .unwrap();
+        let lru = base
+            .feature_cache(FeatureCacheConfig::Lru { byte_budget: 1 << 16 })
+            .build()
+            .unwrap()
+            .train()
+            .unwrap();
+        for cached in [&pinned, &lru] {
+            for (a, b) in off.epochs.iter().zip(&cached.epochs) {
+                assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+            }
+            assert_eq!(
+                off.test_accuracy.unwrap().to_bits(),
+                cached.test_accuracy.unwrap().to_bits()
+            );
+        }
+        // The uncached run reports no cache activity; cached runs do.
+        assert_eq!(off.epochs[0].cache_hit_rate(), None);
+        assert!(pinned.epochs[0].cache_hit_rate().unwrap() > 0.0);
+        assert!(lru.epochs[0].cache_hit_rate().is_some());
+    }
+
+    #[test]
+    fn distributed_pinned_cache_books_balance_exactly() {
+        // Sampling and gradient traffic are identical cache-on vs cache-off,
+        // so the words the pinned pipeline kept off the wire must equal the
+        // difference in total words sent: saved + sent == uncached bill.
+        let dataset = Arc::new(tiny_dataset(10));
+        let base = TrainingSession::<GraphSageSampler, ReplicatedBackend>::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+            .backend(
+                ReplicatedBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(33)
+            .without_evaluation();
+        let off = base.clone().build().unwrap().train().unwrap();
+        for cache in
+            [FeatureCacheConfig::EpochPinned, FeatureCacheConfig::Lru { byte_budget: 1 << 20 }]
+        {
+            let on = base.clone().feature_cache(cache).build().unwrap().train().unwrap();
+            for (a, b) in off.epochs.iter().zip(&on.epochs) {
+                assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits(), "{cache:?}");
+                assert!(b.comm.words_sent <= a.comm.words_sent, "{cache:?}");
+                assert_eq!(
+                    b.comm.words_sent + b.comm.words_saved,
+                    a.comm.words_sent,
+                    "{cache:?}: the α–β books must balance"
+                );
+            }
+        }
     }
 
     #[test]

@@ -118,6 +118,13 @@ impl EpochStats {
     pub fn total_time(&self) -> f64 {
         self.profile.grand_total()
     }
+
+    /// Feature-cache hit rate of the epoch, or `None` when no cache was
+    /// active (see
+    /// [`SessionBuilder::feature_cache`](crate::session::SessionBuilder::feature_cache)).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.comm.cache_hit_rate()
+    }
 }
 
 /// The result of a training run.

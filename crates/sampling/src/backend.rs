@@ -195,6 +195,14 @@ impl EpochSamples {
         self.per_unit.iter().map(|u| u.comm_stats.messages).max().unwrap_or(0)
     }
 
+    /// The communication-avoiding fetch plan of this epoch: the deduplicated
+    /// union of every minibatch's layer-0 frontier (see
+    /// [`crate::FetchPlan`]), which the feature pipeline prefetches once
+    /// instead of re-requesting per minibatch.
+    pub fn fetch_plan(&self) -> crate::FetchPlan {
+        crate::FetchPlan::from_minibatches(&self.output.minibatches)
+    }
+
     /// Appends another epoch's samples (e.g. the next bulk group), summing
     /// unit statistics elementwise.
     pub fn merge(&mut self, other: EpochSamples) {
@@ -1047,6 +1055,23 @@ mod tests {
     fn group_seed_is_identity_for_group_zero() {
         assert_eq!(group_seed(12345, 0), 12345);
         assert_ne!(group_seed(12345, 1), 12345);
+    }
+
+    #[test]
+    fn epoch_fetch_plan_covers_every_input_vertex() {
+        let a = adjacency();
+        let sampler = GraphSageSampler::new(vec![2, 2]);
+        let backend = LocalBackend::new(BulkSamplerConfig::new(2, 2)).unwrap();
+        let epoch =
+            backend.sample_epoch(&sampler, &a, &[vec![1, 5], vec![0, 3], vec![2, 4]], 13).unwrap();
+        let plan = epoch.fetch_plan();
+        let mut expected: Vec<usize> =
+            epoch.minibatches().iter().flat_map(|mb| mb.input_vertices().to_vec()).collect();
+        assert_eq!(plan.total_requests(), expected.len());
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(plan.unique_vertices(), expected.as_slice());
+        assert_eq!(plan.num_minibatches(), 3);
     }
 
     #[test]

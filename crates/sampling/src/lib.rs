@@ -34,6 +34,12 @@
 //!   Algorithm 2), all sharing one [`DistConfig`] and returning
 //!   [`EpochSamples`].
 //!
+//! Because bulk sampling materializes every frontier up front, the
+//! feature-fetching phase can be planned: [`FetchPlan`] deduplicates the
+//! union of the sampled layer-0 frontiers (via
+//! [`EpochSamples::fetch_plan`]), the basis of the `dmbs-gnn` feature
+//! cache's prefetch-once pipeline.
+//!
 //! Supporting modules: [`its`] — inverse transform sampling (and rejection
 //! sampling, for the ablation) over CSR probability rows, including the
 //! per-row-seeded parallel [`its::sample_rows_par`] whose output is
@@ -96,7 +102,7 @@ pub use backend::{
 pub use error::SamplingError;
 pub use fastgcn::FastGcnSampler;
 pub use ladies::LadiesSampler;
-pub use plan::{BulkSampleOutput, LayerSample, MinibatchSample};
+pub use plan::{BulkSampleOutput, FetchPlan, LayerSample, MinibatchSample};
 pub use sage::GraphSageSampler;
 pub use sampler::{BulkSamplerConfig, PartitionedContext, Sampler};
 

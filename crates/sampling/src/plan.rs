@@ -5,8 +5,15 @@
 //! matrix is kept together with the *global vertex ids* of its rows and
 //! columns, which downstream feature fetching (§6.2) needs to know which rows
 //! of the feature matrix `H` to gather.
+//!
+//! Because bulk sampling materializes *every* frontier of a group (or epoch)
+//! up front, the feature-fetching phase can be planned ahead of time: a
+//! [`FetchPlan`] deduplicates the union of the layer-0 frontiers so each
+//! distinct feature row is moved at most once, which is the basis of the
+//! communication-avoiding feature pipeline (epoch prefetch + per-rank cache).
 
 use dmbs_comm::{CommStats, PhaseProfile};
+use dmbs_graph::partition::OneDPartition;
 use dmbs_matrix::CsrMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +96,146 @@ impl MinibatchSample {
             }
         }
         self.layers.windows(2).all(|pair| pair[0].rows == pair[1].cols)
+    }
+}
+
+/// A communication-avoiding plan for the feature-fetching phase (§6.2) of a
+/// bulk group or a whole epoch.
+///
+/// Bulk sampling (§4) materializes every minibatch's layer-0 frontier before
+/// training starts, so instead of re-requesting feature rows minibatch by
+/// minibatch — paying for every duplicate — the pipeline can compute the
+/// *union* of all input vertices once, prefetch each distinct row a single
+/// time, and serve the per-minibatch gathers from a local cache.  A
+/// `FetchPlan` is that union plus the bookkeeping needed to size the saving:
+/// the number of raw (non-deduplicated) requests the planned minibatches
+/// would otherwise have issued.
+///
+/// # Example
+///
+/// ```
+/// use dmbs_sampling::{BulkSamplerConfig, FetchPlan, GraphSageSampler, LocalBackend,
+///     SamplingBackend};
+/// use dmbs_graph::generators::figure1_example;
+///
+/// # fn main() -> Result<(), dmbs_sampling::SamplingError> {
+/// let graph = figure1_example();
+/// let backend = LocalBackend::new(BulkSamplerConfig::new(2, 2))?;
+/// let sampler = GraphSageSampler::new(vec![2]);
+/// let epoch = backend.sample_epoch(&sampler, graph.adjacency(), &[vec![1, 5], vec![0, 3]], 7)?;
+/// let plan = FetchPlan::from_minibatches(epoch.minibatches());
+/// // Every distinct input vertex appears exactly once.
+/// assert!(plan.unique_vertices().windows(2).all(|w| w[0] < w[1]));
+/// assert!(plan.unique_len() <= plan.total_requests());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchPlan {
+    /// Sorted, deduplicated union of the planned layer-0 frontiers.
+    unique: Vec<usize>,
+    /// Total input-vertex requests before deduplication.
+    total_requests: usize,
+    /// Number of minibatches the plan covers.
+    num_minibatches: usize,
+}
+
+impl FetchPlan {
+    /// Builds the plan for a slice of sampled minibatches: the sorted union
+    /// of their [`MinibatchSample::input_vertices`].
+    pub fn from_minibatches(minibatches: &[MinibatchSample]) -> Self {
+        Self::from_sample_iter(minibatches.iter())
+    }
+
+    /// Builds the plan from any iterator of sampled minibatches (e.g. a
+    /// rank's shard of `(index, sample)` pairs).
+    pub fn from_sample_iter<'a>(
+        minibatches: impl IntoIterator<Item = &'a MinibatchSample>,
+    ) -> Self {
+        let mut unique: Vec<usize> = Vec::new();
+        let mut total_requests = 0;
+        let mut num_minibatches = 0;
+        for mb in minibatches {
+            let inputs = mb.input_vertices();
+            total_requests += inputs.len();
+            unique.extend_from_slice(inputs);
+            num_minibatches += 1;
+        }
+        unique.sort_unstable();
+        unique.dedup();
+        FetchPlan { unique, total_requests, num_minibatches }
+    }
+
+    /// The sorted, deduplicated union of input vertices.
+    pub fn unique_vertices(&self) -> &[usize] {
+        &self.unique
+    }
+
+    /// Number of distinct input vertices.
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Total input-vertex requests before deduplication.
+    pub fn total_requests(&self) -> usize {
+        self.total_requests
+    }
+
+    /// Number of minibatches the plan covers.
+    pub fn num_minibatches(&self) -> usize {
+        self.num_minibatches
+    }
+
+    /// Requests the per-minibatch path would issue redundantly — the rows a
+    /// prefetch-once pipeline never moves again.
+    pub fn duplicate_requests(&self) -> usize {
+        self.total_requests - self.unique.len()
+    }
+
+    /// True when the plan covers no input vertices at all.
+    pub fn is_empty(&self) -> bool {
+        self.unique.is_empty()
+    }
+
+    /// Splits the unique vertices by owning block of `partition` (the block
+    /// rows of the 1.5D feature layout): `result[b]` holds, in ascending
+    /// order, the planned vertices owned by block `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SamplingError::InvalidConfig`] naming the first
+    /// vertex that lies outside the partition.
+    pub fn by_owner_block(&self, partition: &OneDPartition) -> crate::Result<Vec<Vec<usize>>> {
+        let mut per_block: Vec<Vec<usize>> = vec![Vec::new(); partition.num_parts()];
+        for &v in &self.unique {
+            if v >= partition.len() {
+                return Err(crate::SamplingError::InvalidConfig(format!(
+                    "fetch-plan vertex {v} out of range for a partition of {} vertices",
+                    partition.len()
+                )));
+            }
+            per_block[partition.owner_of(v)].push(v);
+        }
+        Ok(per_block)
+    }
+
+    /// α–β words the plan saves for a `feature_dim`-wide feature matrix when
+    /// every duplicate request would otherwise have crossed the wire: one
+    /// request id plus one feature row per duplicate.  An upper bound for
+    /// replicated layouts (locally-owned rows never travel), exact for the
+    /// fully-remote case.
+    pub fn words_avoided_upper_bound(&self, feature_dim: usize) -> usize {
+        self.duplicate_requests() * (feature_dim + 1)
+    }
+
+    /// Merges another plan into this one (e.g. the next bulk group of the
+    /// epoch), keeping the union sorted and deduplicated.
+    pub fn merge(&mut self, other: &FetchPlan) {
+        self.unique.extend_from_slice(&other.unique);
+        self.unique.sort_unstable();
+        self.unique.dedup();
+        self.total_requests += other.total_requests;
+        self.num_minibatches += other.num_minibatches;
     }
 }
 
@@ -180,6 +327,42 @@ mod tests {
         let mb = MinibatchSample { batch: vec![3], layers: vec![] };
         assert_eq!(mb.input_vertices(), &[] as &[usize]);
         assert!(mb.frontiers_are_chained());
+    }
+
+    #[test]
+    fn fetch_plan_deduplicates_and_counts() {
+        let a = layer(vec![0, 4], vec![2, 3], &[(0, 0), (1, 1)]);
+        let b = layer(vec![1, 5], vec![3, 7], &[(0, 0), (1, 1)]);
+        let mb_a = MinibatchSample { batch: vec![0, 4], layers: vec![a] };
+        let mb_b = MinibatchSample { batch: vec![1, 5], layers: vec![b] };
+        let plan = FetchPlan::from_minibatches(&[mb_a.clone(), mb_b.clone()]);
+        assert_eq!(plan.unique_vertices(), &[2, 3, 7]);
+        assert_eq!(plan.total_requests(), 4);
+        assert_eq!(plan.duplicate_requests(), 1);
+        assert_eq!(plan.num_minibatches(), 2);
+        assert!(!plan.is_empty());
+        // One duplicate row of width f saves f feature words + 1 request id.
+        assert_eq!(plan.words_avoided_upper_bound(16), 17);
+
+        // Merging two single-minibatch plans equals planning both at once.
+        let mut merged = FetchPlan::from_minibatches(&[mb_a]);
+        merged.merge(&FetchPlan::from_minibatches(&[mb_b]));
+        assert_eq!(merged, plan);
+
+        assert!(FetchPlan::from_minibatches(&[]).is_empty());
+    }
+
+    #[test]
+    fn fetch_plan_groups_by_owner_block() {
+        let l = layer(vec![0], vec![1, 5, 9], &[(0, 0)]);
+        let mb = MinibatchSample { batch: vec![0], layers: vec![l] };
+        let plan = FetchPlan::from_minibatches(&[mb]);
+        let partition = OneDPartition::new(12, 3).unwrap();
+        let per_block = plan.by_owner_block(&partition).unwrap();
+        assert_eq!(per_block, vec![vec![1], vec![5], vec![9]]);
+        // An undersized partition surfaces a typed error, not a panic.
+        let small = OneDPartition::new(6, 3).unwrap();
+        assert!(matches!(plan.by_owner_block(&small), Err(crate::SamplingError::InvalidConfig(_))));
     }
 
     #[test]

@@ -9,10 +9,11 @@
 
 #![allow(deprecated)]
 
-use dmbs::comm::Runtime;
-use dmbs::gnn::TrainingSession;
-use dmbs::graph::datasets::{build_dataset, DatasetConfig};
+use dmbs::comm::{Group, ProcessGrid, Runtime};
+use dmbs::gnn::{FeatureCache, FeatureCacheConfig, FeatureStore, TrainingSession};
+use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
 use dmbs::graph::generators::{figure1_example, rmat, RmatConfig};
+use dmbs::matrix::DenseMatrix;
 use dmbs::sampling::partitioned::{
     flatten_row_outputs, run_partitioned_ladies, run_partitioned_sage,
 };
@@ -21,8 +22,13 @@ use dmbs::sampling::{
     BulkSamplerConfig, DistConfig, GraphSageSampler, LadiesSampler, Partitioned1p5dBackend,
     ReplicatedBackend, Sampler, SamplingBackend,
 };
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Every (ranks, replication) grid shape the sweep covers: p ∈ {1, 2, 4},
+/// all c dividing p.
+const GRID_SHAPES: [(usize, usize); 6] = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4)];
 
 fn random_batches(n: usize, k: usize, b: usize) -> Vec<Vec<usize>> {
     (0..k).map(|i| (0..b).map(|j| (i * 131 + j * 17) % n).collect()).collect()
@@ -113,6 +119,190 @@ fn partitioned_backend_is_byte_identical_to_legacy_free_functions() {
         .unwrap();
         let epoch = backend.sample_epoch(&ladies, a, &batches, 31).unwrap();
         assert_eq!(epoch.output.minibatches, legacy.minibatches, "ladies p={p} c={c}");
+    }
+}
+
+fn feature_matrix(n: usize, f: usize) -> DenseMatrix {
+    DenseMatrix::from_rows(
+        &(0..n)
+            .map(|v| (0..f).map(|j| (v * 31 + j * 7) as f64 * 0.125 + 0.5).collect())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Distributed-equivalence sweep at the feature-store level: across
+    /// every grid shape, the rows served through the pinned prefetch cache
+    /// and the LRU read-through cache are byte-identical to the uncached
+    /// all-to-allv fetch, for arbitrary per-rank request lists (including
+    /// duplicates), and each cached run moves no more words than the
+    /// baseline.
+    #[test]
+    fn fetched_features_are_byte_identical_cache_on_vs_off(
+        wanted_a in proptest::collection::vec(0usize..48, 1..24),
+        wanted_b in proptest::collection::vec(0usize..48, 1..24),
+    ) {
+        let n = 48;
+        let f = 5;
+        let h = feature_matrix(n, f);
+        for (p, c) in GRID_SHAPES {
+            let runtime = Runtime::new(p).unwrap();
+            let steps = [wanted_a.clone(), wanted_b.clone()];
+            // Baseline: per-step all-to-allv, no cache.
+            let uncached = runtime
+                .run(|comm| {
+                    let grid = ProcessGrid::new(comm.size(), c).unwrap();
+                    let (my_row, _) = grid.coords(comm.rank());
+                    let store = FeatureStore::from_full(&h, grid.rows(), my_row).unwrap();
+                    let group = Group::new(&grid.col_ranks(comm.rank())).unwrap();
+                    let outs: Vec<DenseMatrix> =
+                        steps.iter().map(|w| store.fetch(comm, &group, w).unwrap()).collect();
+                    (outs, comm.stats().words_sent)
+                })
+                .unwrap();
+            for (mode, label) in [
+                (FeatureCacheConfig::EpochPinned, "pinned"),
+                (FeatureCacheConfig::Lru { byte_budget: 1 << 20 }, "lru"),
+                (FeatureCacheConfig::Lru { byte_budget: 4 * f * 8 }, "lru-tiny"),
+            ] {
+                let cached = runtime
+                    .run(|comm| {
+                        let grid = ProcessGrid::new(comm.size(), c).unwrap();
+                        let (my_row, _) = grid.coords(comm.rank());
+                        let store = FeatureStore::from_full(&h, grid.rows(), my_row).unwrap();
+                        let group = Group::new(&grid.col_ranks(comm.rank())).unwrap();
+                        let mut cache = FeatureCache::new(mode, f);
+                        let outs: Vec<DenseMatrix> = if mode == FeatureCacheConfig::EpochPinned {
+                            let mut union: Vec<usize> =
+                                steps.iter().flatten().copied().collect();
+                            union.sort_unstable();
+                            union.dedup();
+                            cache.prefetch(&store, comm, &group, &union).unwrap();
+                            steps
+                                .iter()
+                                .map(|w| cache.gather_pinned(&store, w).unwrap())
+                                .collect()
+                        } else {
+                            steps
+                                .iter()
+                                .map(|w| cache.fetch_through(&store, comm, &group, w).unwrap())
+                                .collect()
+                        };
+                        (outs, comm.stats().words_sent, *cache.stats())
+                    })
+                    .unwrap();
+                let mut words_uncached = 0;
+                let mut words_cached = 0;
+                let mut words_saved = 0;
+                for (u, cc) in uncached.iter().zip(&cached) {
+                    prop_assert_eq!(
+                        &u.value.0, &cc.value.0,
+                        "p={} c={} mode={}: fetched rows diverged", p, c, label
+                    );
+                    words_uncached += u.value.1;
+                    words_cached += cc.value.1;
+                    words_saved += cc.value.2.words_saved;
+                }
+                prop_assert!(
+                    words_cached <= words_uncached,
+                    "p={} c={} mode={}: cache moved more words", p, c, label
+                );
+                prop_assert_eq!(
+                    words_cached + words_saved, words_uncached,
+                    "p={} c={} mode={}: saved + sent must equal the uncached bill", p, c, label
+                );
+            }
+        }
+    }
+}
+
+fn equivalence_dataset(seed: u64) -> Dataset {
+    let mut cfg = DatasetConfig::products_like(7); // 128 vertices
+    cfg.feature_dim = 12;
+    cfg.num_classes = 4;
+    cfg.train_fraction = 0.5;
+    cfg.homophily = 0.6;
+    build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+/// Distributed-equivalence sweep at the full-pipeline level: across every
+/// grid shape, `train()` through the distributed path produces bit-identical
+/// per-epoch losses and test accuracy with the cache off, epoch-pinned, and
+/// LRU — the cache is pure work avoidance — while the pinned pipeline never
+/// moves more words and its books balance exactly.
+#[test]
+fn train_distributed_is_byte_identical_cache_on_vs_off_across_grid_shapes() {
+    let dataset = std::sync::Arc::new(equivalence_dataset(40));
+    for (p, c) in GRID_SHAPES {
+        let base = TrainingSession::<GraphSageSampler, ReplicatedBackend>::builder()
+            .dataset(std::sync::Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(
+                ReplicatedBackend::new(DistConfig::new(p, c, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(12)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(19);
+        let off = base.clone().build().unwrap().train().unwrap();
+        for mode in
+            [FeatureCacheConfig::EpochPinned, FeatureCacheConfig::Lru { byte_budget: 1 << 20 }]
+        {
+            let on = base.clone().feature_cache(mode).build().unwrap().train().unwrap();
+            assert_eq!(off.epochs.len(), on.epochs.len());
+            for (a, b) in off.epochs.iter().zip(&on.epochs) {
+                assert_eq!(
+                    a.mean_loss.to_bits(),
+                    b.mean_loss.to_bits(),
+                    "p={p} c={c} {mode:?}: losses diverged"
+                );
+                assert!(b.comm.words_sent <= a.comm.words_sent, "p={p} c={c} {mode:?}");
+                assert_eq!(
+                    b.comm.words_sent + b.comm.words_saved,
+                    a.comm.words_sent,
+                    "p={p} c={c} {mode:?}: books must balance"
+                );
+            }
+            assert_eq!(
+                off.test_accuracy.unwrap().to_bits(),
+                on.test_accuracy.unwrap().to_bits(),
+                "p={p} c={c} {mode:?}: accuracy diverged"
+            );
+        }
+    }
+}
+
+/// The cache also leaves the graph-partitioned (1.5D) training pipeline
+/// byte-identical — the backend axis and the feature-cache axis compose.
+#[test]
+fn train_partitioned_is_byte_identical_cache_on_vs_off() {
+    let dataset = std::sync::Arc::new(equivalence_dataset(41));
+    for (p, c) in [(4usize, 2usize), (4, 4)] {
+        let base = TrainingSession::<GraphSageSampler, Partitioned1p5dBackend>::builder()
+            .dataset(std::sync::Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(
+                Partitioned1p5dBackend::new(DistConfig::new(p, c, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(12)
+            .learning_rate(0.05)
+            .epochs(1)
+            .seed(23)
+            .without_evaluation();
+        let off = base.clone().build().unwrap().train().unwrap();
+        let on =
+            base.feature_cache(FeatureCacheConfig::EpochPinned).build().unwrap().train().unwrap();
+        for (a, b) in off.epochs.iter().zip(&on.epochs) {
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits(), "p={p} c={c}");
+            assert_eq!(
+                b.comm.words_sent + b.comm.words_saved,
+                a.comm.words_sent,
+                "p={p} c={c}: books must balance"
+            );
+        }
     }
 }
 
