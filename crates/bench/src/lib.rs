@@ -223,6 +223,588 @@ pub fn secs(x: f64) -> String {
     format!("{x:.4}")
 }
 
+pub mod json {
+    //! A minimal JSON reader for the committed `BENCH_*.json` baselines.
+    //!
+    //! The workspace vendors only a marker-trait `serde` stand-in (no
+    //! `serde_json`), and the CI perf-regression gate needs to *read back*
+    //! the benchmark records it wrote; this module is the small
+    //! recursive-descent parser that closes the loop.  It supports the full
+    //! JSON grammar the harness emits (objects, arrays, strings with basic
+    //! escapes, numbers incl. scientific notation, booleans, null).
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`, which is lossless for the
+        /// integer counters the benches emit — they stay far below 2^53).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in source order (duplicate keys keep the last).
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Parses a JSON document.
+        ///
+        /// # Errors
+        ///
+        /// Returns a human-readable message (with byte offset) on malformed
+        /// input or trailing garbage.
+        pub fn parse(text: &str) -> Result<Value, String> {
+            let bytes = text.as_bytes();
+            let mut pos = 0;
+            let value = parse_value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(format!("trailing garbage at byte {pos}"));
+            }
+            Ok(value)
+        }
+
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => {
+                    fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// The value as a number, if it is one.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool, if it is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array slice, if it is one.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+        if *pos < bytes.len() && bytes[*pos] == byte {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    let escape = bytes.get(*pos).ok_or("unterminated escape")?;
+                    out.push(match escape {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("invalid \\u escape at byte {}", *pos))?;
+                            *pos += 4;
+                            char::from_u32(hex).unwrap_or('\u{fffd}')
+                        }
+                        other => return Err(format!("unknown escape \\{}", *other as char)),
+                    });
+                    *pos += 1;
+                }
+                Some(&byte) => {
+                    // Plain UTF-8 passes through byte-wise; collect the full
+                    // code point so multi-byte characters survive.
+                    let ch_len = utf8_len(byte);
+                    let chunk = bytes
+                        .get(*pos..*pos + ch_len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| format!("invalid UTF-8 at byte {}", *pos))?;
+                    out.push_str(chunk);
+                    *pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+pub mod check {
+    //! The CI perf-regression gate: compare a freshly-run `BENCH_*.json`
+    //! against a committed baseline.
+    //!
+    //! Three classes of drift, per the tripwire contract:
+    //!
+    //! * **kernel identity** — any `identical_to_*` field that is `false` in
+    //!   the fresh run is a hard failure (a kernel diverged from its
+    //!   reference formulation);
+    //! * **modeled schedule** — the deterministic counters (words, messages,
+    //!   cache hits/misses, saved words) must match the baseline **exactly**;
+    //!   a schedule regression fails the build instead of drifting;
+    //! * **wall clock** — machine-dependent, so a slowdown beyond the
+    //!   tolerance only soft-warns.
+
+    use crate::json::Value;
+
+    /// Counters that must match the committed baseline bit-for-bit: they are
+    /// functions of the (seeded, deterministic) modeled schedule, never of
+    /// the host.
+    const EXACT_FIELDS: &[&str] = &[
+        "words_per_epoch",
+        "words_total",
+        "messages",
+        "cache_hits",
+        "cache_misses",
+        "words_saved",
+        "items",
+    ];
+
+    /// Measured wall-clock fields: slower-than-baseline beyond the tolerance
+    /// soft-warns (different machines legitimately differ).
+    const SOFT_FIELDS: &[&str] = &["wall_s", "modeled_epoch_s"];
+
+    /// Fields identifying a record within its file (whichever are present).
+    const KEY_FIELDS: &[&str] = &["bench", "kernel", "threads", "p", "c", "mode"];
+
+    /// How bad one comparison finding is.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Severity {
+        /// Fails the gate (exit non-zero).
+        Hard,
+        /// Printed as a warning only.
+        Soft,
+    }
+
+    /// One divergence between baseline and fresh run.
+    #[derive(Debug, Clone)]
+    pub struct Finding {
+        /// Hard failures fail the build; soft ones warn.
+        pub severity: Severity,
+        /// Human-readable description naming the record and field.
+        pub message: String,
+    }
+
+    impl Finding {
+        fn hard(message: String) -> Self {
+            Finding { severity: Severity::Hard, message }
+        }
+        fn soft(message: String) -> Self {
+            Finding { severity: Severity::Soft, message }
+        }
+    }
+
+    /// True when every finding is soft (the gate passes).
+    pub fn passes(findings: &[Finding]) -> bool {
+        findings.iter().all(|f| f.severity == Severity::Soft)
+    }
+
+    /// The identity of one record: its key fields rendered `k=v`, joined.
+    fn record_key(record: &Value) -> String {
+        let mut parts = Vec::new();
+        for &key in KEY_FIELDS {
+            if let Some(v) = record.get(key) {
+                let rendered = match v {
+                    Value::Str(s) => s.clone(),
+                    Value::Num(x) => format!("{x}"),
+                    other => format!("{other:?}"),
+                };
+                parts.push(format!("{key}={rendered}"));
+            }
+        }
+        if parts.is_empty() {
+            "<unkeyed>".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+
+    /// Compares one fresh benchmark document against its committed baseline.
+    /// `label` names the file in messages; `wall_tolerance` is the allowed
+    /// relative wall-clock regression (e.g. `0.5` = 50% slower) before a
+    /// soft warning fires.
+    pub fn compare_bench(
+        label: &str,
+        baseline: &Value,
+        fresh: &Value,
+        wall_tolerance: f64,
+    ) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let empty: &[Value] = &[];
+        let base_records = baseline.get("records").and_then(Value::as_array).unwrap_or(empty);
+        let fresh_records = fresh.get("records").and_then(Value::as_array).unwrap_or(empty);
+        if base_records.is_empty() {
+            findings.push(Finding::hard(format!("{label}: baseline has no records to compare")));
+            return findings;
+        }
+
+        for base in base_records {
+            let key = record_key(base);
+            let Some(new) = fresh_records.iter().find(|r| record_key(r) == key) else {
+                findings.push(Finding::hard(format!(
+                    "{label} [{key}]: record missing from the fresh run"
+                )));
+                continue;
+            };
+            compare_record(label, &key, base, new, wall_tolerance, &mut findings);
+        }
+        // Identity flags of *new* fresh records are still binding even when
+        // the baseline predates them.
+        for new in fresh_records {
+            check_identity_flags(label, &record_key(new), new, &mut findings);
+        }
+        findings
+    }
+
+    fn compare_record(
+        label: &str,
+        key: &str,
+        base: &Value,
+        new: &Value,
+        wall_tolerance: f64,
+        findings: &mut Vec<Finding>,
+    ) {
+        for &field in EXACT_FIELDS {
+            match (base.get(field).and_then(Value::as_f64), new.get(field).and_then(Value::as_f64))
+            {
+                (Some(want), Some(got)) if want != got => {
+                    findings.push(Finding::hard(format!(
+                        "{label} [{key}] {field}: expected {want}, measured {got} — the modeled \
+                         schedule changed"
+                    )));
+                }
+                (Some(_), None) => findings.push(Finding::hard(format!(
+                    "{label} [{key}] {field}: present in baseline, missing from the fresh run"
+                ))),
+                _ => {}
+            }
+        }
+        for &field in SOFT_FIELDS {
+            if let (Some(want), Some(got)) =
+                (base.get(field).and_then(Value::as_f64), new.get(field).and_then(Value::as_f64))
+            {
+                if want > 0.0 && got > want * (1.0 + wall_tolerance) {
+                    findings.push(Finding::soft(format!(
+                        "{label} [{key}] {field}: {got:.4}s vs baseline {want:.4}s \
+                         (> {:.0}% slower; machine-dependent, not failing the gate)",
+                        wall_tolerance * 100.0
+                    )));
+                }
+            }
+        }
+    }
+
+    fn check_identity_flags(label: &str, key: &str, record: &Value, findings: &mut Vec<Finding>) {
+        if let Value::Object(fields) = record {
+            for (name, value) in fields {
+                if (name.starts_with("identical") || name.ends_with("identical"))
+                    && value.as_bool() == Some(false)
+                {
+                    findings.push(Finding::hard(format!(
+                        "{label} [{key}] {name} is false — a kernel diverged from its \
+                         reference formulation"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Loads and compares `file` from two directories; a missing or
+    /// unparsable baseline is a hard finding (the gate must not silently
+    /// pass when its reference disappears), a missing fresh file means the
+    /// sweep did not run and is also hard.
+    pub fn compare_file(
+        baseline_dir: &std::path::Path,
+        fresh_dir: &std::path::Path,
+        file: &str,
+        wall_tolerance: f64,
+    ) -> Vec<Finding> {
+        let load = |dir: &std::path::Path, what: &str| -> Result<Value, Finding> {
+            let path = dir.join(file);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                Finding::hard(format!("{file}: cannot read {what} {}: {e}", path.display()))
+            })?;
+            Value::parse(&text)
+                .map_err(|e| Finding::hard(format!("{file}: {what} is not valid JSON: {e}")))
+        };
+        let baseline = match load(baseline_dir, "baseline") {
+            Ok(v) => v,
+            Err(f) => return vec![f],
+        };
+        let fresh = match load(fresh_dir, "fresh run") {
+            Ok(v) => v,
+            Err(f) => return vec![f],
+        };
+        compare_bench(file, &baseline, &fresh, wall_tolerance)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn doc(words: u64, wall: f64, identical: bool) -> Value {
+            Value::parse(&format!(
+                r#"{{"bench": "fetch_epoch", "records": [
+                    {{"p": 4, "c": 2, "mode": "pinned", "words_per_epoch": {words},
+                      "messages": 96, "wall_s": {wall},
+                      "identical_to_uncached": {identical}}}
+                ]}}"#
+            ))
+            .unwrap()
+        }
+
+        #[test]
+        fn identical_runs_pass() {
+            let findings =
+                compare_bench("BENCH_fetch.json", &doc(100, 0.5, true), &doc(100, 0.5, true), 0.5);
+            assert!(findings.is_empty(), "{findings:?}");
+            assert!(passes(&findings));
+        }
+
+        #[test]
+        fn injected_word_regression_hard_fails() {
+            // The acceptance demonstration: a schedule regression (more words
+            // on the wire than the committed baseline) fails the gate.
+            let findings =
+                compare_bench("BENCH_fetch.json", &doc(100, 0.5, true), &doc(140, 0.5, true), 0.5);
+            assert!(!passes(&findings));
+            assert!(findings
+                .iter()
+                .any(|f| f.severity == Severity::Hard && f.message.contains("words_per_epoch")));
+        }
+
+        #[test]
+        fn broken_kernel_identity_hard_fails() {
+            let findings =
+                compare_bench("BENCH_fetch.json", &doc(100, 0.5, true), &doc(100, 0.5, false), 0.5);
+            assert!(findings
+                .iter()
+                .any(|f| f.severity == Severity::Hard && f.message.contains("identical")));
+        }
+
+        #[test]
+        fn wall_clock_regression_only_soft_warns() {
+            let findings =
+                compare_bench("BENCH_fetch.json", &doc(100, 0.5, true), &doc(100, 2.0, true), 0.5);
+            assert_eq!(findings.len(), 1);
+            assert_eq!(findings[0].severity, Severity::Soft);
+            assert!(passes(&findings), "wall regressions must not fail the gate");
+            // Within tolerance: silent.
+            assert!(compare_bench("f", &doc(100, 0.5, true), &doc(100, 0.7, true), 0.5).is_empty());
+        }
+
+        #[test]
+        fn missing_record_and_empty_baseline_hard_fail() {
+            let empty = Value::parse(r#"{"records": []}"#).unwrap();
+            let findings = compare_bench("f", &empty, &doc(100, 0.5, true), 0.5);
+            assert!(!passes(&findings));
+            let other_key = Value::parse(
+                r#"{"records": [{"p": 8, "c": 4, "mode": "pinned", "words_per_epoch": 1}]}"#,
+            )
+            .unwrap();
+            let findings = compare_bench("f", &other_key, &doc(100, 0.5, true), 0.5);
+            assert!(findings.iter().any(|f| f.message.contains("missing from the fresh run")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::json::Value;
+
+    #[test]
+    fn parses_a_bench_file_shape() {
+        let text = r#"{
+  "bench": "spgemm",
+  "workload": "P = Q*A, rmat scale 8 & more",
+  "items_per_run": 123456,
+  "host_threads": 1,
+  "records": [
+    {"threads": 1, "wall_s": 1.234560e-2, "identical_to_serial": true},
+    {"threads": 2, "wall_s": 6.5e-3, "identical_to_serial": false}
+  ],
+  "empty_array": [],
+  "empty_obj": {},
+  "nothing": null
+}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("spgemm"));
+        assert_eq!(v.get("items_per_run").unwrap().as_f64(), Some(123456.0));
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("P = Q*A, rmat scale 8 & more"));
+        let records = v.get("records").unwrap().as_array().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("wall_s").unwrap().as_f64(), Some(1.23456e-2));
+        assert_eq!(records[1].get("identical_to_serial").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("empty_array").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(v.get("nothing"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1, 2,]").is_err());
+        assert!(Value::parse("{\"a\" 1}").is_err());
+        assert!(Value::parse("123 456").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
+        assert!(Value::parse("nope").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::parse(r#""a\nb\t\"q\"\\ é""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\nb\t\"q\"\\ é"));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

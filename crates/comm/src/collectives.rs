@@ -16,9 +16,29 @@ use crate::error::CommError;
 use crate::Result;
 use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
+use std::collections::VecDeque;
 
-/// A type-erased message travelling between ranks.
-pub(crate) type Message = Box<dyn Any + Send>;
+/// The tag of all blocking point-to-point and collective traffic.  Blocking
+/// operations execute in identical program order on every rank, so one shared
+/// FIFO lane suffices; posted (nonblocking) collectives each get a fresh tag
+/// from [`Communicator::fresh_round_tag`] so their messages can sit in a
+/// channel behind — or in front of — blocking traffic without being
+/// mis-matched.
+pub(crate) const TAG_BLOCKING: u64 = 0;
+
+/// A type-erased, tagged message travelling between ranks.  The tag is the
+/// MPI-style matching key: a receive for tag `t` skips (and stashes)
+/// messages with other tags instead of failing to downcast them.
+pub(crate) struct Message {
+    pub(crate) tag: u64,
+    pub(crate) payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Message {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Message").field("tag", &self.tag).finish_non_exhaustive()
+    }
+}
 
 /// Values that can be communicated between ranks.
 ///
@@ -152,6 +172,13 @@ pub struct Communicator {
     senders: Vec<Sender<Message>>,
     /// `receivers[i]` yields messages sent by rank `i`.
     receivers: Vec<Receiver<Message>>,
+    /// `stashed[i]` holds messages from rank `i` that arrived while a receive
+    /// was waiting for a different tag (MPI-style unexpected-message queue).
+    stashed: Vec<VecDeque<Message>>,
+    /// Next tag handed out to a posted (nonblocking) collective round.  All
+    /// ranks execute the same SPMD program, so the counters advance in
+    /// lockstep and a round's tag agrees across the world.
+    next_tag: u64,
     cost: CostModel,
     stats: CommStats,
 }
@@ -164,7 +191,26 @@ impl Communicator {
         receivers: Vec<Receiver<Message>>,
         cost: CostModel,
     ) -> Self {
-        Communicator { rank, size, senders, receivers, cost, stats: CommStats::new() }
+        let stashed = (0..size).map(|_| VecDeque::new()).collect();
+        Communicator {
+            rank,
+            size,
+            senders,
+            receivers,
+            stashed,
+            next_tag: TAG_BLOCKING + 1,
+            cost,
+            stats: CommStats::new(),
+        }
+    }
+
+    /// Reserves a fresh tag for one nonblocking collective round.  Every rank
+    /// must reserve tags in the same program order (SPMD), which is what makes
+    /// a posted round's messages match up across ranks.
+    pub(crate) fn fresh_round_tag(&mut self) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        tag
     }
 
     /// This rank's id in `0..size`.
@@ -205,11 +251,20 @@ impl Communicator {
     /// [`CommError::Disconnected`] if the destination rank has already
     /// terminated.
     pub fn send<T: Payload>(&mut self, to: usize, value: T) -> Result<()> {
+        self.send_tagged(to, TAG_BLOCKING, value)
+    }
+
+    /// Sends `value` to rank `to` under `tag` (the nonblocking lane when
+    /// `tag != TAG_BLOCKING`).  Channel sends never block, so posting a
+    /// collective's outgoing messages completes immediately.
+    pub(crate) fn send_tagged<T: Payload>(&mut self, to: usize, tag: u64, value: T) -> Result<()> {
         if to >= self.size {
             return Err(CommError::RankOutOfRange { rank: to, size: self.size });
         }
         self.stats.record(value.word_count(), &self.cost);
-        self.senders[to].send(Box::new(value)).map_err(|_| CommError::Disconnected { from: to })
+        self.senders[to]
+            .send(Message { tag, payload: Box::new(value) })
+            .map_err(|_| CommError::Disconnected { from: to })
     }
 
     /// Receives a value of type `T` from rank `from`, blocking until it
@@ -222,11 +277,38 @@ impl Communicator {
     /// or [`CommError::TypeMismatch`] if the arriving message has a different
     /// type (which indicates mismatched collective calls across ranks).
     pub fn recv<T: Payload>(&mut self, from: usize) -> Result<T> {
+        self.recv_tagged(from, TAG_BLOCKING)
+    }
+
+    /// Receives the next message from `from` carrying `tag`, stashing any
+    /// messages with other tags (they belong to posted collectives that will
+    /// be waited later, or to blocking traffic behind an in-flight round).
+    pub(crate) fn recv_tagged<T: Payload>(&mut self, from: usize, tag: u64) -> Result<T> {
         if from >= self.size {
             return Err(CommError::RankOutOfRange { rank: from, size: self.size });
         }
-        let message = self.receivers[from].recv().map_err(|_| CommError::Disconnected { from })?;
-        message.downcast::<T>().map(|b| *b).map_err(|_| CommError::TypeMismatch { from })
+        // Messages for one (peer, tag) pair are produced and consumed in the
+        // same program order, so the first stashed match is the right one.
+        if let Some(pos) = self.stashed[from].iter().position(|m| m.tag == tag) {
+            let message = self.stashed[from].remove(pos).expect("position just found");
+            return message
+                .payload
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| CommError::TypeMismatch { from });
+        }
+        loop {
+            let message =
+                self.receivers[from].recv().map_err(|_| CommError::Disconnected { from })?;
+            if message.tag == tag {
+                return message
+                    .payload
+                    .downcast::<T>()
+                    .map(|b| *b)
+                    .map_err(|_| CommError::TypeMismatch { from });
+            }
+            self.stashed[from].push_back(message);
+        }
     }
 
     /// Synchronizes all ranks in the world.

@@ -56,6 +56,26 @@ impl CostModel {
         self.alpha + self.beta * words as f64
     }
 
+    /// Modeled wall time of `comm_s` seconds of communication fully
+    /// overlapped with `compute_s` seconds of computation: a pipelined
+    /// schedule pays `max(comm, compute)` where the serial schedule pays
+    /// `comm + compute`.
+    pub fn overlapped_cost(&self, comm_s: f64, compute_s: f64) -> f64 {
+        comm_s.max(compute_s)
+    }
+
+    /// The communication seconds *hidden* when `comm_s` of modeled traffic
+    /// overlaps `compute_s` of computation: `min(comm, compute)`.  By
+    /// construction `comm + compute - overlap_credit == overlapped_cost`, so
+    /// the books balance exactly — the credit is recorded in
+    /// [`CommStats::overlapped_time`] / [`PhaseProfile::add_overlap`] while
+    /// `modeled_time` keeps the full (schedule-independent) α–β bill.
+    ///
+    /// [`PhaseProfile::add_overlap`]: crate::PhaseProfile::add_overlap
+    pub fn overlap_credit(&self, comm_s: f64, compute_s: f64) -> f64 {
+        comm_s.min(compute_s)
+    }
+
     /// Modeled time of the probability-generation SpGEMM of the 1.5D
     /// algorithm, `T_prob` from §5.2.1 of the paper.
     ///
@@ -107,6 +127,12 @@ pub struct CommStats {
     /// Words that would have crossed the wire without the cache (request ids
     /// plus feature rows of remote-owned hits) — the β term of the saving.
     pub words_saved: usize,
+    /// Modeled communication seconds that a pipelined schedule hid behind
+    /// computation (nonblocking collectives posted before a compute region
+    /// and waited after it).  Always `<= modeled_time`, which keeps the full
+    /// schedule-independent α–β bill; the *effective* communication cost of
+    /// the schedule is [`CommStats::exposed_time`].
+    pub overlapped_time: f64,
 }
 
 impl CommStats {
@@ -134,6 +160,21 @@ impl CommStats {
         self.cache_misses += 1;
     }
 
+    /// Records `seconds` of modeled communication as overlapped with compute
+    /// (hidden by a pipelined schedule).  Callers must never credit more than
+    /// the modeled time actually spent — see
+    /// [`CostModel::overlap_credit`].
+    pub fn record_overlap(&mut self, seconds: f64) {
+        self.overlapped_time += seconds;
+    }
+
+    /// The communication seconds a pipelined schedule actually pays:
+    /// `modeled_time - overlapped_time` (clamped at zero against float
+    /// round-off).  Equal to `modeled_time` for any non-overlapped schedule.
+    pub fn exposed_time(&self) -> f64 {
+        (self.modeled_time - self.overlapped_time).max(0.0)
+    }
+
     /// Fraction of cache lookups that hit, or `None` when nothing was looked
     /// up (so callers can distinguish "no cache" from "cold cache").
     pub fn cache_hit_rate(&self) -> Option<f64> {
@@ -149,6 +190,7 @@ impl CommStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.words_saved += other.words_saved;
+        self.overlapped_time += other.overlapped_time;
     }
 
     /// Bytes sent, assuming 8-byte words.
@@ -224,6 +266,33 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.messages, 3);
         assert_eq!(b.words_sent, 16);
+    }
+
+    #[test]
+    fn overlap_accounting_balances_exactly() {
+        let m = CostModel::new(1.0, 0.0);
+        // comm-bound region: 5s comm over 3s compute → 3s hidden, 2s exposed.
+        assert_eq!(m.overlapped_cost(5.0, 3.0), 5.0);
+        assert_eq!(m.overlap_credit(5.0, 3.0), 3.0);
+        // compute-bound region: the whole bill hides.
+        assert_eq!(m.overlapped_cost(1.0, 4.0), 4.0);
+        assert_eq!(m.overlap_credit(1.0, 4.0), 1.0);
+        // comm + compute - credit == overlapped cost, both regimes.
+        for (comm, compute) in [(5.0, 3.0), (1.0, 4.0), (0.0, 2.0), (2.0, 0.0)] {
+            assert_eq!(
+                comm + compute - m.overlap_credit(comm, compute),
+                m.overlapped_cost(comm, compute)
+            );
+        }
+
+        let mut s = CommStats::new();
+        s.record(10, &m); // modeled_time = 1.0
+        s.record_overlap(0.25);
+        assert!((s.exposed_time() - 0.75).abs() < 1e-12);
+        let mut t = CommStats::new();
+        t.record_overlap(0.5);
+        t.merge(&s);
+        assert!((t.overlapped_time - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub enum CommError {
     RankPanicked {
         /// The rank whose thread panicked.
         rank: usize,
+        /// The panic's payload message (the `&str`/`String` passed to
+        /// `panic!`), so CI failures in the rank simulator are diagnosable
+        /// from the log alone.  Non-string payloads are summarized.
+        message: String,
     },
 }
 
@@ -54,7 +58,9 @@ impl fmt::Display for CommError {
                 f,
                 "message from rank {from} had an unexpected type (mismatched collectives?)"
             ),
-            CommError::RankPanicked { rank } => write!(f, "rank {rank} panicked during execution"),
+            CommError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked during execution: {message}")
+            }
         }
     }
 }
@@ -72,7 +78,10 @@ mod tests {
         assert!(CommError::NotInGroup { rank: 2 }.to_string().contains("not a member"));
         assert!(CommError::Disconnected { from: 1 }.to_string().contains("disconnected"));
         assert!(CommError::TypeMismatch { from: 3 }.to_string().contains("unexpected type"));
-        assert!(CommError::RankPanicked { rank: 0 }.to_string().contains("panicked"));
+        let panicked =
+            CommError::RankPanicked { rank: 0, message: "index out of bounds".into() }.to_string();
+        assert!(panicked.contains("panicked"));
+        assert!(panicked.contains("index out of bounds"), "payload must reach the log: {panicked}");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod collectives;
 pub mod cost;
 pub mod error;
 pub mod grid;
+pub mod nonblocking;
 pub mod profile;
 pub mod runtime;
 
@@ -56,6 +57,7 @@ pub use collectives::{Communicator, Group, Payload};
 pub use cost::{CommStats, CostModel};
 pub use error::CommError;
 pub use grid::ProcessGrid;
+pub use nonblocking::{PendingCollective, PendingResult};
 pub use profile::{Phase, PhaseProfile};
 pub use runtime::{RankOutput, Runtime};
 

@@ -58,11 +58,14 @@ impl Phase {
 }
 
 /// Per-phase accumulation of computation (measured) and communication
-/// (modeled) time, in seconds.
+/// (modeled) time, in seconds — plus, for pipelined schedules, the modeled
+/// communication seconds each phase hid behind another phase's computation
+/// (see [`PhaseProfile::add_overlap`]).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseProfile {
     compute: BTreeMap<Phase, f64>,
     comm: BTreeMap<Phase, f64>,
+    overlap: BTreeMap<Phase, f64>,
 }
 
 impl PhaseProfile {
@@ -79,6 +82,17 @@ impl PhaseProfile {
     /// Adds `seconds` of (modeled) communication time to `phase`.
     pub fn add_comm(&mut self, phase: Phase, seconds: f64) {
         *self.comm.entry(phase).or_insert(0.0) += seconds;
+    }
+
+    /// Records `seconds` of `phase`'s modeled communication as overlapped
+    /// with (hidden behind) another phase's computation by a pipelined
+    /// schedule.  The communication itself stays in the `comm` books — the
+    /// α–β bill is schedule-independent — so
+    /// `effective_total == compute + comm - overlap` balances exactly.
+    /// Callers must never credit more than the phase's recorded
+    /// communication (see [`crate::CostModel::overlap_credit`]).
+    pub fn add_overlap(&mut self, phase: Phase, seconds: f64) {
+        *self.overlap.entry(phase).or_insert(0.0) += seconds;
     }
 
     /// Runs `f`, measuring its wall-clock duration as computation time for
@@ -100,9 +114,22 @@ impl PhaseProfile {
         self.comm.get(&phase).copied().unwrap_or(0.0)
     }
 
-    /// Total (computation + communication) seconds for `phase`.
+    /// Overlapped (hidden) communication seconds recorded for `phase`.
+    pub fn overlap(&self, phase: Phase) -> f64 {
+        self.overlap.get(&phase).copied().unwrap_or(0.0)
+    }
+
+    /// Total (computation + communication) seconds for `phase` under a
+    /// serial schedule — overlap does not change what was spent, only what
+    /// the pipelined schedule pays (see [`PhaseProfile::effective_total`]).
     pub fn total(&self, phase: Phase) -> f64 {
         self.compute(phase) + self.comm(phase)
+    }
+
+    /// Seconds the pipelined schedule pays for `phase`:
+    /// `compute + comm - overlap`.
+    pub fn effective_total(&self, phase: Phase) -> f64 {
+        self.total(phase) - self.overlap(phase)
     }
 
     /// Sum of computation time across all phases.
@@ -115,9 +142,24 @@ impl PhaseProfile {
         self.comm.values().sum()
     }
 
-    /// Grand total across all phases.
+    /// Sum of overlapped (hidden) communication time across all phases.
+    pub fn total_overlap(&self) -> f64 {
+        // fold, not sum: an empty iterator's f64 sum is -0.0, which leaks an
+        // ugly "-0.000000" into every synchronous-schedule report.
+        self.overlap.values().fold(0.0, |acc, s| acc + s)
+    }
+
+    /// Grand total across all phases under a serial schedule.
     pub fn grand_total(&self) -> f64 {
         self.total_compute() + self.total_comm()
+    }
+
+    /// Grand total the pipelined schedule pays:
+    /// `grand_total - total_overlap`.  Equal to [`PhaseProfile::grand_total`]
+    /// whenever nothing was overlapped, so the two trajectories are directly
+    /// comparable.
+    pub fn effective_grand_total(&self) -> f64 {
+        self.grand_total() - self.total_overlap()
     }
 
     /// Element-wise sum with another profile (aggregating epochs or bulk
@@ -128,6 +170,9 @@ impl PhaseProfile {
         }
         for (phase, secs) in &other.comm {
             *self.comm.entry(*phase).or_insert(0.0) += secs;
+        }
+        for (phase, secs) in &other.overlap {
+            *self.overlap.entry(*phase).or_insert(0.0) += secs;
         }
     }
 
@@ -141,6 +186,10 @@ impl PhaseProfile {
         }
         for (phase, secs) in &other.comm {
             let entry = self.comm.entry(*phase).or_insert(0.0);
+            *entry = entry.max(*secs);
+        }
+        for (phase, secs) in &other.overlap {
+            let entry = self.overlap.entry(*phase).or_insert(0.0);
             *entry = entry.max(*secs);
         }
     }
@@ -193,6 +242,33 @@ mod tests {
         });
         assert!(out > 0);
         assert!(p.compute(Phase::Propagation) >= 0.0);
+    }
+
+    #[test]
+    fn overlap_books_balance() {
+        let mut p = PhaseProfile::new();
+        p.add_compute(Phase::Propagation, 4.0);
+        p.add_comm(Phase::FeatureFetch, 1.5);
+        p.add_overlap(Phase::FeatureFetch, 1.0);
+        assert_eq!(p.overlap(Phase::FeatureFetch), 1.0);
+        assert_eq!(p.overlap(Phase::Propagation), 0.0);
+        assert_eq!(p.total(Phase::FeatureFetch), 1.5);
+        assert_eq!(p.effective_total(Phase::FeatureFetch), 0.5);
+        assert_eq!(p.total_overlap(), 1.0);
+        assert_eq!(p.grand_total(), 5.5);
+        assert_eq!(p.effective_grand_total(), 4.5);
+        // grand_total == compute + comm regardless of overlap: the bill is
+        // schedule-independent, only the effective totals move.
+        assert_eq!(p.grand_total(), p.total_compute() + p.total_comm());
+
+        let mut q = PhaseProfile::new();
+        q.add_overlap(Phase::FeatureFetch, 0.25);
+        let mut sum = p.clone();
+        sum.merge_sum(&q);
+        assert_eq!(sum.total_overlap(), 1.25);
+        let mut max = p.clone();
+        max.merge_max(&q);
+        assert_eq!(max.overlap(Phase::FeatureFetch), 1.0);
     }
 
     #[test]

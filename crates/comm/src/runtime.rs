@@ -136,7 +136,17 @@ impl Runtime {
         for (rank, result) in results.into_iter().enumerate() {
             match result {
                 Ok((r, value, stats)) => outputs.push(RankOutput { rank: r, value, stats }),
-                Err(_) => return Err(CommError::RankPanicked { rank }),
+                Err(payload) => {
+                    // Carry the panic payload into the error so a CI failure
+                    // in the rank simulator is diagnosable from the log alone
+                    // (`panic!` payloads are `&str` or `String` in practice).
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    return Err(CommError::RankPanicked { rank, message });
+                }
             }
         }
         outputs.sort_by_key(|o| o.rank);
@@ -340,6 +350,26 @@ mod tests {
             })
             .unwrap();
         assert!(outs.iter().all(|o| o.value));
+    }
+
+    #[test]
+    fn rank_panic_carries_its_payload_message() {
+        let rt = Runtime::new(2).unwrap();
+        let err = rt
+            .run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded at step {}", 7);
+                }
+                comm.rank()
+            })
+            .unwrap_err();
+        match err {
+            CommError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert_eq!(message, "rank 1 exploded at step 7");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
     }
 
     #[test]

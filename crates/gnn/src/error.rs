@@ -123,7 +123,7 @@ mod tests {
         assert!(e.to_string().contains("graph error"));
         let e: GnnError = SamplingError::InvalidConfig("y".into()).into();
         assert!(e.to_string().contains("sampling error"));
-        let e: GnnError = CommError::RankPanicked { rank: 0 }.into();
+        let e: GnnError = CommError::RankPanicked { rank: 0, message: "boom".into() }.into();
         assert!(e.to_string().contains("communication error"));
         let e = GnnError::InvalidConfig("bad".into());
         assert!(e.source().is_none());

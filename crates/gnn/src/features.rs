@@ -39,10 +39,10 @@
 
 use crate::error::GnnError;
 use crate::Result;
-use dmbs_comm::{CommStats, Communicator, Group};
+use dmbs_comm::{CommStats, Communicator, Group, PendingCollective};
 use dmbs_graph::partition::OneDPartition;
 use dmbs_matrix::DenseMatrix;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One rank's shard of the vertex feature matrix.
 #[derive(Debug, Clone)]
@@ -150,13 +150,56 @@ impl FeatureStore {
         group: &Group,
         vertices: &[usize],
     ) -> Result<DenseMatrix> {
+        let (requests, origin) = self.bucket_requests(group, vertices)?;
+        // Exchange requests, serve them from the local block, exchange rows.
+        let incoming = comm.group_all_to_allv(group, requests)?;
+        let replies = self.serve_requests(&incoming);
+        let received = comm.group_all_to_allv(group, replies)?;
+        Ok(self.assemble_rows(&origin, &received))
+    }
+
+    /// Posts the fetch of `vertices` nonblocking: the request round's
+    /// messages leave immediately (on the tagged nonblocking lane, so any
+    /// amount of blocking traffic may run in between) and the returned
+    /// [`PendingFetch`] completes the exchange when waited.  The traffic —
+    /// message counts, words, α–β modeled time — is identical to
+    /// [`FeatureStore::fetch`]; only the schedule moves.
+    ///
+    /// Every rank of `group` must post at the same pipeline point and wait at
+    /// the same later point (the reply round runs inside
+    /// [`PendingFetch::wait`], modeling an asynchronous progress engine that
+    /// serves requests while the poster computes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::FetchGroupMismatch`] /
+    /// [`GnnError::VertexOutOfRange`] exactly like [`FeatureStore::fetch`],
+    /// plus any communication error from posting.
+    pub fn post_fetch(
+        &self,
+        comm: &mut Communicator,
+        group: &Group,
+        vertices: &[usize],
+    ) -> Result<PendingFetch> {
+        let (requests, origin) = self.bucket_requests(group, vertices)?;
+        let pending_requests = comm.post_group_all_to_allv(group, requests)?;
+        Ok(PendingFetch { pending_requests, origin })
+    }
+
+    /// Buckets `vertices` by owning block; returns the per-member request
+    /// lists and, for each requested vertex, its `(owner, slot)` origin.
+    #[allow(clippy::type_complexity)]
+    fn bucket_requests(
+        &self,
+        group: &Group,
+        vertices: &[usize],
+    ) -> Result<(Vec<Vec<usize>>, Vec<(usize, usize)>)> {
         if group.len() != self.partition.num_parts() {
             return Err(GnnError::FetchGroupMismatch {
                 blocks: self.partition.num_parts(),
                 group: group.len(),
             });
         }
-        // Bucket the requested vertices by owning block.
         let mut requests: Vec<Vec<usize>> = vec![Vec::new(); group.len()];
         let mut origin: Vec<(usize, usize)> = Vec::with_capacity(vertices.len());
         for &v in vertices {
@@ -167,11 +210,13 @@ impl FeatureStore {
             origin.push((owner, requests[owner].len()));
             requests[owner].push(v);
         }
+        Ok((requests, origin))
+    }
 
-        // Exchange requests, serve them from the local block, exchange rows.
-        let incoming = comm.group_all_to_allv(group, requests.clone())?;
+    /// Serves incoming per-member request lists from the local block.
+    fn serve_requests(&self, incoming: &[Vec<usize>]) -> Vec<Vec<f64>> {
         let my_range = self.partition.range(self.block_index);
-        let replies: Vec<Vec<f64>> = incoming
+        incoming
             .iter()
             .map(|wanted| {
                 let mut flat = Vec::with_capacity(wanted.len() * self.feature_dim);
@@ -181,16 +226,64 @@ impl FeatureStore {
                 }
                 flat
             })
-            .collect();
-        let received = comm.group_all_to_allv(group, replies)?;
+            .collect()
+    }
 
-        // Reassemble in the order the caller asked for.
-        let mut out = DenseMatrix::zeros(vertices.len(), self.feature_dim);
+    /// Reassembles the received per-owner reply rows in request order.
+    fn assemble_rows(&self, origin: &[(usize, usize)], received: &[Vec<f64>]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(origin.len(), self.feature_dim);
         for (i, &(owner, slot)) in origin.iter().enumerate() {
             let start = slot * self.feature_dim;
             out.row_mut(i).copy_from_slice(&received[owner][start..start + self.feature_dim]);
         }
-        Ok(out)
+        out
+    }
+}
+
+/// An in-flight [`FeatureCache::post_prefetch`]: the posted fetch plus the
+/// rows it will pin when completed.
+#[must_use = "a posted prefetch does nothing until completed"]
+#[derive(Debug)]
+pub struct PendingPrefetch {
+    fetch: PendingFetch,
+    missing: Vec<usize>,
+}
+
+impl PendingPrefetch {
+    /// The vertices this prefetch requested (will be pinned on completion).
+    pub fn requested(&self) -> &[usize] {
+        &self.missing
+    }
+}
+
+/// An in-flight [`FeatureStore::post_fetch`].  Must be waited by every rank
+/// of the fetch group at the same pipeline point.
+#[must_use = "a posted fetch does nothing until waited"]
+#[derive(Debug)]
+pub struct PendingFetch {
+    pending_requests: PendingCollective<Vec<usize>>,
+    origin: Vec<(usize, usize)>,
+}
+
+impl PendingFetch {
+    /// Completes the fetch: receives the in-flight requests, serves them from
+    /// the local block and exchanges the reply rows.  Returns the requested
+    /// rows in the order they were passed to [`FeatureStore::post_fetch`],
+    /// byte-identical to a blocking [`FeatureStore::fetch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates communication errors from the reply exchange.
+    pub fn wait(
+        self,
+        store: &FeatureStore,
+        comm: &mut Communicator,
+        group: &Group,
+    ) -> Result<DenseMatrix> {
+        let incoming = self.pending_requests.wait(comm)?;
+        let replies = store.serve_requests(&incoming);
+        let received = comm.group_all_to_allv(group, replies)?;
+        Ok(store.assemble_rows(&self.origin, &received))
     }
 }
 
@@ -251,6 +344,11 @@ pub struct FeatureCache {
     /// LRU index: last-use tick → vertex.  Ticks are unique, so eviction
     /// (pop the smallest tick) is deterministic.
     by_tick: BTreeMap<u64, usize>,
+    /// Vertices requested by a posted-but-not-yet-completed prefetch
+    /// ([`FeatureCache::post_prefetch`]).  A later post must not re-request
+    /// them — that keeps the overlapped schedule's per-epoch word counts
+    /// byte-identical to the synchronous schedule's.
+    in_flight: HashSet<usize>,
     /// Maximum resident rows (`usize::MAX` when pinned, 0 when off).
     max_rows: usize,
     tick: u64,
@@ -276,6 +374,7 @@ impl FeatureCache {
             feature_dim,
             rows: HashMap::new(),
             by_tick: BTreeMap::new(),
+            in_flight: HashSet::new(),
             max_rows,
             tick: 0,
             stats: CommStats::default(),
@@ -310,10 +409,13 @@ impl FeatureCache {
     }
 
     /// Drops every resident row (epoch boundary for the pinned mode); the
-    /// stats counters are kept.
+    /// stats counters are kept.  Any in-flight posted prefetch is forgotten —
+    /// the pipelined trainer drains its pipeline before the epoch boundary,
+    /// so nothing is in flight when this runs.
     pub fn clear(&mut self) {
         self.rows.clear();
         self.by_tick.clear();
+        self.in_flight.clear();
     }
 
     /// Words a hit on `vertex` keeps off the wire: one request id plus one
@@ -384,6 +486,64 @@ impl FeatureCache {
             // exactly as `prime_local` counts on the streaming path, so hit
             // rates are comparable across the two paths and a cold cache is
             // visible in the counters.
+            self.stats.record_cache_miss();
+            self.insert(v, fetched.row(i), true);
+        }
+        Ok(missing.len())
+    }
+
+    /// Posts the prefetch of `plan_vertices` nonblocking — the overlapped
+    /// pipeline's version of [`FeatureCache::prefetch`].  The missing set
+    /// excludes both resident rows *and* rows already requested by an earlier
+    /// still-pending post, so a software-pipelined schedule (post group
+    /// `k + 1` before group `k`'s rows have landed) requests exactly the rows
+    /// the synchronous schedule would: per-epoch words stay byte-identical.
+    ///
+    /// Complete with [`FeatureCache::complete_prefetch`] before the first
+    /// [`FeatureCache::gather_pinned`] that needs the rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureStore::post_fetch`] errors.
+    pub fn post_prefetch(
+        &mut self,
+        store: &FeatureStore,
+        comm: &mut Communicator,
+        group: &Group,
+        plan_vertices: &[usize],
+    ) -> Result<PendingPrefetch> {
+        let missing: Vec<usize> = plan_vertices
+            .iter()
+            .copied()
+            .filter(|v| !self.rows.contains_key(v) && !self.in_flight.contains(v))
+            .collect();
+        // Mark rows in flight only once the post succeeded: a failed post
+        // (group mismatch, out-of-range vertex) must leave the cache exactly
+        // as it found it, so a corrected retry re-requests the same rows.
+        let fetch = store.post_fetch(comm, group, &missing)?;
+        self.in_flight.extend(missing.iter().copied());
+        Ok(PendingPrefetch { fetch, missing })
+    }
+
+    /// Completes a posted prefetch: waits the in-flight exchange, pins the
+    /// fetched rows and records them as the misses that paid for the
+    /// transfer (the same accounting as [`FeatureCache::prefetch`]).
+    /// Returns the number of rows that crossed the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PendingFetch::wait`] errors.
+    pub fn complete_prefetch(
+        &mut self,
+        store: &FeatureStore,
+        comm: &mut Communicator,
+        group: &Group,
+        pending: PendingPrefetch,
+    ) -> Result<usize> {
+        let PendingPrefetch { fetch, missing } = pending;
+        let fetched = fetch.wait(store, comm, group)?;
+        for (i, &v) in missing.iter().enumerate() {
+            self.in_flight.remove(&v);
             self.stats.record_cache_miss();
             self.insert(v, fetched.row(i), true);
         }
@@ -693,6 +853,89 @@ mod tests {
         assert!(words_cached < words_uncached, "{words_cached} !< {words_uncached}");
         // The cache's books balance: saved + sent == the uncached bill.
         assert_eq!(words_cached + words_saved, words_uncached);
+    }
+
+    #[test]
+    fn posted_fetch_matches_blocking_fetch_and_traffic() {
+        let n = 16;
+        let f = 4;
+        let h = full_features(n, f);
+        let runtime = Runtime::new(4).unwrap();
+        let wanted: Vec<usize> = vec![3, 14, 9, 14, 0];
+        let outs = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                let blocking = store.fetch(comm, &world, &wanted).unwrap();
+                let words_blocking = comm.stats().words_sent;
+                let pending = store.post_fetch(comm, &world, &wanted).unwrap();
+                let after_post = comm.stats().words_sent;
+                // Blocking traffic runs while the fetch is in flight.
+                comm.barrier().unwrap();
+                let _ = comm.allreduce(comm.rank(), |a, b| a + b).unwrap();
+                let before_wait = comm.stats().words_sent;
+                let posted = pending.wait(&store, comm, &world).unwrap();
+                let words_posted =
+                    (after_post - words_blocking) + (comm.stats().words_sent - before_wait);
+                (blocking == posted, words_blocking, words_posted)
+            })
+            .unwrap();
+        for o in &outs {
+            assert!(o.value.0, "posted fetch diverged from blocking fetch");
+        }
+        // Identical traffic, summed across ranks (per-rank request volume is
+        // owner-dependent, but the collective's bill is schedule-invariant).
+        let blocking_total: usize = outs.iter().map(|o| o.value.1).sum();
+        let posted_total: usize = outs.iter().map(|o| o.value.2).sum();
+        assert_eq!(blocking_total, posted_total);
+    }
+
+    #[test]
+    fn pipelined_posted_prefetches_request_exactly_the_synchronous_rows() {
+        // Two bulk groups with overlapping plans: posting group 1's prefetch
+        // before group 0's rows have landed must still request exactly what
+        // the synchronous schedule would (the in-flight set dedups), so the
+        // per-epoch words match bit for bit.
+        let n = 16;
+        let f = 3;
+        let h = full_features(n, f);
+        let runtime = Runtime::new(2).unwrap();
+        let plan0: Vec<usize> = vec![1, 5, 9, 13];
+        let plan1: Vec<usize> = vec![5, 9, 2, 6]; // overlaps plan0 on {5, 9}
+        let sync = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                let mut cache = FeatureCache::new(FeatureCacheConfig::EpochPinned, f);
+                cache.prefetch(&store, comm, &world, &plan0).unwrap();
+                let a = cache.gather_pinned(&store, &plan0).unwrap();
+                cache.prefetch(&store, comm, &world, &plan1).unwrap();
+                let b = cache.gather_pinned(&store, &plan1).unwrap();
+                (a, b, comm.stats().words_sent, *cache.stats())
+            })
+            .unwrap();
+        let pipelined = runtime
+            .run(|comm| {
+                let store = FeatureStore::from_full(&h, comm.size(), comm.rank()).unwrap();
+                let world = comm.world();
+                let mut cache = FeatureCache::new(FeatureCacheConfig::EpochPinned, f);
+                // Software pipeline: both posts in flight before either wait.
+                let p0 = cache.post_prefetch(&store, comm, &world, &plan0).unwrap();
+                let p1 = cache.post_prefetch(&store, comm, &world, &plan1).unwrap();
+                assert_eq!(p1.requested(), &[2, 6], "in-flight rows must not re-travel");
+                cache.complete_prefetch(&store, comm, &world, p0).unwrap();
+                let a = cache.gather_pinned(&store, &plan0).unwrap();
+                cache.complete_prefetch(&store, comm, &world, p1).unwrap();
+                let b = cache.gather_pinned(&store, &plan1).unwrap();
+                (a, b, comm.stats().words_sent, *cache.stats())
+            })
+            .unwrap();
+        for (s, p) in sync.iter().zip(&pipelined) {
+            assert_eq!(s.value.0, p.value.0, "group 0 rows diverged");
+            assert_eq!(s.value.1, p.value.1, "group 1 rows diverged");
+            assert_eq!(s.value.2, p.value.2, "pipelined words diverged from synchronous");
+            assert_eq!(s.value.3, p.value.3, "cache counters diverged");
+        }
     }
 
     #[test]

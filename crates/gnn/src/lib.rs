@@ -39,7 +39,7 @@ pub mod session;
 pub mod trainer;
 
 pub use error::GnnError;
-pub use features::{FeatureCache, FeatureCacheConfig, FeatureStore};
+pub use features::{FeatureCache, FeatureCacheConfig, FeatureStore, PendingFetch, PendingPrefetch};
 pub use model::SageModel;
 pub use session::{Minibatch, MinibatchStream, Session, SessionBuilder, TrainingSession};
 pub use trainer::{EpochStats, TrainingConfig, TrainingReport};

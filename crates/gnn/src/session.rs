@@ -57,13 +57,13 @@
 //! ```
 
 use crate::error::GnnError;
-use crate::features::{FeatureCache, FeatureCacheConfig, FeatureStore};
+use crate::features::{FeatureCache, FeatureCacheConfig, FeatureStore, PendingPrefetch};
 use crate::metrics::{accuracy, RunningMean};
 use crate::model::SageModel;
 use crate::optim::{Optimizer, Sgd};
 use crate::trainer::{EpochStats, TrainingReport};
 use crate::Result;
-use dmbs_comm::{CommStats, Group, Phase, PhaseProfile, ProcessGrid};
+use dmbs_comm::{CommStats, Communicator, Group, Phase, PhaseProfile, ProcessGrid};
 use dmbs_graph::datasets::Dataset;
 use dmbs_graph::minibatch::MinibatchPlan;
 use dmbs_matrix::pool::Parallelism;
@@ -95,6 +95,7 @@ struct SessionConfig {
     evaluate: bool,
     parallelism: Parallelism,
     feature_cache: FeatureCacheConfig,
+    overlap: bool,
 }
 
 /// One sampled minibatch yielded by a [`MinibatchStream`].
@@ -111,6 +112,22 @@ pub struct Minibatch {
 }
 
 type GroupMessage = Result<(usize, usize, BulkSampleOutput, FetchPlan)>;
+
+/// One in-flight stage of the software-pipelined distributed training loop:
+/// a sampled bulk group whose pinned prefetch (if any) has been posted but
+/// not yet completed, plus the modeled communication seconds hoisted ahead of
+/// the previous group's training (the candidate for overlap credit).
+#[derive(Debug)]
+struct PipelineStage {
+    /// `(index within the group, sample)` for every minibatch this rank
+    /// trains.
+    samples: Vec<(usize, dmbs_sampling::MinibatchSample)>,
+    /// The posted (not yet completed) pinned prefetch of this stage.
+    pending: Option<PendingPrefetch>,
+    /// Comm-only profile of the work hoisted while the previous group
+    /// trained: sampling collectives plus the prefetch rounds.
+    hoisted: PhaseProfile,
+}
 
 /// An iterator over one epoch's sampled minibatches with double-buffered
 /// bulk prefetch: a worker thread runs the backend one bulk group ahead of
@@ -242,6 +259,7 @@ pub struct SessionBuilder<S, B> {
     parallelism: Option<Parallelism>,
     workspace_reuse: Option<bool>,
     feature_cache: FeatureCacheConfig,
+    overlap: bool,
 }
 
 impl<S, B> Default for SessionBuilder<S, B> {
@@ -262,6 +280,7 @@ impl<S, B> Default for SessionBuilder<S, B> {
             parallelism: None,
             workspace_reuse: None,
             feature_cache: FeatureCacheConfig::Off,
+            overlap: false,
         }
     }
 }
@@ -400,6 +419,30 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         self
     }
 
+    /// Software-pipelines the distributed training loop (default off): while
+    /// bulk group `k` trains, group `k + 1` is sampled and — with the
+    /// [`FeatureCacheConfig::EpochPinned`] cache — its prefetch all-to-allv
+    /// is posted nonblocking, so the α–β communication bill hides behind
+    /// propagation compute instead of adding to it.  The modeled time hidden
+    /// this way is recorded as overlapped seconds
+    /// ([`dmbs_comm::PhaseProfile::total_overlap`],
+    /// [`dmbs_comm::CommStats::overlapped_time`]); the wire books themselves
+    /// (words, messages, total modeled time) are untouched.
+    ///
+    /// The overlapped schedule is **byte-identical** to the synchronous one —
+    /// same losses, same accuracy, same fetched rows, same per-epoch word
+    /// counts — for every grid shape and cache mode (pinned by the
+    /// `tests/overlap_pipeline.rs` sweep).  Degradations are graceful, never
+    /// errors: with the [`FeatureCacheConfig::Lru`] cache (or no cache) the
+    /// per-step fetch collectives stay synchronous so ranks stay matched and
+    /// only group `k + 1`'s sampling is hoisted; the streaming (local) path
+    /// ignores the knob entirely, since its [`MinibatchStream`] worker thread
+    /// already overlaps sampling with training.
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -467,6 +510,7 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
                 evaluate: self.evaluate,
                 parallelism,
                 feature_cache: self.feature_cache,
+                overlap: self.overlap,
             },
         })
     }
@@ -788,110 +832,147 @@ where
                         cache.as_mut().expect("pinned implies enabled").clear();
                     }
 
-                    for (gi, group) in plan.batches().chunks(config.bulk_size).enumerate() {
-                        // --- Phase 1: sampling through the backend, inside
-                        // the SPMD region.
-                        let shard = self
-                            .backend
-                            .sample_group_on_rank(
-                                comm,
-                                &*self.sampler,
-                                self.dataset.graph.adjacency(),
-                                group,
-                                group_seed(epoch_seed, gi),
-                            )
-                            .map_err(GnnError::Sampling)?;
-                        profile.merge_sum(&shard.profile);
-                        let my_samples = shard.samples;
-
-                        // --- Phase 2a (pinned cache only): one collective
-                        // prefetch of the group's deduplicated frontier
-                        // union.  Bulk sampling materialized every frontier
-                        // already, so the fetch plan costs a dedup, and the
-                        // per-step all-to-allv rounds below disappear.
-                        if pinned {
-                            let cache = cache.as_mut().expect("pinned implies enabled");
-                            let fetch_plan =
-                                FetchPlan::from_sample_iter(my_samples.iter().map(|(_, mb)| mb));
-                            let fetch_start = std::time::Instant::now();
-                            let comm_before = comm.stats().modeled_time;
-                            cache.prefetch(
-                                &store,
-                                comm,
-                                &fetch_group,
-                                fetch_plan.unique_vertices(),
-                            )?;
-                            profile.add_compute(
-                                Phase::FeatureFetch,
-                                fetch_start.elapsed().as_secs_f64(),
-                            );
-                            profile.add_comm(
-                                Phase::FeatureFetch,
-                                comm.stats().modeled_time - comm_before,
-                            );
-                        }
-
-                        // --- Phases 2 and 3, bulk synchronous: every rank
-                        // takes the same number of steps so the collectives
-                        // stay matched.
-                        let steps = comm.allreduce(my_samples.len(), |a, b| *a.max(b))?;
-                        for step in 0..steps {
-                            let sample = my_samples.get(step).map(|(_, mb)| mb);
-
-                            let fetch_start = std::time::Instant::now();
-                            let comm_before = comm.stats().modeled_time;
-                            let wanted: Vec<usize> =
-                                sample.map(|s| s.input_vertices().to_vec()).unwrap_or_default();
-                            let input = match cache.as_mut() {
-                                // Pinned: served locally, no collective.
-                                Some(cache) if pinned => cache.gather_pinned(&store, &wanted)?,
-                                // LRU: the collective always runs, carrying
-                                // only the misses.
-                                Some(cache) => {
-                                    cache.fetch_through(&store, comm, &fetch_group, &wanted)?
-                                }
-                                None => store.fetch(comm, &fetch_group, &wanted)?,
-                            };
-                            profile.add_compute(
-                                Phase::FeatureFetch,
-                                fetch_start.elapsed().as_secs_f64(),
-                            );
-                            profile.add_comm(
-                                Phase::FeatureFetch,
-                                comm.stats().modeled_time - comm_before,
-                            );
-
-                            let prop_start = std::time::Instant::now();
-                            let comm_before = comm.stats().modeled_time;
-                            let (local_loss, grads) = if let Some(sample) = sample {
-                                let labels = self.batch_labels(&sample.batch);
-                                let (l, _, grads) =
-                                    model.loss_and_gradients(sample, &input, &labels)?;
-                                (Some(l), SageModel::flatten_grads(&grads))
+                    let groups: Vec<&[Vec<usize>]> =
+                        plan.batches().chunks(config.bulk_size).collect();
+                    if config.overlap {
+                        // --- Software-pipelined schedule (§6 overlap): while
+                        // group k trains, group k+1 is sampled and its pinned
+                        // prefetch is posted nonblocking; stage 0 fills the
+                        // pipeline with no compute to hide behind.
+                        let mut stage = self.sample_and_post_stage(
+                            comm,
+                            groups[0],
+                            group_seed(epoch_seed, 0),
+                            &store,
+                            &fetch_group,
+                            &mut cache,
+                            pinned,
+                            &mut profile,
+                        )?;
+                        let mut prev_steps_compute = 0.0f64;
+                        for k in 0..groups.len() {
+                            let next = if k + 1 < groups.len() {
+                                Some(self.sample_and_post_stage(
+                                    comm,
+                                    groups[k + 1],
+                                    group_seed(epoch_seed, k + 1),
+                                    &store,
+                                    &fetch_group,
+                                    &mut cache,
+                                    pinned,
+                                    &mut profile,
+                                )?)
                             } else {
-                                (None, vec![0.0; model.num_parameters()])
+                                None
                             };
-                            let contributing = comm
-                                .allreduce(usize::from(local_loss.is_some()), |a, b| a + b)?
-                                .max(1);
-                            let summed = comm.allreduce(grads, |a, b| {
-                                a.iter().zip(b).map(|(x, y)| x + y).collect()
-                            })?;
-                            let averaged: Vec<f64> =
-                                summed.into_iter().map(|g| g / contributing as f64).collect();
-                            let grads = model.unflatten_grads(&averaged)?;
-                            optimizer.step(model.parameters_mut(), &grads)?;
-                            if let Some(l) = local_loss {
-                                loss.push(l);
+                            // Complete stage k's prefetch (the reply rows of
+                            // the posted all-to-allv land here).
+                            if let Some(pending) = stage.pending.take() {
+                                let cache = cache.as_mut().expect("pending implies pinned cache");
+                                let wait_start = std::time::Instant::now();
+                                let comm_before = comm.stats().modeled_time;
+                                cache.complete_prefetch(&store, comm, &fetch_group, pending)?;
+                                profile.add_compute(
+                                    Phase::FeatureFetch,
+                                    wait_start.elapsed().as_secs_f64(),
+                                );
+                                let wait_comm = comm.stats().modeled_time - comm_before;
+                                profile.add_comm(Phase::FeatureFetch, wait_comm);
+                                stage.hoisted.add_comm(Phase::FeatureFetch, wait_comm);
                             }
-                            profile.add_compute(
-                                Phase::Propagation,
-                                prop_start.elapsed().as_secs_f64(),
-                            );
-                            profile.add_comm(
-                                Phase::Propagation,
-                                comm.stats().modeled_time - comm_before,
-                            );
+                            // Charge the hoisted communication as hidden
+                            // behind the previous group's training compute:
+                            // the pipelined schedule pays max(comm, compute),
+                            // so min(comm, compute) is credited as overlapped
+                            // seconds — phase by phase until the budget runs
+                            // out.  The wire books (words, messages, modeled
+                            // time) are untouched.
+                            let mut budget = prev_steps_compute;
+                            for phase in Phase::ALL {
+                                let credit = comm
+                                    .cost_model()
+                                    .overlap_credit(stage.hoisted.comm(phase), budget);
+                                if credit > 0.0 {
+                                    profile.add_overlap(phase, credit);
+                                    budget -= credit;
+                                }
+                            }
+                            prev_steps_compute = self.run_group_steps(
+                                comm,
+                                &stage.samples,
+                                &store,
+                                &fetch_group,
+                                &mut cache,
+                                pinned,
+                                true,
+                                &mut model,
+                                &mut optimizer,
+                                &mut profile,
+                                &mut loss,
+                            )?;
+                            if let Some(next) = next {
+                                stage = next;
+                            }
+                        }
+                    } else {
+                        for (gi, group) in groups.iter().enumerate() {
+                            // --- Phase 1: sampling through the backend,
+                            // inside the SPMD region.
+                            let shard = self
+                                .backend
+                                .sample_group_on_rank(
+                                    comm,
+                                    &*self.sampler,
+                                    self.dataset.graph.adjacency(),
+                                    group,
+                                    group_seed(epoch_seed, gi),
+                                )
+                                .map_err(GnnError::Sampling)?;
+                            profile.merge_sum(&shard.profile);
+                            let my_samples = shard.samples;
+
+                            // --- Phase 2a (pinned cache only): one
+                            // collective prefetch of the group's deduplicated
+                            // frontier union.  Bulk sampling materialized
+                            // every frontier already, so the fetch plan costs
+                            // a dedup, and the per-step all-to-allv rounds
+                            // below disappear.
+                            if pinned {
+                                let cache = cache.as_mut().expect("pinned implies enabled");
+                                let fetch_plan = FetchPlan::from_sample_iter(
+                                    my_samples.iter().map(|(_, mb)| mb),
+                                );
+                                let fetch_start = std::time::Instant::now();
+                                let comm_before = comm.stats().modeled_time;
+                                cache.prefetch(
+                                    &store,
+                                    comm,
+                                    &fetch_group,
+                                    fetch_plan.unique_vertices(),
+                                )?;
+                                profile.add_compute(
+                                    Phase::FeatureFetch,
+                                    fetch_start.elapsed().as_secs_f64(),
+                                );
+                                profile.add_comm(
+                                    Phase::FeatureFetch,
+                                    comm.stats().modeled_time - comm_before,
+                                );
+                            }
+
+                            self.run_group_steps(
+                                comm,
+                                &my_samples,
+                                &store,
+                                &fetch_group,
+                                &mut cache,
+                                pinned,
+                                false,
+                                &mut model,
+                                &mut optimizer,
+                                &mut profile,
+                                &mut loss,
+                            )?;
                         }
                     }
 
@@ -899,6 +980,11 @@ where
                     comm_delta.messages -= comm_start.messages;
                     comm_delta.words_sent -= comm_start.words_sent;
                     comm_delta.modeled_time -= comm_start.modeled_time;
+                    comm_delta.overlapped_time -= comm_start.overlapped_time;
+                    // The hidden seconds live in the profile's overlap books;
+                    // mirror the epoch total into the comm counters so the
+                    // harnesses see one number per epoch.
+                    comm_delta.record_overlap(profile.total_overlap());
                     if let Some(cache) = cache.as_mut() {
                         // Fold in this epoch's hit/miss/saved-words counters
                         // (and reset them for the next epoch).
@@ -954,6 +1040,136 @@ where
             report.test_accuracy = Some(self.evaluate_model(&model, &self.dataset.test_set)?);
         }
         Ok(report)
+    }
+
+    /// Samples one bulk group inside the SPMD region and, with the pinned
+    /// cache, posts its prefetch nonblocking — the "stage fill" of the
+    /// software pipeline.  The modeled communication this hoists ahead of the
+    /// previous group's training is collected in
+    /// [`PipelineStage::hoisted`] so the trainer can credit it as
+    /// overlapped once the budget (the previous group's training compute) is
+    /// known.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_and_post_stage(
+        &self,
+        comm: &mut Communicator,
+        group: &[Vec<usize>],
+        seed: u64,
+        store: &FeatureStore,
+        fetch_group: &Group,
+        cache: &mut Option<FeatureCache>,
+        pinned: bool,
+        profile: &mut PhaseProfile,
+    ) -> Result<PipelineStage> {
+        let shard = self
+            .backend
+            .sample_group_on_rank(comm, &*self.sampler, self.dataset.graph.adjacency(), group, seed)
+            .map_err(GnnError::Sampling)?;
+        profile.merge_sum(&shard.profile);
+        let mut hoisted = PhaseProfile::new();
+        for phase in Phase::ALL {
+            let comm_secs = shard.profile.comm(phase);
+            if comm_secs > 0.0 {
+                hoisted.add_comm(phase, comm_secs);
+            }
+        }
+        let pending = if pinned {
+            let cache = cache.as_mut().expect("pinned implies enabled");
+            let fetch_plan = FetchPlan::from_sample_iter(shard.samples.iter().map(|(_, mb)| mb));
+            let post_start = std::time::Instant::now();
+            let comm_before = comm.stats().modeled_time;
+            let pending =
+                cache.post_prefetch(store, comm, fetch_group, fetch_plan.unique_vertices())?;
+            profile.add_compute(Phase::FeatureFetch, post_start.elapsed().as_secs_f64());
+            let post_comm = comm.stats().modeled_time - comm_before;
+            profile.add_comm(Phase::FeatureFetch, post_comm);
+            hoisted.add_comm(Phase::FeatureFetch, post_comm);
+            Some(pending)
+        } else {
+            None
+        };
+        Ok(PipelineStage { samples: shard.samples, pending, hoisted })
+    }
+
+    /// Runs the bulk-synchronous training steps of one group: every rank
+    /// takes the same number of steps so the collectives stay matched.  With
+    /// `overlap` the per-step gradient reduces are posted back-to-back (two
+    /// collectives in flight, identical traffic and bit-identical results);
+    /// the per-step *fetch* collectives of the LRU / uncached modes always
+    /// stay synchronous — they are demand-driven, and keeping them blocking
+    /// is what keeps ranks matched.  Returns the measured wall seconds of the
+    /// step loop — the compute budget the next stage's hoisted communication
+    /// can hide behind.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group_steps(
+        &self,
+        comm: &mut Communicator,
+        my_samples: &[(usize, MinibatchSample)],
+        store: &FeatureStore,
+        fetch_group: &Group,
+        cache: &mut Option<FeatureCache>,
+        pinned: bool,
+        overlap: bool,
+        model: &mut SageModel,
+        optimizer: &mut Sgd,
+        profile: &mut PhaseProfile,
+        loss: &mut RunningMean,
+    ) -> Result<f64> {
+        let loop_start = std::time::Instant::now();
+        let steps = comm.allreduce(my_samples.len(), |a, b| *a.max(b))?;
+        for step in 0..steps {
+            let sample = my_samples.get(step).map(|(_, mb)| mb);
+
+            let fetch_start = std::time::Instant::now();
+            let comm_before = comm.stats().modeled_time;
+            let wanted: Vec<usize> =
+                sample.map(|s| s.input_vertices().to_vec()).unwrap_or_default();
+            let input = match cache.as_mut() {
+                // Pinned: served locally, no collective.
+                Some(cache) if pinned => cache.gather_pinned(store, &wanted)?,
+                // LRU: the collective always runs, carrying only the misses.
+                Some(cache) => cache.fetch_through(store, comm, fetch_group, &wanted)?,
+                None => store.fetch(comm, fetch_group, &wanted)?,
+            };
+            profile.add_compute(Phase::FeatureFetch, fetch_start.elapsed().as_secs_f64());
+            profile.add_comm(Phase::FeatureFetch, comm.stats().modeled_time - comm_before);
+
+            let prop_start = std::time::Instant::now();
+            let comm_before = comm.stats().modeled_time;
+            let (local_loss, grads) = if let Some(sample) = sample {
+                let labels = self.batch_labels(&sample.batch);
+                let (l, _, grads) = model.loss_and_gradients(sample, &input, &labels)?;
+                (Some(l), SageModel::flatten_grads(&grads))
+            } else {
+                (None, vec![0.0; model.num_parameters()])
+            };
+            let (contributing, summed) = if overlap {
+                // Post both propagation reduces, then wait them in post
+                // order: same messages, same fold order (ascending rank on
+                // the root), bit-identical to the blocking pair.
+                let pending_count =
+                    comm.post_allreduce(usize::from(local_loss.is_some()), |a, b| a + b)?;
+                let pending_grads = comm.post_allreduce(grads, |a: &Vec<f64>, b| {
+                    a.iter().zip(b).map(|(x, y)| x + y).collect()
+                })?;
+                (pending_count.wait_reduced(comm)?.max(1), pending_grads.wait_reduced(comm)?)
+            } else {
+                let contributing =
+                    comm.allreduce(usize::from(local_loss.is_some()), |a, b| a + b)?.max(1);
+                let summed =
+                    comm.allreduce(grads, |a, b| a.iter().zip(b).map(|(x, y)| x + y).collect())?;
+                (contributing, summed)
+            };
+            let averaged: Vec<f64> = summed.into_iter().map(|g| g / contributing as f64).collect();
+            let grads = model.unflatten_grads(&averaged)?;
+            optimizer.step(model.parameters_mut(), &grads)?;
+            if let Some(l) = local_loss {
+                loss.push(l);
+            }
+            profile.add_compute(Phase::Propagation, prop_start.elapsed().as_secs_f64());
+            profile.add_comm(Phase::Propagation, comm.stats().modeled_time - comm_before);
+        }
+        Ok(loop_start.elapsed().as_secs_f64())
     }
 
     /// Evaluates classification accuracy on `vertices` by sampling their

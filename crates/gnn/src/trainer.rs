@@ -114,9 +114,25 @@ impl EpochStats {
         self.profile.total(Phase::Propagation)
     }
 
-    /// Total epoch time across all phases.
+    /// Total epoch time across all phases under a serial schedule
+    /// (compute + modeled communication; overlap does not change it).
     pub fn total_time(&self) -> f64 {
         self.profile.grand_total()
+    }
+
+    /// Modeled communication seconds the epoch's schedule hid behind compute
+    /// (zero unless the session was built with
+    /// [`SessionBuilder::overlap`](crate::session::SessionBuilder::overlap)).
+    pub fn overlapped_time(&self) -> f64 {
+        self.profile.total_overlap()
+    }
+
+    /// The epoch seconds the (possibly pipelined) schedule actually pays:
+    /// `total_time - overlapped_time`.  Equal to
+    /// [`EpochStats::total_time`] for synchronous schedules, so the two
+    /// trajectories are directly comparable.
+    pub fn modeled_epoch_seconds(&self) -> f64 {
+        self.profile.effective_grand_total()
     }
 
     /// Feature-cache hit rate of the epoch, or `None` when no cache was

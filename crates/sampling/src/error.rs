@@ -107,7 +107,7 @@ mod tests {
         assert!(m.source().is_some());
         let g: SamplingError = GraphError::InvalidConfig("x".into()).into();
         assert!(g.to_string().contains("graph error"));
-        let c: SamplingError = CommError::RankPanicked { rank: 1 }.into();
+        let c: SamplingError = CommError::RankPanicked { rank: 1, message: "boom".into() }.into();
         assert!(c.to_string().contains("communication"));
     }
 
