@@ -506,14 +506,29 @@ pub mod check {
         "cache_misses",
         "words_saved",
         "items",
+        // Serving-tier counters (`BENCH_serve.json`): the open-loop trace is
+        // replayed in deterministic virtual time, so queue dynamics — how
+        // requests coalesce, shed, and hit the hot tier — are exact.
+        "requests_offered",
+        "requests_served",
+        "batches",
+        "coalescing_x1000",
+        "hot_hits",
+        "hot_misses",
+        "shed_admission",
+        "shed_timeout",
     ];
 
     /// Measured wall-clock fields: slower-than-baseline beyond the tolerance
-    /// soft-warns (different machines legitimately differ).
-    const SOFT_FIELDS: &[&str] = &["wall_s", "modeled_epoch_s"];
+    /// soft-warns (different machines legitimately differ).  Serving latency
+    /// percentiles ride the modeled service-time constants, which are tuning
+    /// knobs rather than schedule contracts — latency drift warns, the
+    /// counters above are what hard-fail.
+    const SOFT_FIELDS: &[&str] = &["wall_s", "modeled_epoch_s", "p50_s", "p99_s", "p999_s"];
 
     /// Fields identifying a record within its file (whichever are present).
-    const KEY_FIELDS: &[&str] = &["bench", "kernel", "threads", "p", "c", "mode"];
+    const KEY_FIELDS: &[&str] =
+        &["bench", "kernel", "threads", "p", "c", "mode", "qps", "window_us"];
 
     /// How bad one comparison finding is.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -742,6 +757,44 @@ pub mod check {
         }
 
         #[test]
+        fn serve_counter_drift_hard_fails_and_latency_soft_warns() {
+            let serve_doc = |coalescing: u64, p99: f64| {
+                Value::parse(&format!(
+                    r#"{{"bench": "serve_openloop", "records": [
+                        {{"qps": 8000, "window_us": 1000, "requests_offered": 512,
+                          "requests_served": 500, "batches": 156,
+                          "coalescing_x1000": {coalescing}, "hot_hits": 40,
+                          "hot_misses": 460, "shed_admission": 12, "shed_timeout": 0,
+                          "p99_s": {p99}, "identical_across_replays": true}}
+                    ]}}"#
+                ))
+                .unwrap()
+            };
+            // Queue-dynamics drift (coalescing factor moved): hard failure.
+            let findings = compare_bench(
+                "BENCH_serve.json",
+                &serve_doc(3200, 0.002),
+                &serve_doc(2100, 0.002),
+                0.5,
+            );
+            assert!(!passes(&findings));
+            assert!(findings
+                .iter()
+                .any(|f| f.severity == Severity::Hard && f.message.contains("coalescing_x1000")));
+            // Latency drift alone: soft warning, gate still passes.
+            let findings = compare_bench(
+                "BENCH_serve.json",
+                &serve_doc(3200, 0.002),
+                &serve_doc(3200, 0.009),
+                0.5,
+            );
+            assert!(passes(&findings));
+            assert!(findings
+                .iter()
+                .any(|f| f.severity == Severity::Soft && f.message.contains("p99_s")));
+        }
+
+        #[test]
         fn missing_record_and_empty_baseline_hard_fail() {
             let empty = Value::parse(r#"{"records": []}"#).unwrap();
             let findings = compare_bench("f", &empty, &doc(100, 0.5, true), 0.5);
@@ -752,6 +805,129 @@ pub mod check {
             .unwrap();
             let findings = compare_bench("f", &other_key, &doc(100, 0.5, true), 0.5);
             assert!(findings.iter().any(|f| f.message.contains("missing from the fresh run")));
+        }
+    }
+}
+
+pub mod stats {
+    //! Shared summary statistics for the benchmark binaries: best-of-reps
+    //! timing, means, nearest-rank percentiles, and the latency summary the
+    //! serving bench reports.  Hoisted here so `perf_baseline`'s kernel
+    //! sweeps and the `--serve` open-loop generator agree on one definition
+    //! instead of growing private copies.
+
+    use std::time::Instant;
+
+    /// Best-of-`reps` wall time of `f`, together with the last result (the
+    /// sweeps are deterministic, so every rep returns the same value).
+    pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let value = f();
+            best = best.min(start.elapsed().as_secs_f64());
+            result = Some(value);
+        }
+        (best, result.expect("reps >= 1"))
+    }
+
+    /// Arithmetic mean; `0.0` for an empty slice.
+    pub fn mean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile of **sorted** data: the smallest value with at
+    /// least `q` of the mass at or below it (`q` in `[0, 1]`).  `q = 0` is
+    /// the minimum, `q = 1` the maximum; `0.0` for an empty slice.
+    pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// The tail-latency digest of one serving run: count, mean, and the
+    /// p50/p99/p999/max ladder, all in the same unit as the input samples.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct LatencySummary {
+        /// Number of samples summarized.
+        pub count: usize,
+        /// Arithmetic mean.
+        pub mean: f64,
+        /// Median (nearest-rank).
+        pub p50: f64,
+        /// 99th percentile (nearest-rank).
+        pub p99: f64,
+        /// 99.9th percentile (nearest-rank).
+        pub p999: f64,
+        /// Worst sample.
+        pub max: f64,
+    }
+
+    impl LatencySummary {
+        /// Summarizes `samples` (any order); all-zero for an empty slice.
+        pub fn from_samples(samples: &[f64]) -> Self {
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            LatencySummary {
+                count: sorted.len(),
+                mean: mean(&sorted),
+                p50: percentile(&sorted, 0.50),
+                p99: percentile(&sorted, 0.99),
+                p999: percentile(&sorted, 0.999),
+                max: sorted.last().copied().unwrap_or(0.0),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn time_best_returns_the_value_and_a_finite_wall() {
+            let (wall, v) = time_best(3, || 41 + 1);
+            assert_eq!(v, 42);
+            assert!(wall.is_finite() && wall >= 0.0);
+        }
+
+        #[test]
+        fn nearest_rank_percentiles_match_the_definition() {
+            let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+            assert_eq!(percentile(&sorted, 0.0), 1.0);
+            assert_eq!(percentile(&sorted, 0.50), 50.0);
+            assert_eq!(percentile(&sorted, 0.99), 99.0);
+            assert_eq!(percentile(&sorted, 0.999), 100.0);
+            assert_eq!(percentile(&sorted, 1.0), 100.0);
+            // Single sample: every percentile is that sample.
+            assert_eq!(percentile(&[7.0], 0.5), 7.0);
+            assert_eq!(percentile(&[], 0.99), 0.0);
+        }
+
+        #[test]
+        fn summary_digests_unsorted_samples() {
+            let s = LatencySummary::from_samples(&[3.0, 1.0, 2.0, 4.0]);
+            assert_eq!(s.count, 4);
+            assert_eq!(s.mean, 2.5);
+            assert_eq!(s.p50, 2.0);
+            assert_eq!(s.p99, 4.0);
+            assert_eq!(s.max, 4.0);
+            let empty = LatencySummary::from_samples(&[]);
+            assert_eq!(empty.count, 0);
+            assert_eq!(empty.max, 0.0);
+        }
+
+        #[test]
+        fn mean_handles_edges() {
+            assert_eq!(mean(&[]), 0.0);
+            assert_eq!(mean(&[2.0, 4.0]), 3.0);
         }
     }
 }

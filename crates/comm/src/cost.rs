@@ -76,6 +76,16 @@ impl CostModel {
         comm_s.min(compute_s)
     }
 
+    /// Modeled per-request share of one coalesced message serving `requests`
+    /// requests: the α latency is paid once for the whole micro-bulk and
+    /// amortizes over its members, while each request's share of the β term
+    /// is its share of the words.  `per_request_cost(words, 1)` equals
+    /// [`CostModel::message_cost`]; `requests = 0` is treated as one request
+    /// so the bill never divides by zero.
+    pub fn per_request_cost(&self, words: usize, requests: usize) -> f64 {
+        self.message_cost(words) / requests.max(1) as f64
+    }
+
     /// Modeled time of the probability-generation SpGEMM of the 1.5D
     /// algorithm, `T_prob` from §5.2.1 of the paper.
     ///
@@ -133,6 +143,11 @@ pub struct CommStats {
     /// schedule-independent α–β bill; the *effective* communication cost of
     /// the schedule is [`CommStats::exposed_time`].
     pub overlapped_time: f64,
+    /// Requests whose traffic was billed through coalesced messages via
+    /// [`CommStats::record_amortized`] — the denominator of
+    /// [`CommStats::modeled_time_per_request`].  Zero outside the serving
+    /// tier.
+    pub amortized_requests: usize,
 }
 
 impl CommStats {
@@ -158,6 +173,25 @@ impl CommStats {
     /// Records one cache miss (the row was fetched or read fresh).
     pub fn record_cache_miss(&mut self) {
         self.cache_misses += 1;
+    }
+
+    /// Records one *coalesced* message of `words` words that serves
+    /// `requests` requests at once (the serving tier's micro-bulk fetch):
+    /// the wire counters take one message and the full α–β bill exactly as
+    /// [`CommStats::record`] would, and `requests` is added to
+    /// [`CommStats::amortized_requests`] so the per-request amortized cost
+    /// can be read back with [`CommStats::modeled_time_per_request`].
+    pub fn record_amortized(&mut self, words: usize, model: &CostModel, requests: usize) {
+        self.record(words, model);
+        self.amortized_requests += requests.max(1);
+    }
+
+    /// Average modeled α–β seconds billed per amortized request, or `None`
+    /// when no request traffic was recorded.  With perfect coalescing the
+    /// α term divides by the micro-bulk size, which is exactly what this
+    /// reports (see [`CostModel::per_request_cost`]).
+    pub fn modeled_time_per_request(&self) -> Option<f64> {
+        (self.amortized_requests > 0).then(|| self.modeled_time / self.amortized_requests as f64)
     }
 
     /// Records `seconds` of modeled communication as overlapped with compute
@@ -191,6 +225,7 @@ impl CommStats {
         self.cache_misses += other.cache_misses;
         self.words_saved += other.words_saved;
         self.overlapped_time += other.overlapped_time;
+        self.amortized_requests += other.amortized_requests;
     }
 
     /// Bytes sent, assuming 8-byte words.
@@ -293,6 +328,37 @@ mod tests {
         t.record_overlap(0.5);
         t.merge(&s);
         assert!((t.overlapped_time - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amortized_accounting_divides_alpha_across_the_micro_bulk() {
+        let m = CostModel::new(1.0, 0.5);
+        // One coalesced message of 8 words serving 4 requests: one α, full β.
+        let mut s = CommStats::new();
+        s.record_amortized(8, &m, 4);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.words_sent, 8);
+        assert_eq!(s.amortized_requests, 4);
+        let per_req = s.modeled_time_per_request().unwrap();
+        assert!((per_req - 5.0 / 4.0).abs() < 1e-12);
+        assert_eq!(per_req, m.per_request_cost(8, 4));
+        // Four singleton messages of 2 words each: four αs for the same β
+        // volume — strictly more expensive per request.
+        let mut singles = CommStats::new();
+        for _ in 0..4 {
+            singles.record_amortized(2, &m, 1);
+        }
+        assert_eq!(singles.amortized_requests, 4);
+        assert!(singles.modeled_time_per_request().unwrap() > per_req);
+        // Degenerate inputs never divide by zero.
+        assert_eq!(m.per_request_cost(8, 1), m.message_cost(8));
+        assert_eq!(m.per_request_cost(8, 0), m.message_cost(8));
+        assert_eq!(CommStats::new().modeled_time_per_request(), None);
+        // The request denominator merges like every other counter.
+        let mut t = CommStats::new();
+        t.record_amortized(2, &m, 3);
+        t.merge(&s);
+        assert_eq!(t.amortized_requests, 7);
     }
 
     #[test]

@@ -35,12 +35,17 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod optim;
+pub mod serve;
 pub mod session;
 pub mod trainer;
 
 pub use error::GnnError;
 pub use features::{FeatureCache, FeatureCacheConfig, FeatureStore, PendingFetch, PendingPrefetch};
 pub use model::SageModel;
+pub use serve::{
+    ModelSnapshot, RequestTrace, ServeError, ServeReport, ServeRequest, ServeResponse, ServeResult,
+    ServeStats, ServingConfig, ServingSession, TraceArrival,
+};
 pub use session::{Minibatch, MinibatchStream, Session, SessionBuilder, TrainingSession};
 pub use trainer::{EpochStats, TrainingConfig, TrainingReport};
 

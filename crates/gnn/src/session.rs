@@ -61,6 +61,7 @@ use crate::features::{FeatureCache, FeatureCacheConfig, FeatureStore, PendingPre
 use crate::metrics::{accuracy, RunningMean};
 use crate::model::SageModel;
 use crate::optim::{Optimizer, Sgd};
+use crate::serve::ModelSnapshot;
 use crate::trainer::{EpochStats, TrainingReport};
 use crate::Result;
 use dmbs_comm::{CommStats, Communicator, Group, Phase, PhaseProfile, ProcessGrid};
@@ -659,6 +660,25 @@ where
     /// Returns configuration errors (missing features/labels), sampling
     /// errors and collective failures.
     pub fn train(&self) -> Result<TrainingReport> {
+        self.train_model().map(|(report, _)| report)
+    }
+
+    /// Runs the full training loop and exports the trained model as a
+    /// [`ModelSnapshot`] for the serving tier, alongside the usual report.
+    /// The snapshot carries the dataset shape it was trained against, so
+    /// [`crate::serve::ServingSession::new`] can reject a mismatched graph
+    /// with a typed error instead of a garbage forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`TrainingSession::train`].
+    pub fn train_and_export(&self) -> Result<(TrainingReport, ModelSnapshot)> {
+        let (report, model) = self.train_model()?;
+        let num_vertices = self.dataset.graph.adjacency().rows();
+        Ok((report, ModelSnapshot::new(model, num_vertices)?))
+    }
+
+    fn train_model(&self) -> Result<(TrainingReport, SageModel)> {
         let (feature_dim, num_classes) = self.dataset_dims()?;
         if self.backend.runtime().is_some() {
             self.train_distributed(feature_dim, num_classes)
@@ -685,7 +705,11 @@ where
     }
 
     /// Single-device training over the prefetching stream.
-    fn train_streaming(&self, feature_dim: usize, num_classes: usize) -> Result<TrainingReport> {
+    fn train_streaming(
+        &self,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Result<(TrainingReport, SageModel)> {
         let features = self.dataset.graph.features().expect("validated");
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut model = SageModel::new(
@@ -761,12 +785,16 @@ where
         if self.config.evaluate {
             report.test_accuracy = Some(self.evaluate_model(&model, &self.dataset.test_set)?);
         }
-        Ok(report)
+        Ok((report, model))
     }
 
     /// Bulk-synchronous data-parallel training (Figure 3) for distributed
     /// backends.
-    fn train_distributed(&self, feature_dim: usize, num_classes: usize) -> Result<TrainingReport> {
+    fn train_distributed(
+        &self,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Result<(TrainingReport, SageModel)> {
         let runtime = self.backend.runtime().expect("distributed path");
         let dist = self.backend.dist().ok_or_else(|| {
             GnnError::InvalidConfig("distributed backend without DistConfig".into())
@@ -1022,24 +1050,25 @@ where
             report.epochs.push(EpochStats { epoch, profile, comm, mean_loss: loss.mean() });
         }
 
+        // All ranks hold identical models (same init, all-reduced
+        // gradients); rebuild rank 0's for evaluation and export.
+        let mut eval_rng = StdRng::seed_from_u64(config.seed);
+        let mut model = SageModel::new(
+            feature_dim,
+            config.hidden_dim,
+            num_classes,
+            self.sampler.num_layers(),
+            &mut eval_rng,
+        )?
+        .with_parallelism(config.parallelism);
+        let trained = &per_rank_ok[0].1;
+        for (param, value) in model.parameters_mut().iter_mut().zip(trained) {
+            *param = value.clone();
+        }
         if self.config.evaluate {
-            // All ranks hold identical models (same init, all-reduced
-            // gradients); rebuild rank 0's and evaluate locally.
-            let mut eval_rng = StdRng::seed_from_u64(config.seed);
-            let mut model = SageModel::new(
-                feature_dim,
-                config.hidden_dim,
-                num_classes,
-                self.sampler.num_layers(),
-                &mut eval_rng,
-            )?;
-            let trained = &per_rank_ok[0].1;
-            for (param, value) in model.parameters_mut().iter_mut().zip(trained) {
-                *param = value.clone();
-            }
             report.test_accuracy = Some(self.evaluate_model(&model, &self.dataset.test_set)?);
         }
-        Ok(report)
+        Ok((report, model))
     }
 
     /// Samples one bulk group inside the SPMD region and, with the pinned

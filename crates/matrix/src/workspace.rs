@@ -139,6 +139,22 @@ impl SpgemmWorkspace {
             + self.pairs.capacity() * std::mem::size_of::<(usize, usize)>()
     }
 
+    /// Releases the scratch buffers if they currently hold more than
+    /// `byte_bound` bytes, returning whether a trim happened.  This is the
+    /// long-lived-thread counterpart of [`SpgemmWorkspace::clear`]: a serving
+    /// thread that reuses its workspace across micro-bulks calls this between
+    /// bulks so one oversized request cannot pin peak-sized scratch for the
+    /// rest of the process, while steady-state requests below the bound keep
+    /// full reuse.
+    pub fn shrink_if_larger(&mut self, byte_bound: usize) -> bool {
+        if self.nbytes() > byte_bound {
+            self.clear();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Starts a new column-mask generation over `n` global columns and
     /// returns the stamp value that marks entries of this generation.
     pub(crate) fn begin_mask(&mut self, n: usize) -> u64 {
@@ -192,6 +208,23 @@ pub fn with_workspace<R>(reuse: bool, f: impl FnOnce(&mut SpgemmWorkspace) -> R)
     }
 }
 
+/// Applies [`SpgemmWorkspace::shrink_if_larger`] to this thread's long-lived
+/// workspace and returns the bytes it holds afterwards.  Callers that go
+/// through the plain kernel entry points (and therefore never see the
+/// thread-local workspace directly) use this to bound resident scratch on a
+/// long-lived thread — the serving tier calls it after each micro-bulk.
+pub fn trim_thread_workspace(byte_bound: usize) -> usize {
+    THREAD_WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => {
+            ws.shrink_if_larger(byte_bound);
+            ws.nbytes()
+        }
+        // Re-entrant call: the workspace is in use further up this thread's
+        // stack; leave it alone.
+        Err(_) => 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +245,39 @@ mod tests {
         assert!(ws.nbytes() > 0);
         ws.clear();
         assert_eq!(ws.nbytes(), 0);
+    }
+
+    #[test]
+    fn shrink_respects_the_byte_bound() {
+        let mut ws = SpgemmWorkspace::new();
+        ws.counts.resize(1024, 0);
+        let held = ws.nbytes();
+        assert!(held > 0);
+        // Under the bound: untouched.
+        assert!(!ws.shrink_if_larger(held));
+        assert_eq!(ws.nbytes(), held);
+        // Over the bound: released.
+        assert!(ws.shrink_if_larger(held - 1));
+        assert_eq!(ws.nbytes(), 0);
+        // Trimming preserves mask-generation monotonicity (stale mask
+        // entries must stay invalid after a trim).
+        let g1 = ws.begin_mask(4);
+        ws.counts.resize(1024, 0);
+        ws.shrink_if_larger(0);
+        let g2 = ws.begin_mask(4);
+        assert!(g2 > g1);
+    }
+
+    #[test]
+    fn thread_workspace_trims_past_the_bound() {
+        with_workspace(true, |ws| ws.counts.resize(4096, 0));
+        let held = with_workspace(true, |ws| ws.nbytes());
+        assert!(held > 0);
+        // A generous bound leaves the scratch resident…
+        assert_eq!(trim_thread_workspace(usize::MAX), held);
+        // …and a zero bound releases it.
+        assert_eq!(trim_thread_workspace(0), 0);
+        assert_eq!(with_workspace(true, |ws| ws.nbytes()), 0);
     }
 
     #[test]

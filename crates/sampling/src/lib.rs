@@ -89,6 +89,7 @@ pub mod error;
 pub mod fastgcn;
 pub mod its;
 pub mod ladies;
+pub mod micro;
 pub mod partitioned;
 pub mod plan;
 pub mod replicated;
@@ -102,6 +103,7 @@ pub use backend::{
 pub use error::SamplingError;
 pub use fastgcn::FastGcnSampler;
 pub use ladies::LadiesSampler;
+pub use micro::{request_stream_seed, sample_micro_bulk, MicroBulkSample, MicroRequest};
 pub use plan::{BulkSampleOutput, FetchPlan, LayerSample, MinibatchSample};
 pub use sage::GraphSageSampler;
 pub use sampler::{BulkSamplerConfig, PartitionedContext, Sampler};
