@@ -14,21 +14,26 @@
 //! separately via `PhaseProfile`), so future PRs have a recorded trajectory
 //! to beat.
 //!
-//! Three further sweeps ride on the same harness: `--fetch` measures the
+//! Four further sweeps ride on the same harness: `--fetch` measures the
 //! communication-avoiding feature pipeline (`BENCH_fetch.json`),
 //! `--overlap` measures the software-pipelined distributed training
 //! schedule against the synchronous one (`BENCH_overlap.json`: modeled
-//! epoch seconds, hidden α–β time, words unchanged), and `--serve` drives
+//! epoch seconds, hidden α–β time, words unchanged), `--serve` drives
 //! the inference tier with a Zipf open-loop request trace across QPS ×
 //! coalescing-window cells (`BENCH_serve.json`: p50/p99/p999 modeled
 //! latency, sustained throughput, coalescing factor, hot-tier hit rate,
-//! shed counts — every counter replayed twice and asserted identical).
+//! shed counts — every counter replayed twice and asserted identical), and
+//! `--calibrate` measures the real multi-process Unix-socket transport
+//! against the in-process simulator (`BENCH_transport.json`: a ping-pong
+//! probe fits the socket's actual α and β, then each grid shape trains the
+//! same session on both transports, asserts bit-identical losses and
+//! counters, and records modeled vs measured epoch seconds).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release --bin perf_baseline \
-//!     [--smoke] [--fetch | --overlap | --serve] \
+//!     [--smoke] [--fetch | --overlap | --serve | --calibrate] \
 //!     [--check <baseline-dir>] [--tolerance <rel>] [output_dir]
 //! ```
 //!
@@ -421,14 +426,19 @@ fn run_fetch_epoch(
     (per_rank, words, messages, hits, misses, saved)
 }
 
-const USAGE: &str = "usage: perf_baseline [--smoke] [--fetch | --overlap | --serve] \
-                     [--check <baseline-dir>] [--tolerance <rel>] [output_dir]";
+const USAGE: &str = "usage: perf_baseline [--smoke] [--fetch | --overlap | --serve | \
+                     --calibrate] [--check <baseline-dir>] [--tolerance <rel>] [output_dir]";
 
 fn main() {
+    // The --calibrate sweep re-executes this binary as its rank processes;
+    // if the rendezvous environment is set, run the worker and exit before
+    // any argument parsing or sweeping.
+    dmbs_comm::run_if_worker(&dmbs_bench::transport::registry());
     let mut smoke = false;
     let mut fetch_only = false;
     let mut overlap_only = false;
     let mut serve_only = false;
+    let mut calibrate_only = false;
     let mut check_dir: Option<std::path::PathBuf> = None;
     let mut tolerance = 0.5;
     let mut out_dir = std::path::PathBuf::from(".");
@@ -442,6 +452,8 @@ fn main() {
             overlap_only = true;
         } else if arg == "--serve" {
             serve_only = true;
+        } else if arg == "--calibrate" {
+            calibrate_only = true;
         } else if arg == "--check" {
             let Some(dir) = args.next() else {
                 eprintln!("--check needs a baseline directory; {USAGE}");
@@ -464,10 +476,10 @@ fn main() {
             out_dir = std::path::PathBuf::from(arg);
         }
     }
-    if [fetch_only, overlap_only, serve_only].iter().filter(|&&f| f).count() > 1 {
+    if [fetch_only, overlap_only, serve_only, calibrate_only].iter().filter(|&&f| f).count() > 1 {
         // The sweeps are exclusive; silently running only one of them would
         // leave the other's BENCH file stale while --check reports success.
-        eprintln!("--fetch, --overlap and --serve are mutually exclusive; {USAGE}");
+        eprintln!("--fetch, --overlap, --serve and --calibrate are mutually exclusive; {USAGE}");
         std::process::exit(2);
     }
     if let Some(baseline_dir) = &check_dir {
@@ -497,6 +509,9 @@ fn main() {
     } else if serve_only {
         run_serve_sweep(smoke, &out_dir);
         &["BENCH_serve.json"]
+    } else if calibrate_only {
+        run_calibrate_sweep(smoke, &out_dir);
+        &["BENCH_transport.json"]
     } else {
         run_kernel_sweeps(smoke, &out_dir);
         &[
@@ -1131,6 +1146,289 @@ fn run_overlap_sweep(smoke: bool, out_dir: &std::path::Path) {
     print_overlap_records(&records);
     write_overlap_json(&out_dir.join("BENCH_overlap.json"), &workload, &records);
     println!("\nOverlapped schedule byte-identical to synchronous; α–β bill partially hidden.");
+}
+
+/// One (grid shape × transport) row of the calibration sweep.
+struct TransportRecord {
+    p: usize,
+    c: usize,
+    /// `"simulator"` or `"socket"`.
+    transport: &'static str,
+    /// Training epochs in the run (exact — a changed schedule length would
+    /// silently rescale every per-epoch field below).
+    epochs: usize,
+    /// Measured wall seconds of the whole training run on this transport.
+    wall_s: f64,
+    /// Modeled epoch seconds (measured compute + configured α–β comm
+    /// bill), summed over epochs.  The α–β portion is bit-identical
+    /// between transports by the equivalence contract; the compute
+    /// portion is measured wall time, so the field drifts with the
+    /// machine and is soft-gated.
+    modeled_epoch_s: f64,
+    /// Measured wall seconds per epoch (`wall_s / epochs`).  On the socket
+    /// row this includes real process spawn + wire time; the gap to
+    /// `modeled_epoch_s / epochs` is what the calibration quantifies.
+    measured_epoch_s: f64,
+    /// Per-rank communication seconds per epoch the *fitted* α–β constants
+    /// predict for this run's wire bill:
+    /// `(fit_alpha·messages + fit_beta·words) / (p · epochs)`.
+    fit_comm_epoch_s: f64,
+    /// Fitted per-message latency of the socket transport (seconds).
+    fit_alpha_s: f64,
+    /// Fitted per-word cost of the socket transport (seconds/word).
+    fit_beta_s_per_word: f64,
+    /// Wire bill over the whole run, summed across ranks — byte-identical
+    /// between transports by contract.
+    words_total: usize,
+    messages: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    words_saved: usize,
+    /// Losses bit-identical and all counters equal to the simulator run.
+    identical_to_simulator: bool,
+}
+
+fn write_transport_json(path: &std::path::Path, workload: &Workload, records: &[TransportRecord]) {
+    let mut out = json_header(workload);
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"p\": {}, \"c\": {}, \"transport\": \"{}\", \"epochs\": {}, \
+             \"wall_s\": {}, \"modeled_epoch_s\": {}, \"measured_epoch_s\": {}, \
+             \"fit_comm_epoch_s\": {}, \"fit_alpha_s\": {}, \"fit_beta_s_per_word\": {}, \
+             \"words_total\": {}, \"messages\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"words_saved\": {}, \"identical_to_simulator\": {}}}{}\n",
+            r.p,
+            r.c,
+            r.transport,
+            r.epochs,
+            json_f64(r.wall_s),
+            json_f64(r.modeled_epoch_s),
+            json_f64(r.measured_epoch_s),
+            json_f64(r.fit_comm_epoch_s),
+            json_f64(r.fit_alpha_s),
+            json_f64(r.fit_beta_s_per_word),
+            r.words_total,
+            r.messages,
+            r.cache_hits,
+            r.cache_misses,
+            r.words_saved,
+            r.identical_to_simulator,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn print_transport_records(records: &[TransportRecord]) {
+    println!("\n== Transport calibration: simulator vs Unix-socket processes ==");
+    println!(
+        "{:>3} {:>3} {:>10}  {:>11}  {:>13}  {:>13}  {:>12}  {:>11}  {:>9}  identical",
+        "p",
+        "c",
+        "transport",
+        "wall_s",
+        "modeled_ep_s",
+        "measured_ep_s",
+        "fit_comm_s",
+        "words",
+        "messages"
+    );
+    for r in records {
+        println!(
+            "{:>3} {:>3} {:>10}  {:>11.6}  {:>13.6}  {:>13.6}  {:>12.6}  {:>11}  {:>9}  {}",
+            r.p,
+            r.c,
+            r.transport,
+            r.wall_s,
+            r.modeled_epoch_s / r.epochs as f64,
+            r.measured_epoch_s,
+            r.fit_comm_epoch_s,
+            r.words_total,
+            r.messages,
+            r.identical_to_simulator
+        );
+    }
+}
+
+/// The `--calibrate` sweep: measure the real Unix-socket transport against
+/// the in-process simulator.  Two phases:
+///
+/// 1. **α–β probe** — a 2-rank ping-pong worker over real OS processes and
+///    sockets at several message sizes; a least-squares fit of
+///    `seconds ≈ α·messages + β·words` recovers the transport's actual
+///    latency and inverse bandwidth in the cost model's own units.
+/// 2. **Equivalence + epoch timing** — per grid shape, train the identical
+///    session on both transports, assert bit-identical losses and
+///    words/messages/cache counters (the cross-backend contract
+///    `tests/transport_equivalence.rs` also pins), and record modeled vs
+///    measured epoch seconds next to what the fitted constants predict.
+///
+/// Writes `BENCH_transport.json`.  The counters and `identical_to_simulator`
+/// hard-fail under `--check`; every measured or fitted seconds field only
+/// soft-warns (it is a property of the host, not of the schedule).
+fn run_calibrate_sweep(smoke: bool, out_dir: &std::path::Path) {
+    use dmbs_bench::transport::{
+        decode_ping_result, encode_ping_job, fit_alpha_beta, registry, ProbeSample, PING_WORKER,
+    };
+    use dmbs_comm::{SocketLaunch, TransportSelect};
+    use dmbs_gnn::{FeatureCacheConfig as CacheMode, TrainingReport, TrainingSession};
+    use dmbs_graph::datasets::{build_dataset, DatasetConfig};
+    use dmbs_sampling::{DistConfig, ReplicatedBackend};
+    use std::sync::Arc;
+
+    let launch = SocketLaunch::default().timeout_ms(180_000);
+
+    // ---- Phase 1: ping-pong probe over real processes.
+    let (sizes, rounds): (&[usize], usize) =
+        if smoke { (&[64, 1_024, 16_384], 16) } else { (&[64, 1_024, 16_384, 131_072], 32) };
+    if smoke {
+        println!("calibrate smoke mode: tiny workload, full probe + shape sweep");
+    }
+    println!("== α–β probe: {rounds}-round ping-pong per message size (2 rank processes) ==");
+    let probe_runtime = Runtime::new(2)
+        .expect("probe runtime")
+        .with_transport(TransportSelect::UnixSocket(launch.clone()));
+    let reg = registry();
+    let mut samples = Vec::new();
+    for &words in sizes {
+        let outs = probe_runtime
+            .run_worker(&reg, PING_WORKER, &encode_ping_job(words, rounds))
+            .expect("ping-pong probe");
+        // Rank 0's clock covers the whole loop; the bill it paid for is both
+        // ranks' sends (each round trip is one send per rank, serialized).
+        let (mut seconds, mut w, mut m) = (0.0, 0usize, 0usize);
+        for o in &outs {
+            let (s, ws, ms) = decode_ping_result(&o.value).expect("well-formed probe result");
+            if o.rank == 0 {
+                seconds = s;
+            }
+            w += ws;
+            m += ms;
+        }
+        println!(
+            "  {words:>8} words/msg: {m:>4} msgs {w:>9} words  {seconds:.6}s  \
+             ({:.1} µs one-way)",
+            seconds / (2.0 * rounds as f64) * 1e6
+        );
+        samples.push(ProbeSample { messages: m as f64, words: w as f64, seconds });
+    }
+    let (fit_alpha, fit_beta) =
+        fit_alpha_beta(&samples).expect("probe sizes are non-degenerate by construction");
+    println!("fitted: alpha = {fit_alpha:.3e} s/message, beta = {fit_beta:.3e} s/word");
+
+    // ---- Phase 2: sim-vs-socket training per grid shape.  Same session
+    // shape as the overlap sweep (replicated backend, pinned cache) so the
+    // trajectories are comparable; the stress cost model keeps the *modeled*
+    // bill visible next to the measured one.
+    let shapes: &[(usize, usize)] =
+        if smoke { &[(2, 1), (4, 2)] } else { &[(2, 1), (4, 2), (4, 4)] };
+    let (scale, feature_dim, epochs) = if smoke { (7, 16, 2) } else { (8, 32, 3) };
+    let cost = dmbs_comm::CostModel::new(2.0e-4, 5.0e-8);
+
+    let mut cfg = DatasetConfig::products_like(scale);
+    cfg.feature_dim = feature_dim;
+    cfg.num_classes = 4;
+    cfg.train_fraction = 0.5;
+    cfg.homophily = 0.6;
+    let dataset = Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(5)).expect("dataset"));
+    let batch_size = (dataset.train_set.len() / 8).max(8);
+
+    let train = |p: usize, c: usize, transport: TransportSelect| -> (TrainingReport, f64) {
+        let dist = DistConfig::new(p, c, BulkSamplerConfig::new(batch_size, 2));
+        let runtime = Runtime::with_cost_model(p, cost).expect("runtime");
+        let backend = ReplicatedBackend::with_runtime(runtime, dist).expect("backend");
+        let session = TrainingSession::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![10, 5]).with_self_loops())
+            .backend(backend)
+            .hidden_dim(32)
+            .learning_rate(0.05)
+            .epochs(epochs)
+            .seed(42)
+            .feature_cache(CacheMode::EpochPinned)
+            .transport(transport)
+            .without_evaluation()
+            .build()
+            .expect("session");
+        let start = Instant::now();
+        let report = session.train().expect("training");
+        (report, start.elapsed().as_secs_f64())
+    };
+
+    let mut records = Vec::new();
+    for &(p, c) in shapes {
+        let (sim, sim_wall) = train(p, c, TransportSelect::Simulator);
+        let (sock, sock_wall) = train(p, c, TransportSelect::UnixSocket(launch.clone()));
+
+        // The cross-transport contract: the socket backend replays the exact
+        // schedule the simulator models — losses and every deterministic
+        // counter bit-identical, per epoch.
+        let identical = sim.epochs.len() == sock.epochs.len()
+            && sim.epochs.iter().zip(&sock.epochs).all(|(a, b)| {
+                a.mean_loss.to_bits() == b.mean_loss.to_bits()
+                    && a.comm.words_sent == b.comm.words_sent
+                    && a.comm.messages == b.comm.messages
+                    && a.comm.cache_hits == b.comm.cache_hits
+                    && a.comm.cache_misses == b.comm.cache_misses
+                    && a.comm.words_saved == b.comm.words_saved
+            });
+        assert!(identical, "p={p} c={c}: socket transport diverged from the simulator");
+
+        let summarize = |r: &TrainingReport| {
+            let modeled: f64 = r.epochs.iter().map(|e| e.modeled_epoch_seconds()).sum();
+            let words: usize = r.epochs.iter().map(|e| e.comm.words_sent).sum();
+            let messages: usize = r.epochs.iter().map(|e| e.comm.messages).sum();
+            let hits: usize = r.epochs.iter().map(|e| e.comm.cache_hits).sum();
+            let misses: usize = r.epochs.iter().map(|e| e.comm.cache_misses).sum();
+            let saved: usize = r.epochs.iter().map(|e| e.comm.words_saved).sum();
+            (modeled, words, messages, hits, misses, saved)
+        };
+        let fit_comm = |words: usize, messages: usize| {
+            (fit_alpha * messages as f64 + fit_beta * words as f64) / (p * epochs) as f64
+        };
+        for (transport, report, wall) in
+            [("simulator", &sim, sim_wall), ("socket", &sock, sock_wall)]
+        {
+            let (modeled, words, messages, hits, misses, saved) = summarize(report);
+            records.push(TransportRecord {
+                p,
+                c,
+                transport,
+                epochs,
+                wall_s: wall,
+                modeled_epoch_s: modeled,
+                measured_epoch_s: wall / epochs as f64,
+                fit_comm_epoch_s: fit_comm(words, messages),
+                fit_alpha_s: fit_alpha,
+                fit_beta_s_per_word: fit_beta,
+                words_total: words,
+                messages,
+                cache_hits: hits,
+                cache_misses: misses,
+                words_saved: saved,
+                identical_to_simulator: identical,
+            });
+        }
+    }
+
+    let workload = Workload {
+        name: "transport_epoch",
+        detail: format!(
+            "distributed GraphSAGE [10, 5] training, replicated backend + EpochPinned cache, \
+             in-process simulator vs Unix-socket rank processes; products-like scale {scale} \
+             (f = {feature_dim}, batch {batch_size}, bulk k = 2, {epochs} epochs), stress cost \
+             model alpha = {:.1e}s beta = {:.1e}s/word; probe sizes {sizes:?} x {rounds} rounds",
+            cost.alpha, cost.beta
+        ),
+        items: epochs,
+        throughput_unit: "epochs/run",
+    };
+    print_transport_records(&records);
+    write_transport_json(&out_dir.join("BENCH_transport.json"), &workload, &records);
+    println!("\nSocket transport byte-identical to the simulator on every shape.");
 }
 
 /// One measured (offered QPS × coalescing window) cell of the serving sweep.

@@ -478,6 +478,8 @@ pub mod json {
     }
 }
 
+pub mod transport;
+
 pub mod check {
     //! The CI perf-regression gate: compare a freshly-run `BENCH_*.json`
     //! against a committed baseline.
@@ -517,6 +519,10 @@ pub mod check {
         "hot_misses",
         "shed_admission",
         "shed_timeout",
+        // Transport-calibration counters (`BENCH_transport.json`): both
+        // transports replay the same seeded schedule, so the wire bill and
+        // the cache's effect on it are exact on the socket backend too.
+        "epochs",
     ];
 
     /// Measured wall-clock fields: slower-than-baseline beyond the tolerance
@@ -524,11 +530,23 @@ pub mod check {
     /// percentiles ride the modeled service-time constants, which are tuning
     /// knobs rather than schedule contracts — latency drift warns, the
     /// counters above are what hard-fail.
-    const SOFT_FIELDS: &[&str] = &["wall_s", "modeled_epoch_s", "p50_s", "p99_s", "p999_s"];
+    const SOFT_FIELDS: &[&str] = &[
+        "wall_s",
+        "modeled_epoch_s",
+        "p50_s",
+        "p99_s",
+        "p999_s",
+        // Transport calibration: real-wire wall clock and the α–β constants
+        // fitted from it vary with the host; only their counters hard-fail.
+        "measured_epoch_s",
+        "fit_comm_epoch_s",
+        "fit_alpha_s",
+        "fit_beta_s_per_word",
+    ];
 
     /// Fields identifying a record within its file (whichever are present).
     const KEY_FIELDS: &[&str] =
-        &["bench", "kernel", "threads", "p", "c", "mode", "qps", "window_us"];
+        &["bench", "kernel", "threads", "p", "c", "mode", "transport", "qps", "window_us"];
 
     /// How bad one comparison finding is.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

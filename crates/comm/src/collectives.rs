@@ -1,4 +1,4 @@
-//! Point-to-point messaging and collectives over simulated ranks.
+//! Point-to-point messaging and collectives over ranks of either transport.
 //!
 //! A [`Communicator`] belongs to one rank of a [`Runtime`](crate::Runtime)
 //! execution.  It offers the NCCL-style operations the paper's algorithms
@@ -6,16 +6,21 @@
 //! all-reduce, all-to-allv and barrier — over the whole world or over a
 //! [`Group`] (e.g. a process row or column of the 1.5D grid).
 //!
-//! Every send records the message's word count and α–β modeled time into the
-//! rank's [`CommStats`], which is how the benchmark harnesses obtain the
+//! The communicator is written against the [`Transport`] trait, so the same
+//! collective code runs over the in-process rank simulator (threads +
+//! channels, payloads as boxed values) and over the Unix-socket multi-process
+//! backend (payloads as wire bytes).  Every send records the message's word
+//! count and α–β modeled time into the rank's [`CommStats`] *before* the
+//! frame reaches the transport, which keeps the deterministic counters
+//! identical across backends and is how the benchmark harnesses obtain the
 //! communication component of the paper's breakdowns without real network
 //! hardware.
 
 use crate::cost::{CommStats, CostModel};
 use crate::error::CommError;
+use crate::transport::{Frame, FrameBody, Transport, TransportMode};
+use crate::wire;
 use crate::Result;
-use crossbeam::channel::{Receiver, Sender};
-use std::any::Any;
 use std::collections::VecDeque;
 
 /// The tag of all blocking point-to-point and collective traffic.  Blocking
@@ -26,33 +31,48 @@ use std::collections::VecDeque;
 /// mis-matched.
 pub(crate) const TAG_BLOCKING: u64 = 0;
 
-/// A type-erased, tagged message travelling between ranks.  The tag is the
-/// MPI-style matching key: a receive for tag `t` skips (and stashes)
-/// messages with other tags instead of failing to downcast them.
-pub(crate) struct Message {
-    pub(crate) tag: u64,
-    pub(crate) payload: Box<dyn Any + Send>,
-}
-
-impl std::fmt::Debug for Message {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Message").field("tag", &self.tag).finish_non_exhaustive()
-    }
-}
-
 /// Values that can be communicated between ranks.
 ///
 /// The `word_count` is the payload size in 8-byte words used by the α–β cost
 /// model; it does not need to be exact to the byte, only proportional to the
 /// real transfer volume.
+///
+/// The remaining methods are the wire codec used by byte-moving transports
+/// (see [`wire`]): a structural [`type_code`](Payload::type_code) checked on
+/// receive, and a bit-exact [`encode`](Payload::encode) /
+/// [`decode`](Payload::decode) pair (`f64` travels as its IEEE-754 bit
+/// pattern, so values round-trip identically on both transports).
 pub trait Payload: Send + 'static {
     /// Size of the payload in 8-byte words.
     fn word_count(&self) -> usize;
+
+    /// Structural code identifying this payload type on the wire.
+    fn type_code() -> u64
+    where
+        Self: Sized;
+
+    /// Appends the wire encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it.  `None`
+    /// means the bytes do not form a valid value of this type.
+    fn decode(input: &mut &[u8]) -> Option<Self>
+    where
+        Self: Sized;
 }
 
 impl Payload for f64 {
     fn word_count(&self) -> usize {
         1
+    }
+    fn type_code() -> u64 {
+        wire::compose_type_code(1, &[])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_f64(out, *self);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        wire::get_f64(input)
     }
 }
 
@@ -60,11 +80,29 @@ impl Payload for usize {
     fn word_count(&self) -> usize {
         1
     }
+    fn type_code() -> u64 {
+        wire::compose_type_code(2, &[])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, *self);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        wire::get_usize(input)
+    }
 }
 
 impl Payload for u64 {
     fn word_count(&self) -> usize {
         1
+    }
+    fn type_code() -> u64 {
+        wire::compose_type_code(3, &[])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, *self);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        wire::get_u64(input)
     }
 }
 
@@ -72,11 +110,33 @@ impl Payload for i64 {
     fn word_count(&self) -> usize {
         1
     }
+    fn type_code() -> u64 {
+        wire::compose_type_code(4, &[])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_i64(out, *self);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        wire::get_i64(input)
+    }
 }
 
 impl Payload for bool {
     fn word_count(&self) -> usize {
         1
+    }
+    fn type_code() -> u64 {
+        wire::compose_type_code(5, &[])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, *self as u64);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match wire::get_u64(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
     }
 }
 
@@ -84,11 +144,28 @@ impl Payload for () {
     fn word_count(&self) -> usize {
         0
     }
+    fn type_code() -> u64 {
+        wire::compose_type_code(6, &[])
+    }
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
 }
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn word_count(&self) -> usize {
         self.0.word_count() + self.1.word_count()
+    }
+    fn type_code() -> u64 {
+        wire::compose_type_code(20, &[A::type_code(), B::type_code()])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
     }
 }
 
@@ -96,17 +173,101 @@ impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
     fn word_count(&self) -> usize {
         self.0.word_count() + self.1.word_count() + self.2.word_count()
     }
+    fn type_code() -> u64 {
+        wire::compose_type_code(21, &[A::type_code(), B::type_code(), C::type_code()])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?, C::decode(input)?))
+    }
 }
 
 impl<T: Payload> Payload for Option<T> {
     fn word_count(&self) -> usize {
         self.as_ref().map_or(0, Payload::word_count)
     }
+    fn type_code() -> u64 {
+        wire::compose_type_code(22, &[T::type_code()])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => wire::put_u64(out, 0),
+            Some(v) => {
+                wire::put_u64(out, 1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match wire::get_u64(input)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(input)?)),
+            _ => None,
+        }
+    }
 }
 
 impl<T: Payload> Payload for Vec<T> {
     fn word_count(&self) -> usize {
         self.iter().map(Payload::word_count).sum()
+    }
+    fn type_code() -> u64 {
+        wire::compose_type_code(10, &[T::type_code()])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, self.len());
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = wire::get_usize(input)?;
+        // Guard against corrupt length prefixes: every non-zero-sized
+        // element occupies at least one wire byte, and zero-sized elements
+        // (`()`) get a hard cap so a corrupt prefix cannot spin the decoder.
+        if std::mem::size_of::<T>() == 0 {
+            if len > (1 << 24) {
+                return None;
+            }
+        } else if len > input.len() {
+            return None;
+        }
+        (0..len).map(|_| T::decode(input)).collect()
+    }
+}
+
+impl Payload for CommStats {
+    fn word_count(&self) -> usize {
+        8
+    }
+    fn type_code() -> u64 {
+        wire::compose_type_code(30, &[])
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, self.messages);
+        wire::put_usize(out, self.words_sent);
+        wire::put_f64(out, self.modeled_time);
+        wire::put_usize(out, self.cache_hits);
+        wire::put_usize(out, self.cache_misses);
+        wire::put_usize(out, self.words_saved);
+        wire::put_f64(out, self.overlapped_time);
+        wire::put_usize(out, self.amortized_requests);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(CommStats {
+            messages: wire::get_usize(input)?,
+            words_sent: wire::get_usize(input)?,
+            modeled_time: wire::get_f64(input)?,
+            cache_hits: wire::get_usize(input)?,
+            cache_misses: wire::get_usize(input)?,
+            words_saved: wire::get_usize(input)?,
+            overlapped_time: wire::get_f64(input)?,
+            amortized_requests: wire::get_usize(input)?,
+        })
     }
 }
 
@@ -168,13 +329,12 @@ impl Group {
 pub struct Communicator {
     rank: usize,
     size: usize,
-    /// `senders[j]` delivers messages to rank `j`.
-    senders: Vec<Sender<Message>>,
-    /// `receivers[i]` yields messages sent by rank `i`.
-    receivers: Vec<Receiver<Message>>,
-    /// `stashed[i]` holds messages from rank `i` that arrived while a receive
+    /// The point-to-point carrier underneath: the in-process simulator or
+    /// the Unix-socket multi-process backend.
+    transport: Box<dyn Transport>,
+    /// `stashed[i]` holds frames from rank `i` that arrived while a receive
     /// was waiting for a different tag (MPI-style unexpected-message queue).
-    stashed: Vec<VecDeque<Message>>,
+    stashed: Vec<VecDeque<Frame>>,
     /// Next tag handed out to a posted (nonblocking) collective round.  All
     /// ranks execute the same SPMD program, so the counters advance in
     /// lockstep and a round's tag agrees across the world.
@@ -184,23 +344,44 @@ pub struct Communicator {
 }
 
 impl Communicator {
-    pub(crate) fn new(
-        rank: usize,
-        size: usize,
-        senders: Vec<Sender<Message>>,
-        receivers: Vec<Receiver<Message>>,
-        cost: CostModel,
-    ) -> Self {
+    /// Builds a communicator over an arbitrary [`Transport`], charging the
+    /// given α–β cost model.  This is how worker processes of the socket
+    /// backend (and any future transport) obtain their per-rank handle; the
+    /// simulator constructs one per rank thread via
+    /// [`Runtime::run`](crate::Runtime::run).
+    pub fn from_transport(transport: Box<dyn Transport>, cost: CostModel) -> Self {
+        let rank = transport.rank();
+        let size = transport.size();
         let stashed = (0..size).map(|_| VecDeque::new()).collect();
         Communicator {
             rank,
             size,
-            senders,
-            receivers,
+            transport,
             stashed,
             next_tag: TAG_BLOCKING + 1,
             cost,
             stats: CommStats::new(),
+        }
+    }
+
+    /// Unpacks one matched frame into a typed value: downcast for the
+    /// in-process body, type-code check + bit-exact decode for wire bytes.
+    fn extract<T: Payload>(frame: Frame, from: usize) -> Result<T> {
+        match frame.body {
+            FrameBody::Boxed(payload) => {
+                payload.downcast::<T>().map(|b| *b).map_err(|_| CommError::TypeMismatch { from })
+            }
+            FrameBody::Bytes { type_code, bytes } => {
+                if type_code != T::type_code() {
+                    return Err(CommError::TypeMismatch { from });
+                }
+                let mut input = bytes.as_slice();
+                let value = T::decode(&mut input).ok_or(CommError::TypeMismatch { from })?;
+                if !input.is_empty() {
+                    return Err(CommError::TypeMismatch { from });
+                }
+                Ok(value)
+            }
         }
     }
 
@@ -261,10 +442,19 @@ impl Communicator {
         if to >= self.size {
             return Err(CommError::RankOutOfRange { rank: to, size: self.size });
         }
+        // Record stats *before* handing the frame to the transport: the
+        // deterministic counters must not depend on which backend carries
+        // the bytes.
         self.stats.record(value.word_count(), &self.cost);
-        self.senders[to]
-            .send(Message { tag, payload: Box::new(value) })
-            .map_err(|_| CommError::Disconnected { from: to })
+        let frame = match self.transport.mode() {
+            TransportMode::InProcess => Frame { tag, body: FrameBody::Boxed(Box::new(value)) },
+            TransportMode::Wire => {
+                let mut bytes = Vec::new();
+                value.encode(&mut bytes);
+                Frame { tag, body: FrameBody::Bytes { type_code: T::type_code(), bytes } }
+            }
+        };
+        self.transport.send(to, frame)
     }
 
     /// Receives a value of type `T` from rank `from`, blocking until it
@@ -290,24 +480,15 @@ impl Communicator {
         // Messages for one (peer, tag) pair are produced and consumed in the
         // same program order, so the first stashed match is the right one.
         if let Some(pos) = self.stashed[from].iter().position(|m| m.tag == tag) {
-            let message = self.stashed[from].remove(pos).expect("position just found");
-            return message
-                .payload
-                .downcast::<T>()
-                .map(|b| *b)
-                .map_err(|_| CommError::TypeMismatch { from });
+            let frame = self.stashed[from].remove(pos).expect("position just found");
+            return Self::extract(frame, from);
         }
         loop {
-            let message =
-                self.receivers[from].recv().map_err(|_| CommError::Disconnected { from })?;
-            if message.tag == tag {
-                return message
-                    .payload
-                    .downcast::<T>()
-                    .map(|b| *b)
-                    .map_err(|_| CommError::TypeMismatch { from });
+            let frame = self.transport.recv(from)?;
+            if frame.tag == tag {
+                return Self::extract(frame, from);
             }
-            self.stashed[from].push_back(message);
+            self.stashed[from].push_back(frame);
         }
     }
 
@@ -560,6 +741,80 @@ mod tests {
         assert_eq!(true.word_count(), 1);
         assert_eq!(4u64.word_count(), 1);
         assert_eq!((-2i64).word_count(), 1);
+    }
+
+    fn round_trip<T: Payload + PartialEq + std::fmt::Debug + Clone>(value: T) {
+        let mut bytes = Vec::new();
+        value.encode(&mut bytes);
+        let mut input = bytes.as_slice();
+        let back = T::decode(&mut input).expect("decodes");
+        assert!(input.is_empty(), "no trailing bytes for {value:?}");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn payload_wire_round_trips() {
+        round_trip(3.5f64);
+        round_trip(-0.0f64);
+        round_trip(7usize);
+        round_trip(42u64);
+        round_trip(-9i64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(());
+        round_trip((1usize, 2.0f64));
+        round_trip((1usize, 2.0f64, 3usize));
+        round_trip(Some(5.0f64));
+        round_trip(Option::<f64>::None);
+        round_trip(vec![1.0f64, -2.5, 3.25]);
+        round_trip(vec![vec![1usize, 2], vec![], vec![3]]);
+        round_trip(vec![(1usize, 2usize, 0.5f64); 4]);
+        round_trip(Vec::<f64>::new());
+        let mut stats = CommStats::new();
+        stats.record(10, &CostModel::new(1.0, 0.5));
+        stats.record_cache_hit(17);
+        stats.record_overlap(0.25);
+        round_trip(stats);
+    }
+
+    #[test]
+    fn payload_type_codes_are_distinct() {
+        let codes = [
+            <f64 as Payload>::type_code(),
+            <usize as Payload>::type_code(),
+            <u64 as Payload>::type_code(),
+            <i64 as Payload>::type_code(),
+            <bool as Payload>::type_code(),
+            <() as Payload>::type_code(),
+            <(usize, f64) as Payload>::type_code(),
+            <(usize, f64, usize) as Payload>::type_code(),
+            <Option<f64> as Payload>::type_code(),
+            <Vec<f64> as Payload>::type_code(),
+            <Vec<Vec<f64>> as Payload>::type_code(),
+            <Vec<usize> as Payload>::type_code(),
+            <CommStats as Payload>::type_code(),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                assert_eq!(i == j, a == b, "type codes must be pairwise distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bodies_decode_to_none() {
+        // bool only admits 0/1.
+        let mut buf = Vec::new();
+        crate::wire::put_u64(&mut buf, 2);
+        assert_eq!(bool::decode(&mut buf.as_slice()), None);
+        // Vec length prefix larger than the remaining body.
+        let mut buf = Vec::new();
+        crate::wire::put_usize(&mut buf, 1_000);
+        assert_eq!(Vec::<f64>::decode(&mut buf.as_slice()), None);
+        // Zero-sized elements are capped instead of spinning.
+        let mut buf = Vec::new();
+        crate::wire::put_usize(&mut buf, usize::MAX);
+        assert_eq!(Vec::<()>::decode(&mut buf.as_slice()), None);
     }
 
     #[test]

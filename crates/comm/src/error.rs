@@ -32,13 +32,56 @@ pub enum CommError {
         /// The peer the message came from.
         from: usize,
     },
-    /// A rank's closure panicked during [`crate::Runtime::run`].
+    /// A rank's closure panicked during [`crate::Runtime::run`], or a rank
+    /// *process* of the Unix-socket backend died (nonzero exit, signal, or
+    /// vanished before delivering its result).
     RankPanicked {
         /// The rank whose thread panicked.
         rank: usize,
         /// The panic's payload message (the `&str`/`String` passed to
         /// `panic!`), so CI failures in the rank simulator are diagnosable
         /// from the log alone.  Non-string payloads are summarized.
+        message: String,
+    },
+    /// A worker function dispatched through [`crate::Runtime::run_worker`]
+    /// returned an application-level error on some rank.
+    WorkerFailed {
+        /// The rank whose worker returned the error.
+        rank: usize,
+        /// The worker's error message.
+        message: String,
+    },
+    /// The Unix-socket rendezvous found a socket file left behind by a
+    /// previous run (or two ranks were launched with the same
+    /// `DMBS_RANK`).  Surfaced instead of silently hijacking the address.
+    StaleSocket {
+        /// The offending socket path.
+        path: String,
+    },
+    /// A framed message on the socket transport ended mid-frame: the peer
+    /// closed its stream after the length prefix but before the payload
+    /// completed (typically a crash mid-send).
+    TruncatedFrame {
+        /// The peer the partial frame came from.
+        from: usize,
+    },
+    /// A blocking receive or rendezvous step exceeded the transport's
+    /// timeout.  Socket-backend collectives fail with this instead of
+    /// hanging forever when a peer wedges.
+    Timeout {
+        /// The waiting rank.
+        rank: usize,
+        /// The peer (or `usize::MAX` during rendezvous/result collection
+        /// when no single peer is implicated).
+        waiting_for: usize,
+        /// The timeout that elapsed, in milliseconds.
+        millis: u64,
+    },
+    /// Setting up the Unix-socket mesh failed (bind, connect, spawn, or
+    /// filesystem error).  Carries the stringified OS error so the enum
+    /// stays `Eq`-comparable.
+    SocketSetup {
+        /// Description of the failing step and the underlying OS error.
         message: String,
     },
 }
@@ -61,6 +104,28 @@ impl fmt::Display for CommError {
             CommError::RankPanicked { rank, message } => {
                 write!(f, "rank {rank} panicked during execution: {message}")
             }
+            CommError::WorkerFailed { rank, message } => {
+                write!(f, "worker on rank {rank} failed: {message}")
+            }
+            CommError::StaleSocket { path } => {
+                write!(f, "stale socket file from a previous run: {path}")
+            }
+            CommError::TruncatedFrame { from } => {
+                write!(f, "truncated frame from rank {from} (peer died mid-send?)")
+            }
+            CommError::Timeout { rank, waiting_for, millis } => {
+                if *waiting_for == usize::MAX {
+                    write!(f, "rank {rank} timed out after {millis} ms")
+                } else {
+                    write!(
+                        f,
+                        "rank {rank} timed out after {millis} ms waiting for rank {waiting_for}"
+                    )
+                }
+            }
+            CommError::SocketSetup { message } => {
+                write!(f, "socket transport setup failed: {message}")
+            }
         }
     }
 }
@@ -82,6 +147,20 @@ mod tests {
             CommError::RankPanicked { rank: 0, message: "index out of bounds".into() }.to_string();
         assert!(panicked.contains("panicked"));
         assert!(panicked.contains("index out of bounds"), "payload must reach the log: {panicked}");
+        assert!(CommError::WorkerFailed { rank: 1, message: "bad spec".into() }
+            .to_string()
+            .contains("bad spec"));
+        assert!(CommError::StaleSocket { path: "/tmp/rank-0.sock".into() }
+            .to_string()
+            .contains("rank-0.sock"));
+        assert!(CommError::TruncatedFrame { from: 2 }.to_string().contains("truncated"));
+        let t = CommError::Timeout { rank: 0, waiting_for: 3, millis: 500 }.to_string();
+        assert!(t.contains("500 ms") && t.contains("rank 3"));
+        let t2 = CommError::Timeout { rank: 0, waiting_for: usize::MAX, millis: 9 }.to_string();
+        assert!(!t2.contains("waiting for"));
+        assert!(CommError::SocketSetup { message: "bind failed".into() }
+            .to_string()
+            .contains("bind failed"));
     }
 
     #[test]

@@ -1,24 +1,33 @@
 //! # dmbs-comm
 //!
-//! A simulated distributed runtime for the `dmbs` reproduction of
-//! *Distributed Matrix-Based Sampling for Graph Neural Network Training*
-//! (MLSys 2024).
+//! The distributed runtime for the `dmbs` reproduction of *Distributed
+//! Matrix-Based Sampling for Graph Neural Network Training* (MLSys 2024).
 //!
-//! The paper runs on 4–128 GPUs with NCCL collectives.  This crate replaces
-//! that hardware with an SPMD **rank simulator**: [`Runtime::run`] spawns one
-//! OS thread per rank, each executing the same closure over a
-//! [`Communicator`] that provides point-to-point messaging and the
-//! collectives the paper's algorithms need (broadcast, gather, all-gather,
-//! all-reduce, all-to-allv, barrier), both over the full world and over
-//! arbitrary sub-groups (process rows / columns of the 1.5D grid).
+//! The paper runs on 4–128 GPUs with NCCL collectives.  This crate provides
+//! the same collective surface (broadcast, gather, all-gather, all-reduce,
+//! all-to-allv, barrier — blocking and nonblocking — over the full world and
+//! over arbitrary sub-groups such as process rows / columns of the 1.5D
+//! grid) on top of a pluggable [`Transport`]:
+//!
+//! * the default **in-process rank simulator** — [`Runtime::run`] spawns one
+//!   OS thread per rank, each executing the same closure over a
+//!   [`Communicator`]; payloads cross as boxed values, never serialized;
+//! * the **Unix-socket multi-process backend** — one OS process per rank
+//!   ([`UnixSocketTransport`]), rendezvous via
+//!   `DMBS_RANK`/`DMBS_SIZE`/`DMBS_SOCKET_DIR`, length-prefixed framed
+//!   messages, dispatched through [`Runtime::run_worker`] with named
+//!   [`WorkerRegistry`] workers because closures cannot cross process
+//!   boundaries.
 //!
 //! Correctness of the distributed algorithms is independent of the
-//! interconnect, so thread ranks exercise exactly the same code paths as GPU
-//! ranks.  What *does* depend on the interconnect — communication time — is
-//! captured by an α–β [`CostModel`]: every message records its word count and
-//! modeled latency/bandwidth cost into per-rank [`CommStats`], which the
-//! benchmark harnesses use to reproduce the paper's communication/computation
-//! breakdowns (Figure 7) and its analytical cost model (§5.2.1).
+//! interconnect, so both transports exercise exactly the same collective
+//! code paths — and the deterministic counters agree by construction,
+//! because every message records its word count and α–β modeled cost
+//! ([`CostModel`], per-rank [`CommStats`]) *before* the frame reaches any
+//! transport.  The benchmark harnesses use those books to reproduce the
+//! paper's communication/computation breakdowns (Figure 7) and its
+//! analytical cost model (§5.2.1), and `perf_baseline --calibrate` closes
+//! the loop by fitting α/β from measured socket-transport probes.
 //!
 //! # Example
 //!
@@ -50,16 +59,23 @@ pub mod cost;
 pub mod error;
 pub mod grid;
 pub mod nonblocking;
+pub mod process;
 pub mod profile;
 pub mod runtime;
+pub mod socket;
+pub mod transport;
+pub mod wire;
 
 pub use collectives::{Communicator, Group, Payload};
 pub use cost::{CommStats, CostModel};
 pub use error::CommError;
 pub use grid::ProcessGrid;
 pub use nonblocking::{PendingCollective, PendingResult};
+pub use process::{run_if_worker, SocketLaunch, WorkerFn, WorkerRegistry};
 pub use profile::{Phase, PhaseProfile};
-pub use runtime::{RankOutput, Runtime};
+pub use runtime::{RankOutput, Runtime, TransportSelect};
+pub use socket::{SocketConfig, UnixSocketTransport};
+pub use transport::{Frame, FrameBody, SimTransport, Transport, TransportMode};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,10 +1,41 @@
-//! The rank simulator: spawns one thread per rank and wires up communicators.
+//! The rank runtime: an SPMD execution environment over a pluggable
+//! transport.
+//!
+//! Two backends exist.  The default (what [`Runtime::new`] selects) is the
+//! **in-process rank simulator**: [`Runtime::run`] spawns one OS thread per
+//! rank and wires communicators over crossbeam channels
+//! ([`SimTransport`]), with payloads crossing as boxed
+//! values and communication *time* modeled by the α–β [`CostModel`].  The
+//! alternative, selected with [`Runtime::with_transport`], is the
+//! **Unix-socket multi-process backend**
+//! ([`UnixSocketTransport`](crate::UnixSocketTransport)): one OS process per
+//! rank, rendezvous via `DMBS_RANK`/`DMBS_SIZE`/`DMBS_SOCKET_DIR`, payloads
+//! length-prefix framed over real sockets.  Closures cannot cross process
+//! boundaries, so the socket backend runs *named workers* (serializable job
+//! in, bytes out) through [`Runtime::run_worker`]; the simulator runs the
+//! same workers on threads, which is what the cross-transport equivalence
+//! sweep relies on.
 
-use crate::collectives::{Communicator, Message};
+use crate::collectives::Communicator;
 use crate::cost::{CommStats, CostModel};
 use crate::error::CommError;
+use crate::process::{self, SocketLaunch, WorkerRegistry};
+use crate::transport::{Frame, SimTransport};
 use crate::Result;
 use crossbeam::channel::unbounded;
+
+/// Which transport a [`Runtime`] executes over.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TransportSelect {
+    /// The in-process rank simulator: threads + channels, no serialization.
+    /// This is the default.
+    #[default]
+    Simulator,
+    /// One OS process per rank over Unix domain sockets.  Only
+    /// [`Runtime::run_worker`] can execute on this transport (closures do
+    /// not cross process boundaries).
+    UnixSocket(SocketLaunch),
+}
 
 /// The result produced by one rank of a [`Runtime::run`] execution.
 #[derive(Debug, Clone)]
@@ -17,12 +48,15 @@ pub struct RankOutput<T> {
     pub stats: CommStats,
 }
 
-/// A simulated distributed execution environment with a fixed number of
-/// ranks.
+/// A distributed execution environment with a fixed number of ranks over a
+/// selectable transport (see [`TransportSelect`]; the module docs describe
+/// both backends).
 ///
 /// Each call to [`Runtime::run`] spawns one OS thread per rank, hands each a
 /// [`Communicator`] wired to all its peers, runs the provided SPMD closure
-/// and collects the per-rank results in rank order.
+/// and collects the per-rank results in rank order.  [`Runtime::run_worker`]
+/// runs a *named* worker function the same way — or, when the Unix-socket
+/// transport is selected, as one OS process per rank.
 ///
 /// # Example
 ///
@@ -41,11 +75,12 @@ pub struct RankOutput<T> {
 pub struct Runtime {
     size: usize,
     cost: CostModel,
+    transport: TransportSelect,
 }
 
 impl Runtime {
-    /// Creates a runtime with `size` ranks and the default
-    /// (Slingshot-like) cost model.
+    /// Creates a runtime with `size` ranks, the default (Slingshot-like)
+    /// cost model, and the default in-process simulator transport.
     ///
     /// # Errors
     ///
@@ -54,7 +89,8 @@ impl Runtime {
         Self::with_cost_model(size, CostModel::default())
     }
 
-    /// Creates a runtime with `size` ranks and an explicit α–β cost model.
+    /// Creates a runtime with `size` ranks and an explicit α–β cost model
+    /// (simulator transport).
     ///
     /// # Errors
     ///
@@ -63,7 +99,13 @@ impl Runtime {
         if size == 0 {
             return Err(CommError::InvalidConfig("runtime requires at least one rank".into()));
         }
-        Ok(Runtime { size, cost })
+        Ok(Runtime { size, cost, transport: TransportSelect::Simulator })
+    }
+
+    /// Selects the transport backend for [`Runtime::run_worker`] dispatch.
+    pub fn with_transport(mut self, transport: TransportSelect) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Number of ranks.
@@ -76,8 +118,16 @@ impl Runtime {
         self.cost
     }
 
-    /// Runs `f` on every rank concurrently and returns the per-rank outputs in
-    /// rank order.
+    /// The transport backend this runtime dispatches workers on.
+    pub fn transport(&self) -> &TransportSelect {
+        &self.transport
+    }
+
+    /// Runs `f` on every rank concurrently **on the in-process simulator**
+    /// and returns the per-rank outputs in rank order.  The selected
+    /// transport is irrelevant here: closures cannot cross process
+    /// boundaries, so `run` always simulates (use [`Runtime::run_worker`]
+    /// for transport-dispatched execution).
     ///
     /// The closure receives a mutable [`Communicator`]; its return value is
     /// collected into [`RankOutput::value`].  Closures typically return a
@@ -96,9 +146,9 @@ impl Runtime {
     {
         let p = self.size;
         // channels[i][j]: sender transmits from rank i to rank j.
-        let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Message>>>> =
+        let mut senders: Vec<Vec<Option<crossbeam::channel::Sender<Frame>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Message>>>> =
+        let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Frame>>>> =
             (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
         for (i, sender_row) in senders.iter_mut().enumerate() {
             for (j, slot) in sender_row.iter_mut().enumerate() {
@@ -113,7 +163,8 @@ impl Runtime {
             let sends: Vec<_> = sender_row.into_iter().map(|s| s.expect("filled above")).collect();
             let recvs: Vec<_> =
                 receiver_row.into_iter().map(|r| r.expect("filled above")).collect();
-            communicators.push(Communicator::new(rank, p, sends, recvs, self.cost));
+            let transport = SimTransport::new(rank, p, sends, recvs);
+            communicators.push(Communicator::from_transport(Box::new(transport), self.cost));
         }
 
         let f = &f;
@@ -152,6 +203,49 @@ impl Runtime {
         outputs.sort_by_key(|o| o.rank);
         Ok(outputs)
     }
+
+    /// Runs the named worker from `registry` on every rank, dispatched over
+    /// the selected transport: threads on the simulator, one OS process per
+    /// rank on the Unix-socket backend.  `job` is the serialized work
+    /// description every rank receives; each rank's returned bytes arrive in
+    /// [`RankOutput::value`] along with its [`CommStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] for an unregistered worker name,
+    /// [`CommError::WorkerFailed`] if any rank's worker returns an error,
+    /// [`CommError::RankPanicked`] if a rank thread panics or a rank process
+    /// dies, and the socket setup/timeout errors of the process backend.
+    pub fn run_worker(
+        &self,
+        registry: &WorkerRegistry,
+        name: &str,
+        job: &[u8],
+    ) -> Result<Vec<RankOutput<Vec<u8>>>> {
+        let worker = registry.find(name).ok_or_else(|| {
+            CommError::InvalidConfig(format!("worker '{name}' is not registered"))
+        })?;
+        match &self.transport {
+            TransportSelect::Simulator => {
+                let outputs = self.run(|comm| worker(comm, job))?;
+                let mut out = Vec::with_capacity(outputs.len());
+                for o in outputs {
+                    match o.value {
+                        Ok(bytes) => {
+                            out.push(RankOutput { rank: o.rank, value: bytes, stats: o.stats })
+                        }
+                        Err(message) => {
+                            return Err(CommError::WorkerFailed { rank: o.rank, message })
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            TransportSelect::UnixSocket(launch) => {
+                process::run_socket_workers(self.size, self.cost, launch, name, job)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +258,14 @@ mod tests {
     fn runtime_requires_ranks() {
         assert!(Runtime::new(0).is_err());
         assert_eq!(Runtime::new(4).unwrap().size(), 4);
+    }
+
+    #[test]
+    fn default_transport_is_the_simulator() {
+        let rt = Runtime::new(2).unwrap();
+        assert_eq!(rt.transport(), &TransportSelect::Simulator);
+        let rt = rt.with_transport(TransportSelect::UnixSocket(SocketLaunch::default()));
+        assert!(matches!(rt.transport(), TransportSelect::UnixSocket(_)));
     }
 
     #[test]
@@ -399,6 +501,49 @@ mod tests {
             .unwrap();
         for o in outs {
             assert_eq!(o.value.1, 0);
+        }
+    }
+
+    #[test]
+    fn run_worker_on_simulator_dispatches_registered_fn() {
+        fn sum_ranks(comm: &mut Communicator, job: &[u8]) -> std::result::Result<Vec<u8>, String> {
+            let offset = job.first().copied().unwrap_or(0) as usize;
+            let total =
+                comm.allreduce(comm.rank() + offset, |a, b| a + b).map_err(|e| e.to_string())?;
+            Ok(vec![total as u8])
+        }
+        let mut registry = WorkerRegistry::new();
+        registry.register("test.sum", sum_ranks);
+        let rt = Runtime::new(3).unwrap();
+        let outs = rt.run_worker(&registry, "test.sum", &[10]).unwrap();
+        // Sum of (rank + 10) over 3 ranks = 0+1+2 + 30 = 33.
+        assert!(outs.iter().all(|o| o.value == vec![33]));
+        assert!(matches!(
+            rt.run_worker(&registry, "missing", &[]),
+            Err(CommError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn run_worker_surfaces_worker_errors_with_rank() {
+        fn fail_on_one(
+            comm: &mut Communicator,
+            _job: &[u8],
+        ) -> std::result::Result<Vec<u8>, String> {
+            if comm.rank() == 1 {
+                Err("spec rejected".to_string())
+            } else {
+                Ok(Vec::new())
+            }
+        }
+        let mut registry = WorkerRegistry::new();
+        registry.register("test.fail", fail_on_one);
+        let rt = Runtime::new(2).unwrap();
+        match rt.run_worker(&registry, "test.fail", &[]) {
+            Err(CommError::WorkerFailed { rank: 1, message }) => {
+                assert!(message.contains("spec rejected"));
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
         }
     }
 }

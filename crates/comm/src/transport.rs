@@ -1,0 +1,205 @@
+//! The pluggable transport layer under the collectives.
+//!
+//! [`Communicator`](crate::Communicator) and every collective — blocking and
+//! nonblocking alike — are written against the [`Transport`] trait: a
+//! point-to-point carrier of tagged [`Frame`]s.  Two implementations ship:
+//!
+//! * [`SimTransport`] — the original in-process rank simulator.  Ranks are
+//!   threads; a frame's payload crosses as a `Box<dyn Any>` with **no
+//!   serialization**, exactly as before the trait extraction.
+//! * [`UnixSocketTransport`](crate::UnixSocketTransport) — one OS process
+//!   per rank, frames length-prefixed over Unix domain sockets.
+//!
+//! The [`TransportMode`] tells the communicator how to package payloads:
+//! in-process transports move boxed values, wire transports move bytes
+//! produced by the [`Payload`](crate::Payload) codec.  Communication
+//! *accounting* ([`CommStats`](crate::CommStats) words/messages and the α–β
+//! bill) is recorded by the communicator **before** the frame reaches any
+//! transport, so the deterministic counters are identical across backends by
+//! construction — the invariant the cross-transport equivalence sweep pins.
+
+use std::any::Any;
+use std::fmt;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::error::CommError;
+use crate::Result;
+
+/// How a transport carries payloads, which decides how the communicator
+/// packages them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Payloads cross as boxed values within one address space.
+    InProcess,
+    /// Payloads cross as bytes; the communicator encodes/decodes via the
+    /// [`Payload`](crate::Payload) wire codec.
+    Wire,
+}
+
+/// The body of a [`Frame`]: a boxed value (in-process) or encoded bytes
+/// tagged with the payload's structural type code (wire).
+pub enum FrameBody {
+    /// An in-process payload, downcast on receive.
+    Boxed(Box<dyn Any + Send>),
+    /// A wire payload.
+    Bytes {
+        /// Structural code of the encoded type, checked before decoding.
+        type_code: u64,
+        /// The encoded payload.
+        bytes: Vec<u8>,
+    },
+}
+
+impl fmt::Debug for FrameBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameBody::Boxed(_) => f.write_str("FrameBody::Boxed(..)"),
+            FrameBody::Bytes { type_code, bytes } => f
+                .debug_struct("FrameBody::Bytes")
+                .field("type_code", type_code)
+                .field("len", &bytes.len())
+                .finish(),
+        }
+    }
+}
+
+/// One tagged point-to-point message as seen by a transport.
+#[derive(Debug)]
+pub struct Frame {
+    /// MPI-style tag: `0` for blocking traffic, a fresh per-round tag for
+    /// each nonblocking collective.
+    pub tag: u64,
+    /// The payload.
+    pub body: FrameBody,
+}
+
+/// A point-to-point carrier of tagged frames between `size` ranks.
+///
+/// Implementations must deliver frames from a given peer **in order**; tag
+/// matching (and the out-of-order stash it requires) lives above the
+/// transport, in the communicator.
+pub trait Transport: Send + fmt::Debug {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// World size.
+    fn size(&self) -> usize;
+
+    /// How payloads must be packaged for this transport.
+    fn mode(&self) -> TransportMode;
+
+    /// Sends one frame to `to`.  `to` is already validated by the
+    /// communicator to be in `0..size` and different from `self.rank()`.
+    fn send(&mut self, to: usize, frame: Frame) -> Result<()>;
+
+    /// Receives the next in-order frame from `from`, blocking (with the
+    /// transport's own timeout policy) until one arrives.
+    fn recv(&mut self, from: usize) -> Result<Frame>;
+}
+
+/// The in-process simulator transport: one crossbeam channel pair per peer,
+/// ranks running as threads of one process.
+///
+/// This is a direct re-packaging of the channel matrix the pre-trait
+/// `Communicator` owned; semantics (unbounded buffering, in-order delivery,
+/// disconnect on peer exit) are unchanged.
+pub struct SimTransport {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Frame>>,
+    receivers: Vec<Receiver<Frame>>,
+}
+
+impl fmt::Debug for SimTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimTransport").field("rank", &self.rank).field("size", &self.size).finish()
+    }
+}
+
+impl SimTransport {
+    /// Builds the simulator endpoint for `rank` out of one sender and one
+    /// receiver per peer (the rank's own slots are never used).
+    pub fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Frame>>,
+        receivers: Vec<Receiver<Frame>>,
+    ) -> Self {
+        debug_assert_eq!(senders.len(), size);
+        debug_assert_eq!(receivers.len(), size);
+        SimTransport { rank, size, senders, receivers }
+    }
+}
+
+impl Transport for SimTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn mode(&self) -> TransportMode {
+        TransportMode::InProcess
+    }
+
+    fn send(&mut self, to: usize, frame: Frame) -> Result<()> {
+        self.senders[to].send(frame).map_err(|_| CommError::Disconnected { from: to })
+    }
+
+    fn recv(&mut self, from: usize) -> Result<Frame> {
+        self.receivers[from].recv().map_err(|_| CommError::Disconnected { from })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn pair() -> (SimTransport, SimTransport) {
+        let (s01, r01) = unbounded::<Frame>();
+        let (s10, r10) = unbounded::<Frame>();
+        let (self0_s, self0_r) = unbounded::<Frame>();
+        let (self1_s, self1_r) = unbounded::<Frame>();
+        let t0 = SimTransport::new(0, 2, vec![self0_s, s01], vec![self0_r, r10]);
+        let t1 = SimTransport::new(1, 2, vec![s10, self1_s], vec![r01, self1_r]);
+        (t0, t1)
+    }
+
+    #[test]
+    fn frames_cross_in_order() {
+        let (mut t0, mut t1) = pair();
+        for tag in [7u64, 8, 9] {
+            t0.send(1, Frame { tag, body: FrameBody::Boxed(Box::new(tag as usize)) }).unwrap();
+        }
+        for tag in [7u64, 8, 9] {
+            let f = t1.recv(0).unwrap();
+            assert_eq!(f.tag, tag);
+        }
+        assert_eq!(t0.mode(), TransportMode::InProcess);
+        assert_eq!((t0.rank(), t1.rank()), (0, 1));
+        assert_eq!(t0.size(), 2);
+    }
+
+    #[test]
+    fn dropped_peer_is_disconnected() {
+        let (t0, mut t1) = pair();
+        drop(t0);
+        match t1.recv(0) {
+            Err(CommError::Disconnected { from: 0 }) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_body_debug_is_compact() {
+        let b = FrameBody::Bytes { type_code: 5, bytes: vec![1, 2, 3] };
+        let s = format!("{b:?}");
+        assert!(s.contains("type_code") && s.contains("len"));
+        let s = format!("{:?}", FrameBody::Boxed(Box::new(1usize)));
+        assert!(s.contains("Boxed"));
+    }
+}

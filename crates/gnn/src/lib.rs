@@ -38,6 +38,7 @@ pub mod optim;
 pub mod serve;
 pub mod session;
 pub mod trainer;
+pub mod worker;
 
 pub use error::GnnError;
 pub use features::{FeatureCache, FeatureCacheConfig, FeatureStore, PendingFetch, PendingPrefetch};

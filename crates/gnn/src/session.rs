@@ -64,7 +64,9 @@ use crate::optim::{Optimizer, Sgd};
 use crate::serve::ModelSnapshot;
 use crate::trainer::{EpochStats, TrainingReport};
 use crate::Result;
-use dmbs_comm::{CommStats, Communicator, Group, Phase, PhaseProfile, ProcessGrid};
+use dmbs_comm::{
+    CommStats, Communicator, Group, Phase, PhaseProfile, ProcessGrid, TransportSelect,
+};
 use dmbs_graph::datasets::Dataset;
 use dmbs_graph::minibatch::MinibatchPlan;
 use dmbs_matrix::pool::Parallelism;
@@ -83,21 +85,28 @@ use std::thread::JoinHandle;
 pub type Session<S, B> = TrainingSession<S, B>;
 
 /// Hyper-parameters a session adds on top of its sampler and backend.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct SessionConfig {
-    batch_size: usize,
-    bulk_size: usize,
-    hidden_dim: usize,
-    learning_rate: f64,
-    epochs: usize,
-    seed: u64,
-    replicate_features: bool,
-    feature_replication: Option<usize>,
-    evaluate: bool,
-    parallelism: Parallelism,
-    feature_cache: FeatureCacheConfig,
-    overlap: bool,
+/// `pub(crate)` (fields included) so the [`crate::worker`] module can rebuild
+/// an exact session from a wire-decoded spec in a rank process.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SessionConfig {
+    pub(crate) batch_size: usize,
+    pub(crate) bulk_size: usize,
+    pub(crate) hidden_dim: usize,
+    pub(crate) learning_rate: f64,
+    pub(crate) epochs: usize,
+    pub(crate) seed: u64,
+    pub(crate) replicate_features: bool,
+    pub(crate) feature_replication: Option<usize>,
+    pub(crate) evaluate: bool,
+    pub(crate) parallelism: Parallelism,
+    pub(crate) feature_cache: FeatureCacheConfig,
+    pub(crate) overlap: bool,
+    pub(crate) transport: TransportSelect,
 }
+
+/// The per-rank result of the distributed training loop: per-epoch
+/// `(profile, comm delta, mean loss)` plus the rank's final model parameters.
+pub(crate) type RankEpochs = (Vec<(PhaseProfile, CommStats, f64)>, Vec<DenseMatrix>);
 
 /// One sampled minibatch yielded by a [`MinibatchStream`].
 #[derive(Debug, Clone, PartialEq)]
@@ -261,6 +270,7 @@ pub struct SessionBuilder<S, B> {
     workspace_reuse: Option<bool>,
     feature_cache: FeatureCacheConfig,
     overlap: bool,
+    transport: TransportSelect,
 }
 
 impl<S, B> Default for SessionBuilder<S, B> {
@@ -282,6 +292,7 @@ impl<S, B> Default for SessionBuilder<S, B> {
             workspace_reuse: None,
             feature_cache: FeatureCacheConfig::Off,
             overlap: false,
+            transport: TransportSelect::Simulator,
         }
     }
 }
@@ -444,6 +455,27 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         self
     }
 
+    /// Selects the transport the distributed training loop runs over
+    /// (default [`TransportSelect::Simulator`]):
+    ///
+    /// * [`TransportSelect::Simulator`] — ranks are threads of this process,
+    ///   payloads cross as boxed values;
+    /// * [`TransportSelect::UnixSocket`] — one OS process per rank; the
+    ///   session, dataset included, is wire-encoded to each rank process,
+    ///   which rebuilds it and runs the identical per-rank loop over real
+    ///   Unix-domain-socket collectives.  Requires the sampler and backend to
+    ///   be spec-describable ([`Sampler::spec`] /
+    ///   [`SamplingBackend::spec`]), and
+    ///   has no effect on local (non-distributed) backends.
+    ///
+    /// The two transports are byte-identical in everything deterministic —
+    /// losses, accuracy, words/messages/cache counters — which the
+    /// `tests/transport_equivalence.rs` sweep pins.
+    pub fn transport(mut self, transport: TransportSelect) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -512,6 +544,7 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
                 parallelism,
                 feature_cache: self.feature_cache,
                 overlap: self.overlap,
+                transport: self.transport,
             },
         })
     }
@@ -534,6 +567,19 @@ impl<S: Sampler, B: SamplingBackend> TrainingSession<S, B> {
         SessionBuilder::default()
     }
 
+    /// Rebuilds a session from already-validated parts — the
+    /// [`crate::worker`] entry point, where a rank process reconstructs the
+    /// exact session the parent encoded (builder re-validation would be
+    /// redundant and could mask codec bugs by re-deriving defaults).
+    pub(crate) fn from_parts(
+        dataset: Arc<Dataset>,
+        sampler: S,
+        backend: B,
+        config: SessionConfig,
+    ) -> Self {
+        TrainingSession { dataset, sampler: Arc::new(sampler), backend: Arc::new(backend), config }
+    }
+
     /// The dataset this session trains on.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
@@ -547,6 +593,12 @@ impl<S: Sampler, B: SamplingBackend> TrainingSession<S, B> {
     /// The distribution strategy.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// The resolved session hyper-parameters (for the [`crate::worker`]
+    /// codec).
+    pub(crate) fn config(&self) -> &SessionConfig {
+        &self.config
     }
 
     /// The epoch's shuffled minibatch plan (deterministic in the session
@@ -788,249 +840,264 @@ where
         Ok((report, model))
     }
 
-    /// Bulk-synchronous data-parallel training (Figure 3) for distributed
-    /// backends.
-    fn train_distributed(
-        &self,
-        feature_dim: usize,
-        num_classes: usize,
-    ) -> Result<(TrainingReport, SageModel)> {
-        let runtime = self.backend.runtime().expect("distributed path");
+    /// The per-rank body of the distributed training loop — everything one
+    /// rank does inside the SPMD region, from feature-store partitioning to
+    /// the per-epoch profile/loss bookkeeping.  Shared verbatim by both
+    /// transports: [`TrainingSession::train_distributed`] calls it from a
+    /// simulator closure, and the [`crate::worker`] train worker calls it in
+    /// a rank *process* whose communicator runs over Unix sockets.  Every
+    /// input is recomputed deterministically from the session (plans, grid,
+    /// seeds), so the two call sites are byte-identical by construction.
+    pub(crate) fn distributed_rank_main(&self, comm: &mut Communicator) -> Result<RankEpochs> {
         let dist = self.backend.dist().ok_or_else(|| {
             GnnError::InvalidConfig("distributed backend without DistConfig".into())
         })?;
+        let (feature_dim, num_classes) = self.dataset_dims()?;
         let features = self.dataset.graph.features().expect("validated");
-        let p = runtime.size();
-        let replication = self.config.feature_replication.unwrap_or(dist.replication_c).max(1);
+        let p = comm.size();
+        let config = &self.config;
+        let replication = config.feature_replication.unwrap_or(dist.replication_c).max(1);
         let grid = ProcessGrid::new(p, replication)?;
-        let config = self.config;
 
         // Per-epoch plans are identical on every rank.
         let mut plans = Vec::with_capacity(config.epochs);
         for epoch in 0..config.epochs {
             plans.push(self.plan(epoch)?);
         }
-        let plans = &plans;
 
-        type RankEpochs = (Vec<(PhaseProfile, CommStats, f64)>, Vec<DenseMatrix>);
-        let per_rank: Vec<Result<RankEpochs>> = runtime
-            .run(|comm| -> Result<RankEpochs> {
-                let rank = comm.rank();
-                let (store, fetch_group) = if config.replicate_features {
-                    let (my_row, _) = grid.coords(rank);
-                    let store = FeatureStore::from_full(features, grid.rows(), my_row)?;
-                    let group = Group::new(&grid.col_ranks(rank))?;
-                    (store, group)
-                } else {
-                    let store = FeatureStore::from_full(features, p, rank)?;
-                    (store, comm.world())
-                };
+        let rank = comm.rank();
+        let (store, fetch_group) = if config.replicate_features {
+            let (my_row, _) = grid.coords(rank);
+            let store = FeatureStore::from_full(features, grid.rows(), my_row)?;
+            let group = Group::new(&grid.col_ranks(rank))?;
+            (store, group)
+        } else {
+            let store = FeatureStore::from_full(features, p, rank)?;
+            (store, comm.world())
+        };
 
-                let mut init_rng = StdRng::seed_from_u64(config.seed);
-                let mut model = SageModel::new(
-                    feature_dim,
-                    config.hidden_dim,
-                    num_classes,
-                    self.sampler.num_layers(),
-                    &mut init_rng,
-                )?
-                .with_parallelism(config.parallelism);
-                let mut optimizer = Sgd::new(config.learning_rate);
-                // The communication-avoiding feature cache (§6.2).  Every
-                // rank makes the same mode decision, so the collective
-                // schedule stays matched: pinned mode replaces the per-step
-                // all-to-allv with one prefetch round per bulk group, LRU
-                // mode keeps the per-step round but ships only misses.
-                let pinned = matches!(config.feature_cache, FeatureCacheConfig::EpochPinned);
-                let mut cache = config
-                    .feature_cache
-                    .is_enabled()
-                    .then(|| FeatureCache::new(config.feature_cache, store.feature_dim()));
+        let mut init_rng = StdRng::seed_from_u64(config.seed);
+        let mut model = SageModel::new(
+            feature_dim,
+            config.hidden_dim,
+            num_classes,
+            self.sampler.num_layers(),
+            &mut init_rng,
+        )?
+        .with_parallelism(config.parallelism);
+        let mut optimizer = Sgd::new(config.learning_rate);
+        // The communication-avoiding feature cache (§6.2).  Every
+        // rank makes the same mode decision, so the collective
+        // schedule stays matched: pinned mode replaces the per-step
+        // all-to-allv with one prefetch round per bulk group, LRU
+        // mode keeps the per-step round but ships only misses.
+        let pinned = matches!(config.feature_cache, FeatureCacheConfig::EpochPinned);
+        let mut cache = config
+            .feature_cache
+            .is_enabled()
+            .then(|| FeatureCache::new(config.feature_cache, store.feature_dim()));
 
-                let mut epochs = Vec::with_capacity(config.epochs);
-                for (epoch, plan) in plans.iter().enumerate() {
-                    let mut profile = PhaseProfile::new();
-                    let mut loss = RunningMean::new();
-                    let comm_start = comm.stats();
-                    let epoch_seed = self.epoch_sample_seed(epoch);
-                    if pinned {
-                        // Epoch-static pinning: resident rows live for one
-                        // epoch, so a remote row crosses at most once per
-                        // epoch even when bulk groups share frontiers.
-                        cache.as_mut().expect("pinned implies enabled").clear();
-                    }
+        let mut epochs = Vec::with_capacity(config.epochs);
+        for (epoch, plan) in plans.iter().enumerate() {
+            let mut profile = PhaseProfile::new();
+            let mut loss = RunningMean::new();
+            let comm_start = comm.stats();
+            let epoch_seed = self.epoch_sample_seed(epoch);
+            if pinned {
+                // Epoch-static pinning: resident rows live for one
+                // epoch, so a remote row crosses at most once per
+                // epoch even when bulk groups share frontiers.
+                cache.as_mut().expect("pinned implies enabled").clear();
+            }
 
-                    let groups: Vec<&[Vec<usize>]> =
-                        plan.batches().chunks(config.bulk_size).collect();
-                    if config.overlap {
-                        // --- Software-pipelined schedule (§6 overlap): while
-                        // group k trains, group k+1 is sampled and its pinned
-                        // prefetch is posted nonblocking; stage 0 fills the
-                        // pipeline with no compute to hide behind.
-                        let mut stage = self.sample_and_post_stage(
+            let groups: Vec<&[Vec<usize>]> = plan.batches().chunks(config.bulk_size).collect();
+            if config.overlap {
+                // --- Software-pipelined schedule (§6 overlap): while
+                // group k trains, group k+1 is sampled and its pinned
+                // prefetch is posted nonblocking; stage 0 fills the
+                // pipeline with no compute to hide behind.
+                let mut stage = self.sample_and_post_stage(
+                    comm,
+                    groups[0],
+                    group_seed(epoch_seed, 0),
+                    &store,
+                    &fetch_group,
+                    &mut cache,
+                    pinned,
+                    &mut profile,
+                )?;
+                let mut prev_steps_compute = 0.0f64;
+                for k in 0..groups.len() {
+                    let next = if k + 1 < groups.len() {
+                        Some(self.sample_and_post_stage(
                             comm,
-                            groups[0],
-                            group_seed(epoch_seed, 0),
+                            groups[k + 1],
+                            group_seed(epoch_seed, k + 1),
                             &store,
                             &fetch_group,
                             &mut cache,
                             pinned,
                             &mut profile,
-                        )?;
-                        let mut prev_steps_compute = 0.0f64;
-                        for k in 0..groups.len() {
-                            let next = if k + 1 < groups.len() {
-                                Some(self.sample_and_post_stage(
-                                    comm,
-                                    groups[k + 1],
-                                    group_seed(epoch_seed, k + 1),
-                                    &store,
-                                    &fetch_group,
-                                    &mut cache,
-                                    pinned,
-                                    &mut profile,
-                                )?)
-                            } else {
-                                None
-                            };
-                            // Complete stage k's prefetch (the reply rows of
-                            // the posted all-to-allv land here).
-                            if let Some(pending) = stage.pending.take() {
-                                let cache = cache.as_mut().expect("pending implies pinned cache");
-                                let wait_start = std::time::Instant::now();
-                                let comm_before = comm.stats().modeled_time;
-                                cache.complete_prefetch(&store, comm, &fetch_group, pending)?;
-                                profile.add_compute(
-                                    Phase::FeatureFetch,
-                                    wait_start.elapsed().as_secs_f64(),
-                                );
-                                let wait_comm = comm.stats().modeled_time - comm_before;
-                                profile.add_comm(Phase::FeatureFetch, wait_comm);
-                                stage.hoisted.add_comm(Phase::FeatureFetch, wait_comm);
-                            }
-                            // Charge the hoisted communication as hidden
-                            // behind the previous group's training compute:
-                            // the pipelined schedule pays max(comm, compute),
-                            // so min(comm, compute) is credited as overlapped
-                            // seconds — phase by phase until the budget runs
-                            // out.  The wire books (words, messages, modeled
-                            // time) are untouched.
-                            let mut budget = prev_steps_compute;
-                            for phase in Phase::ALL {
-                                let credit = comm
-                                    .cost_model()
-                                    .overlap_credit(stage.hoisted.comm(phase), budget);
-                                if credit > 0.0 {
-                                    profile.add_overlap(phase, credit);
-                                    budget -= credit;
-                                }
-                            }
-                            prev_steps_compute = self.run_group_steps(
-                                comm,
-                                &stage.samples,
-                                &store,
-                                &fetch_group,
-                                &mut cache,
-                                pinned,
-                                true,
-                                &mut model,
-                                &mut optimizer,
-                                &mut profile,
-                                &mut loss,
-                            )?;
-                            if let Some(next) = next {
-                                stage = next;
-                            }
-                        }
+                        )?)
                     } else {
-                        for (gi, group) in groups.iter().enumerate() {
-                            // --- Phase 1: sampling through the backend,
-                            // inside the SPMD region.
-                            let shard = self
-                                .backend
-                                .sample_group_on_rank(
-                                    comm,
-                                    &*self.sampler,
-                                    self.dataset.graph.adjacency(),
-                                    group,
-                                    group_seed(epoch_seed, gi),
-                                )
-                                .map_err(GnnError::Sampling)?;
-                            profile.merge_sum(&shard.profile);
-                            let my_samples = shard.samples;
-
-                            // --- Phase 2a (pinned cache only): one
-                            // collective prefetch of the group's deduplicated
-                            // frontier union.  Bulk sampling materialized
-                            // every frontier already, so the fetch plan costs
-                            // a dedup, and the per-step all-to-allv rounds
-                            // below disappear.
-                            if pinned {
-                                let cache = cache.as_mut().expect("pinned implies enabled");
-                                let fetch_plan = FetchPlan::from_sample_iter(
-                                    my_samples.iter().map(|(_, mb)| mb),
-                                );
-                                let fetch_start = std::time::Instant::now();
-                                let comm_before = comm.stats().modeled_time;
-                                cache.prefetch(
-                                    &store,
-                                    comm,
-                                    &fetch_group,
-                                    fetch_plan.unique_vertices(),
-                                )?;
-                                profile.add_compute(
-                                    Phase::FeatureFetch,
-                                    fetch_start.elapsed().as_secs_f64(),
-                                );
-                                profile.add_comm(
-                                    Phase::FeatureFetch,
-                                    comm.stats().modeled_time - comm_before,
-                                );
-                            }
-
-                            self.run_group_steps(
-                                comm,
-                                &my_samples,
-                                &store,
-                                &fetch_group,
-                                &mut cache,
-                                pinned,
-                                false,
-                                &mut model,
-                                &mut optimizer,
-                                &mut profile,
-                                &mut loss,
-                            )?;
+                        None
+                    };
+                    // Complete stage k's prefetch (the reply rows of
+                    // the posted all-to-allv land here).
+                    if let Some(pending) = stage.pending.take() {
+                        let cache = cache.as_mut().expect("pending implies pinned cache");
+                        let wait_start = std::time::Instant::now();
+                        let comm_before = comm.stats().modeled_time;
+                        cache.complete_prefetch(&store, comm, &fetch_group, pending)?;
+                        profile
+                            .add_compute(Phase::FeatureFetch, wait_start.elapsed().as_secs_f64());
+                        let wait_comm = comm.stats().modeled_time - comm_before;
+                        profile.add_comm(Phase::FeatureFetch, wait_comm);
+                        stage.hoisted.add_comm(Phase::FeatureFetch, wait_comm);
+                    }
+                    // Charge the hoisted communication as hidden
+                    // behind the previous group's training compute:
+                    // the pipelined schedule pays max(comm, compute),
+                    // so min(comm, compute) is credited as overlapped
+                    // seconds — phase by phase until the budget runs
+                    // out.  The wire books (words, messages, modeled
+                    // time) are untouched.
+                    let mut budget = prev_steps_compute;
+                    for phase in Phase::ALL {
+                        let credit =
+                            comm.cost_model().overlap_credit(stage.hoisted.comm(phase), budget);
+                        if credit > 0.0 {
+                            profile.add_overlap(phase, credit);
+                            budget -= credit;
                         }
                     }
-
-                    let mut comm_delta = comm.stats();
-                    comm_delta.messages -= comm_start.messages;
-                    comm_delta.words_sent -= comm_start.words_sent;
-                    comm_delta.modeled_time -= comm_start.modeled_time;
-                    comm_delta.overlapped_time -= comm_start.overlapped_time;
-                    // The hidden seconds live in the profile's overlap books;
-                    // mirror the epoch total into the comm counters so the
-                    // harnesses see one number per epoch.
-                    comm_delta.record_overlap(profile.total_overlap());
-                    if let Some(cache) = cache.as_mut() {
-                        // Fold in this epoch's hit/miss/saved-words counters
-                        // (and reset them for the next epoch).
-                        comm_delta.merge(&cache.take_stats());
+                    prev_steps_compute = self.run_group_steps(
+                        comm,
+                        &stage.samples,
+                        &store,
+                        &fetch_group,
+                        &mut cache,
+                        pinned,
+                        true,
+                        &mut model,
+                        &mut optimizer,
+                        &mut profile,
+                        &mut loss,
+                    )?;
+                    if let Some(next) = next {
+                        stage = next;
                     }
-                    epochs.push((profile, comm_delta, loss.mean()));
                 }
-                let params = model.parameters().to_vec();
-                Ok((epochs, params))
-            })?
-            .into_iter()
-            .map(|o| o.value)
-            .collect();
+            } else {
+                for (gi, group) in groups.iter().enumerate() {
+                    // --- Phase 1: sampling through the backend,
+                    // inside the SPMD region.
+                    let shard = self
+                        .backend
+                        .sample_group_on_rank(
+                            comm,
+                            &*self.sampler,
+                            self.dataset.graph.adjacency(),
+                            group,
+                            group_seed(epoch_seed, gi),
+                        )
+                        .map_err(GnnError::Sampling)?;
+                    profile.merge_sum(&shard.profile);
+                    let my_samples = shard.samples;
 
-        let mut per_rank_ok = Vec::with_capacity(per_rank.len());
-        for r in per_rank {
-            per_rank_ok.push(r?);
+                    // --- Phase 2a (pinned cache only): one
+                    // collective prefetch of the group's deduplicated
+                    // frontier union.  Bulk sampling materialized
+                    // every frontier already, so the fetch plan costs
+                    // a dedup, and the per-step all-to-allv rounds
+                    // below disappear.
+                    if pinned {
+                        let cache = cache.as_mut().expect("pinned implies enabled");
+                        let fetch_plan =
+                            FetchPlan::from_sample_iter(my_samples.iter().map(|(_, mb)| mb));
+                        let fetch_start = std::time::Instant::now();
+                        let comm_before = comm.stats().modeled_time;
+                        cache.prefetch(&store, comm, &fetch_group, fetch_plan.unique_vertices())?;
+                        profile
+                            .add_compute(Phase::FeatureFetch, fetch_start.elapsed().as_secs_f64());
+                        profile
+                            .add_comm(Phase::FeatureFetch, comm.stats().modeled_time - comm_before);
+                    }
+
+                    self.run_group_steps(
+                        comm,
+                        &my_samples,
+                        &store,
+                        &fetch_group,
+                        &mut cache,
+                        pinned,
+                        false,
+                        &mut model,
+                        &mut optimizer,
+                        &mut profile,
+                        &mut loss,
+                    )?;
+                }
+            }
+
+            let mut comm_delta = comm.stats();
+            comm_delta.messages -= comm_start.messages;
+            comm_delta.words_sent -= comm_start.words_sent;
+            comm_delta.modeled_time -= comm_start.modeled_time;
+            comm_delta.overlapped_time -= comm_start.overlapped_time;
+            // The hidden seconds live in the profile's overlap books;
+            // mirror the epoch total into the comm counters so the
+            // harnesses see one number per epoch.
+            comm_delta.record_overlap(profile.total_overlap());
+            if let Some(cache) = cache.as_mut() {
+                // Fold in this epoch's hit/miss/saved-words counters
+                // (and reset them for the next epoch).
+                comm_delta.merge(&cache.take_stats());
+            }
+            epochs.push((profile, comm_delta, loss.mean()));
         }
+        let params = model.parameters().to_vec();
+        Ok((epochs, params))
+    }
+
+    /// Bulk-synchronous data-parallel training (Figure 3) for distributed
+    /// backends.  The per-rank loop is [`TrainingSession::distributed_rank_main`];
+    /// this method dispatches it over the configured transport (simulator
+    /// threads, or one process per rank via the [`crate::worker`] registry)
+    /// and aggregates the per-rank results.
+    fn train_distributed(
+        &self,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Result<(TrainingReport, SageModel)> {
+        let runtime = self.backend.runtime().expect("distributed path");
+        let config = &self.config;
+
+        let per_rank_ok: Vec<RankEpochs> = match &config.transport {
+            TransportSelect::Simulator => {
+                let per_rank = runtime.run(|comm| self.distributed_rank_main(comm))?;
+                let mut ok = Vec::with_capacity(per_rank.len());
+                for o in per_rank {
+                    ok.push(o.value?);
+                }
+                ok
+            }
+            TransportSelect::UnixSocket(launch) => {
+                let runtime =
+                    runtime.clone().with_transport(TransportSelect::UnixSocket(launch.clone()));
+                let job = crate::worker::encode_train_job(self)?;
+                let outputs = runtime.run_worker(
+                    &crate::worker::registry(),
+                    crate::worker::TRAIN_WORKER,
+                    &job,
+                )?;
+                let mut ok = Vec::with_capacity(outputs.len());
+                for o in outputs {
+                    ok.push(crate::worker::decode_rank_epochs(&o.value)?);
+                }
+                ok
+            }
+        };
 
         // Aggregate across ranks: max for times, sum for volumes, mean of the
         // per-rank mean losses.

@@ -288,6 +288,13 @@ pub trait SamplingBackend {
         None
     }
 
+    /// A serializable description from which an identical backend can be
+    /// rebuilt in another process (see [`crate::spec`]).  `None` — the
+    /// default — marks a backend that cannot cross process boundaries.
+    fn spec(&self) -> Option<crate::spec::BackendSpec> {
+        None
+    }
+
     /// Samples every minibatch of an epoch: `batches` are split into bulk
     /// groups of `bulk().bulk_size`, each group is sampled with the backend's
     /// distribution strategy under [`group_seed`]`(seed, group)`, and the
@@ -511,6 +518,10 @@ impl SamplingBackend for ReplicatedBackend {
         Some(&self.dist)
     }
 
+    fn spec(&self) -> Option<crate::spec::BackendSpec> {
+        Some(crate::spec::BackendSpec::Replicated { dist: self.dist })
+    }
+
     fn sample_epoch<S: Sampler + Sync>(
         &self,
         sampler: &S,
@@ -704,6 +715,10 @@ impl SamplingBackend for Partitioned1p5dBackend {
 
     fn dist(&self) -> Option<&DistConfig> {
         Some(&self.dist)
+    }
+
+    fn spec(&self) -> Option<crate::spec::BackendSpec> {
+        Some(crate::spec::BackendSpec::Partitioned1p5d { dist: self.dist })
     }
 
     fn sample_epoch<S: Sampler + Sync>(

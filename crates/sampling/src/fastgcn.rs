@@ -63,6 +63,13 @@ impl FastGcnSampler {
 }
 
 impl Sampler for FastGcnSampler {
+    fn spec(&self) -> Option<crate::spec::SamplerSpec> {
+        Some(crate::spec::SamplerSpec::FastGcn {
+            num_layers: self.num_layers,
+            samples_per_layer: self.samples_per_layer,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "fastgcn"
     }

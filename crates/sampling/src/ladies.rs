@@ -89,6 +89,14 @@ impl LadiesSampler {
 }
 
 impl Sampler for LadiesSampler {
+    fn spec(&self) -> Option<crate::spec::SamplerSpec> {
+        Some(crate::spec::SamplerSpec::Ladies {
+            num_layers: self.num_layers,
+            samples_per_layer: self.samples_per_layer,
+            include_previous: self.include_previous,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "ladies"
     }

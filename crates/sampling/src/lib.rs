@@ -95,6 +95,7 @@ pub mod plan;
 pub mod replicated;
 pub mod sage;
 pub mod sampler;
+pub mod spec;
 
 pub use backend::{
     DistConfig, EpochSamples, LocalBackend, Partitioned1p5dBackend, ReplicatedBackend,
@@ -107,6 +108,7 @@ pub use micro::{request_stream_seed, sample_micro_bulk, MicroBulkSample, MicroRe
 pub use plan::{BulkSampleOutput, FetchPlan, LayerSample, MinibatchSample};
 pub use sage::GraphSageSampler;
 pub use sampler::{BulkSamplerConfig, PartitionedContext, Sampler};
+pub use spec::{BackendSpec, SamplerSpec};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, SamplingError>;

@@ -110,6 +110,13 @@ impl GraphSageSampler {
 }
 
 impl Sampler for GraphSageSampler {
+    fn spec(&self) -> Option<crate::spec::SamplerSpec> {
+        Some(crate::spec::SamplerSpec::GraphSage {
+            fanouts: self.fanouts.clone(),
+            self_loops: self.include_self_loops,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "graphsage"
     }

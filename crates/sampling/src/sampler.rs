@@ -127,6 +127,15 @@ pub trait Sampler {
     /// the innermost expansion).
     fn fanout(&self, step: usize) -> usize;
 
+    /// A serializable description from which an identical sampler can be
+    /// rebuilt in another process (the Unix-socket transport ships specs,
+    /// not objects).  `None` — the default — marks a sampler that cannot
+    /// cross process boundaries; such samplers still work on every
+    /// in-process backend.
+    fn spec(&self) -> Option<crate::spec::SamplerSpec> {
+        None
+    }
+
     /// Samples the `L`-hop neighborhood of a single minibatch on a fully
     /// local adjacency matrix.
     ///

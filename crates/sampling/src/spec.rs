@@ -1,0 +1,85 @@
+//! Serializable descriptions of samplers and backends.
+//!
+//! The Unix-socket transport runs each rank in its own OS process, so a
+//! `TrainingSession` cannot hand its sampler/backend *objects* to the ranks
+//! — it ships a **spec** instead, and each rank process rebuilds an
+//! identical object from it.  [`SamplerSpec`] and [`BackendSpec`] are those
+//! descriptions: plain data, total (every field of the source object is
+//! captured, so the rebuild is exact), and independent of any wire format
+//! (the `dmbs-gnn` worker codec chooses the bytes).
+//!
+//! A sampler or backend that cannot be described this way simply returns
+//! `None` from [`Sampler::spec`](crate::Sampler::spec) /
+//! [`SamplingBackend::spec`](crate::SamplingBackend::spec), and the session
+//! layer reports a typed error when such an object is asked to cross a
+//! process boundary.
+
+use crate::backend::DistConfig;
+
+/// A rebuildable description of a [`Sampler`](crate::Sampler).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplerSpec {
+    /// [`GraphSageSampler`](crate::GraphSageSampler).
+    GraphSage {
+        /// Per-step fanouts, outermost first.
+        fanouts: Vec<usize>,
+        /// Whether self-loops are added during extraction.
+        self_loops: bool,
+    },
+    /// [`LadiesSampler`](crate::LadiesSampler).
+    Ladies {
+        /// Number of layers.
+        num_layers: usize,
+        /// Vertices sampled per layer.
+        samples_per_layer: usize,
+        /// Whether each layer's support includes the previous layer.
+        include_previous: bool,
+    },
+    /// [`FastGcnSampler`](crate::FastGcnSampler).
+    FastGcn {
+        /// Number of layers.
+        num_layers: usize,
+        /// Vertices sampled per layer.
+        samples_per_layer: usize,
+    },
+}
+
+/// A rebuildable description of a distributed
+/// [`SamplingBackend`](crate::SamplingBackend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// [`ReplicatedBackend`](crate::ReplicatedBackend) (§5.1).
+    Replicated {
+        /// The distribution configuration.
+        dist: DistConfig,
+    },
+    /// [`Partitioned1p5dBackend`](crate::Partitioned1p5dBackend) (§5.2).
+    Partitioned1p5d {
+        /// The distribution configuration.
+        dist: DistConfig,
+    },
+}
+
+impl BackendSpec {
+    /// The distribution configuration common to every distributed backend.
+    pub fn dist(&self) -> &DistConfig {
+        match self {
+            BackendSpec::Replicated { dist } | BackendSpec::Partitioned1p5d { dist } => dist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::BulkSamplerConfig;
+
+    #[test]
+    fn backend_spec_exposes_dist() {
+        let dist = DistConfig::new(4, 2, BulkSamplerConfig::new(8, 4));
+        let spec = BackendSpec::Partitioned1p5d { dist };
+        assert_eq!(spec.dist(), &dist);
+        let spec = BackendSpec::Replicated { dist };
+        assert_eq!(spec.dist().ranks, 4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-backend transport equivalence sweep: the real multi-process
+//! Unix-socket transport must be a drop-in replacement for the in-process
+//! rank simulator.
+//!
+//! The contract under test: selecting
+//! [`TransportSelect::UnixSocket`](dmbs::comm::TransportSelect) on a
+//! [`TrainingSession`] changes *how* bytes move (OS processes, socketpairs,
+//! length-prefixed frames) but nothing observable about the training run —
+//! every deterministic counter (words, messages, cache hits/misses, saved
+//! words) and every per-epoch mean loss is **bit-identical** to the
+//! simulator, swept over p ∈ {1, 2, 4} × every c dividing p × all three
+//! feature-cache modes.
+//!
+//! The sweep also pins that [`CommStats`](dmbs::comm::CommStats) aggregation
+//! survives the process boundary: per-rank stats are serialized back from
+//! real child processes and merged by the same code path the simulator
+//! uses, so the cache-balance identity
+//! `words_sent(cached) + words_saved == words_sent(uncached)` must hold on
+//! the real backend too.
+
+use dmbs::comm::{run_if_worker, SocketLaunch, TransportSelect};
+use dmbs::gnn::{FeatureCacheConfig, TrainingReport, TrainingSession};
+use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::sampling::{BulkSamplerConfig, DistConfig, GraphSageSampler, ReplicatedBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Rank-process entry point.  When the parent re-executes this test binary
+/// with the rendezvous environment set, libtest routes execution here (via
+/// `--exact socket_worker_shim`) and `run_if_worker` takes over the process;
+/// in an ordinary `cargo test` run the environment is unset and this is an
+/// empty passing test.
+#[test]
+fn socket_worker_shim() {
+    run_if_worker(&dmbs::gnn::worker::registry());
+}
+
+/// Every (ranks, replication) grid shape the sweep covers: p ∈ {1, 2, 4},
+/// all c dividing p.
+const GRID_SHAPES: [(usize, usize); 6] = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4)];
+
+fn launch() -> SocketLaunch {
+    SocketLaunch::for_test_binary("socket_worker_shim").timeout_ms(120_000)
+}
+
+fn tiny_dataset() -> Arc<Dataset> {
+    let mut cfg = DatasetConfig::products_like(6);
+    cfg.feature_dim = 8;
+    cfg.num_classes = 3;
+    cfg.train_fraction = 0.5;
+    cfg.homophily = 0.6;
+    Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(11)).expect("dataset"))
+}
+
+fn train(
+    dataset: &Arc<Dataset>,
+    p: usize,
+    c: usize,
+    cache: FeatureCacheConfig,
+    transport: TransportSelect,
+) -> TrainingReport {
+    let dist = DistConfig::new(p, c, BulkSamplerConfig::new(8, 2));
+    let backend = ReplicatedBackend::new(dist).expect("backend");
+    TrainingSession::builder()
+        .dataset(Arc::clone(dataset))
+        .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+        .backend(backend)
+        .hidden_dim(8)
+        .learning_rate(0.1)
+        .epochs(2)
+        .seed(33)
+        .feature_cache(cache)
+        .transport(transport)
+        .without_evaluation()
+        .build()
+        .expect("session")
+        .train()
+        .expect("training")
+}
+
+/// The tentpole sweep: for every grid shape and cache mode, the socket
+/// transport reproduces the simulator's losses and deterministic counters
+/// bit for bit.
+#[test]
+fn socket_transport_is_byte_identical_to_simulator_across_the_sweep() {
+    let dataset = tiny_dataset();
+    let cache_modes = [
+        FeatureCacheConfig::Off,
+        FeatureCacheConfig::EpochPinned,
+        FeatureCacheConfig::Lru { byte_budget: 2_048 },
+    ];
+    for &(p, c) in &GRID_SHAPES {
+        for cache in cache_modes {
+            let sim = train(&dataset, p, c, cache, TransportSelect::Simulator);
+            let sock = train(&dataset, p, c, cache, TransportSelect::UnixSocket(launch()));
+            let label = format!("p={p} c={c} cache={cache:?}");
+            assert_eq!(sim.epochs.len(), sock.epochs.len(), "{label}: epoch count diverged");
+            for (a, b) in sim.epochs.iter().zip(&sock.epochs) {
+                assert_eq!(
+                    a.mean_loss.to_bits(),
+                    b.mean_loss.to_bits(),
+                    "{label} epoch {}: losses not bit-identical ({} vs {})",
+                    a.epoch,
+                    a.mean_loss,
+                    b.mean_loss
+                );
+                assert_eq!(a.comm.words_sent, b.comm.words_sent, "{label}: words diverged");
+                assert_eq!(a.comm.messages, b.comm.messages, "{label}: messages diverged");
+                assert_eq!(a.comm.cache_hits, b.comm.cache_hits, "{label}: hits diverged");
+                assert_eq!(a.comm.cache_misses, b.comm.cache_misses, "{label}: misses diverged");
+                assert_eq!(a.comm.words_saved, b.comm.words_saved, "{label}: saved diverged");
+            }
+        }
+    }
+}
+
+/// Satellite: `CommStats` merged across real process boundaries still obey
+/// the cache-balance identity — every word the cache claims to save is a
+/// word the uncached run actually sent.
+#[test]
+fn cache_balance_holds_across_process_boundaries() {
+    let dataset = tiny_dataset();
+    for &(p, c) in &[(2, 1), (4, 2)] {
+        let uncached =
+            train(&dataset, p, c, FeatureCacheConfig::Off, TransportSelect::UnixSocket(launch()));
+        let cached = train(
+            &dataset,
+            p,
+            c,
+            FeatureCacheConfig::EpochPinned,
+            TransportSelect::UnixSocket(launch()),
+        );
+        let words =
+            |r: &TrainingReport| -> usize { r.epochs.iter().map(|e| e.comm.words_sent).sum() };
+        let saved: usize = cached.epochs.iter().map(|e| e.comm.words_saved).sum();
+        assert_eq!(
+            words(&cached) + saved,
+            words(&uncached),
+            "p={p} c={c}: cache balance broke across the process boundary"
+        );
+        assert!(saved > 0, "p={p} c={c}: pinned cache saved nothing; the identity is vacuous");
+    }
+}
+
+/// Satellite: the averaged model parameters also survive the wire codec —
+/// evaluation (which runs in the parent over the decoded, rank-averaged
+/// parameters) scores bit-identically on both transports.  A parameter
+/// codec bug would not show in per-epoch losses, so this closes that gap.
+#[test]
+fn evaluation_over_decoded_parameters_matches_simulator() {
+    let dataset = tiny_dataset();
+    let evaluated = |transport: TransportSelect| -> TrainingReport {
+        let dist = DistConfig::new(2, 1, BulkSamplerConfig::new(8, 2));
+        let backend = ReplicatedBackend::new(dist).expect("backend");
+        TrainingSession::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(backend)
+            .hidden_dim(8)
+            .learning_rate(0.1)
+            .epochs(2)
+            .seed(33)
+            .feature_cache(FeatureCacheConfig::EpochPinned)
+            .transport(transport)
+            .build()
+            .expect("session")
+            .train()
+            .expect("training")
+    };
+    let sim = evaluated(TransportSelect::Simulator);
+    let sock = evaluated(TransportSelect::UnixSocket(launch()));
+    let accuracy = |r: &TrainingReport| r.test_accuracy.expect("evaluation ran").to_bits();
+    assert_eq!(
+        accuracy(&sim),
+        accuracy(&sock),
+        "test accuracy diverged: the parameter matrices did not survive the codec bit-exactly"
+    );
+}
