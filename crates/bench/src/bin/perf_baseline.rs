@@ -14,8 +14,14 @@
 //! separately via `PhaseProfile`), so future PRs have a recorded trajectory
 //! to beat.
 //!
-//! Four further sweeps ride on the same harness: `--fetch` measures the
+//! Five further sweeps ride on the same harness: `--fetch` measures the
 //! communication-avoiding feature pipeline (`BENCH_fetch.json`),
+//! `--compress` measures the wire codecs on the feature-fetch lanes
+//! (`BENCH_compress.json`: per (shape × codec) the exact byte books —
+//! `bytes_on_wire + bytes_saved == bytes_on_wire(exact)` asserted in-sweep —
+//! the ×1000-scaled bytes reduction with its fp16 ≥ 1.9× / int8 ≥ 3.5×
+//! floors, the worst-case row quantization error, and a small training run
+//! per codec pinning the loss delta vs exact),
 //! `--overlap` measures the software-pipelined distributed training
 //! schedule against the synchronous one (`BENCH_overlap.json`: modeled
 //! epoch seconds, hidden α–β time, words unchanged), `--serve` drives
@@ -33,7 +39,7 @@
 //!
 //! ```text
 //! cargo run --release --bin perf_baseline \
-//!     [--smoke] [--fetch | --overlap | --serve | --calibrate] \
+//!     [--smoke] [--fetch | --compress | --overlap | --serve | --calibrate] \
 //!     [--check <baseline-dir>] [--tolerance <rel>] [output_dir]
 //! ```
 //!
@@ -49,7 +55,7 @@
 //! default `1,2,4,8`) overrides the thread sweep.
 
 use dmbs_bench::stats::{time_best, LatencySummary};
-use dmbs_comm::{Group, Phase, ProcessGrid, Runtime};
+use dmbs_comm::{Codec, Group, Phase, ProcessGrid, Runtime};
 use dmbs_gnn::{FeatureCache, FeatureCacheConfig, FeatureStore};
 use dmbs_graph::generators::{rmat, RmatConfig};
 use dmbs_matrix::extract::{extract_columns_masked, extract_rows};
@@ -426,8 +432,9 @@ fn run_fetch_epoch(
     (per_rank, words, messages, hits, misses, saved)
 }
 
-const USAGE: &str = "usage: perf_baseline [--smoke] [--fetch | --overlap | --serve | \
-                     --calibrate] [--check <baseline-dir>] [--tolerance <rel>] [output_dir]";
+const USAGE: &str = "usage: perf_baseline [--smoke] [--fetch | --compress | --overlap | \
+                     --serve | --calibrate] [--check <baseline-dir>] [--tolerance <rel>] \
+                     [output_dir]";
 
 fn main() {
     // The --calibrate sweep re-executes this binary as its rank processes;
@@ -436,6 +443,7 @@ fn main() {
     dmbs_comm::run_if_worker(&dmbs_bench::transport::registry());
     let mut smoke = false;
     let mut fetch_only = false;
+    let mut compress_only = false;
     let mut overlap_only = false;
     let mut serve_only = false;
     let mut calibrate_only = false;
@@ -448,6 +456,8 @@ fn main() {
             smoke = true;
         } else if arg == "--fetch" {
             fetch_only = true;
+        } else if arg == "--compress" {
+            compress_only = true;
         } else if arg == "--overlap" {
             overlap_only = true;
         } else if arg == "--serve" {
@@ -476,10 +486,18 @@ fn main() {
             out_dir = std::path::PathBuf::from(arg);
         }
     }
-    if [fetch_only, overlap_only, serve_only, calibrate_only].iter().filter(|&&f| f).count() > 1 {
+    if [fetch_only, compress_only, overlap_only, serve_only, calibrate_only]
+        .iter()
+        .filter(|&&f| f)
+        .count()
+        > 1
+    {
         // The sweeps are exclusive; silently running only one of them would
         // leave the other's BENCH file stale while --check reports success.
-        eprintln!("--fetch, --overlap, --serve and --calibrate are mutually exclusive; {USAGE}");
+        eprintln!(
+            "--fetch, --compress, --overlap, --serve and --calibrate are mutually exclusive; \
+             {USAGE}"
+        );
         std::process::exit(2);
     }
     if let Some(baseline_dir) = &check_dir {
@@ -503,6 +521,9 @@ fn main() {
     let produced: &[&str] = if fetch_only {
         run_fetch_sweep(smoke, &out_dir);
         &["BENCH_fetch.json"]
+    } else if compress_only {
+        run_compress_sweep(smoke, &out_dir);
+        &["BENCH_compress.json"]
     } else if overlap_only {
         run_overlap_sweep(smoke, &out_dir);
         &["BENCH_overlap.json"]
@@ -923,6 +944,390 @@ fn run_fetch_sweep(smoke: bool, out_dir: &std::path::Path) {
     print_fetch_records(&records);
     write_fetch_json(&out_dir.join("BENCH_fetch.json"), &workload, &records);
     println!("\nAll cached fetches byte-identical to the uncached all-to-allv baseline.");
+}
+
+/// One measured (grid shape × codec) configuration of the wire-compression
+/// sweep.  `mode` distinguishes the standalone feature-fetch replay
+/// (`"fetch"`) from the small end-to-end training run (`"train"`).
+struct CompressRecord {
+    p: usize,
+    c: usize,
+    mode: &'static str,
+    codec: &'static str,
+    wall_s: f64,
+    /// All-to-allv words this run moved (all ranks) — codec-independent by
+    /// contract, so the CI gate pins it exactly.
+    words_per_epoch: usize,
+    messages: usize,
+    /// Bytes the codec actually put on the wire (all ranks).
+    bytes_on_wire: usize,
+    /// Bytes avoided vs the exact encoding; by construction
+    /// `bytes_on_wire + bytes_saved == bytes_on_wire(exact)`.
+    bytes_saved: usize,
+    /// `⌊1000 · bytes_on_wire(exact) / bytes_on_wire⌋` — an integer so the
+    /// CI gate compares it exactly (1000 ⇔ 1.0×).
+    bytes_reduction_x1000: usize,
+    /// Worst `|decoded − exact|` over every fetched row (fetch rows only;
+    /// NaN → null on train rows).
+    max_abs_err: f64,
+    /// Final-epoch mean loss (train rows only; NaN → null on fetch rows).
+    final_loss: f64,
+    /// `|final_loss − final_loss(exact)|` (train rows only).
+    loss_delta_vs_exact: f64,
+    /// Codecs change byte encodings, never the schedule: same words and
+    /// messages as the exact run.
+    identical_to_exact_schedule: bool,
+}
+
+fn write_compress_json(path: &std::path::Path, workload: &Workload, records: &[CompressRecord]) {
+    let mut out = json_header(workload);
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"p\": {}, \"c\": {}, \"mode\": \"{}\", \"codec\": \"{}\", \"wall_s\": {}, \
+             \"words_per_epoch\": {}, \"messages\": {}, \"bytes_on_wire\": {}, \
+             \"bytes_saved\": {}, \"bytes_reduction_x1000\": {}, \"max_abs_err\": {}, \
+             \"final_loss\": {}, \"loss_delta_vs_exact\": {}, \
+             \"identical_to_exact_schedule\": {}}}{}\n",
+            r.p,
+            r.c,
+            r.mode,
+            r.codec,
+            json_f64(r.wall_s),
+            r.words_per_epoch,
+            r.messages,
+            r.bytes_on_wire,
+            r.bytes_saved,
+            r.bytes_reduction_x1000,
+            json_f64(r.max_abs_err),
+            json_f64(r.final_loss),
+            json_f64(r.loss_delta_vs_exact),
+            r.identical_to_exact_schedule,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn print_compress_records(records: &[CompressRecord]) {
+    println!("\n== Wire compression: bytes on the feature and gradient lanes ==");
+    println!(
+        "{:>3} {:>3} {:>5} {:>6}  {:>12}  {:>12}  {:>12}  {:>9}  {:>8}  identical",
+        "p", "c", "mode", "codec", "words/epoch", "bytes_wire", "bytes_saved", "reduction", "loss"
+    );
+    for r in records {
+        let loss =
+            if r.final_loss.is_nan() { "-".to_string() } else { format!("{:.4}", r.final_loss) };
+        println!(
+            "{:>3} {:>3} {:>5} {:>6}  {:>12}  {:>12}  {:>12}  {:>8.2}x  {:>8}  {}",
+            r.p,
+            r.c,
+            r.mode,
+            r.codec,
+            r.words_per_epoch,
+            r.bytes_on_wire,
+            r.bytes_saved,
+            r.bytes_reduction_x1000 as f64 / 1000.0,
+            loss,
+            r.identical_to_exact_schedule
+        );
+    }
+}
+
+/// The fetch epoch of [`run_fetch_epoch`], cache off, with the feature rows
+/// travelling under `codec`.  Returns per-rank fetched rows plus the summed
+/// word, message and byte books.
+#[allow(clippy::type_complexity)]
+fn run_compress_epoch(
+    runtime: &Runtime,
+    h: &DenseMatrix,
+    minibatches: &[MinibatchSample],
+    c: usize,
+    codec: Codec,
+) -> (Vec<Vec<DenseMatrix>>, usize, usize, usize, usize) {
+    let p = runtime.size();
+    let steps = minibatches.len().div_ceil(p);
+    let outs = runtime
+        .run(|comm| {
+            let rank = comm.rank();
+            let grid = ProcessGrid::new(p, c).expect("valid grid");
+            let (my_row, _) = grid.coords(rank);
+            let store =
+                FeatureStore::from_full(h, grid.rows(), my_row).expect("store").with_codec(codec);
+            let group = Group::new(&grid.col_ranks(rank)).expect("group");
+            let my_mbs: Vec<&MinibatchSample> = minibatches.iter().skip(rank).step_by(p).collect();
+            let mut fetched = Vec::with_capacity(my_mbs.len());
+            for step in 0..steps {
+                let wanted: Vec<usize> =
+                    my_mbs.get(step).map(|mb| mb.input_vertices().to_vec()).unwrap_or_default();
+                let rows = store.fetch(comm, &group, &wanted).expect("fetch");
+                if step < my_mbs.len() {
+                    fetched.push(rows);
+                }
+            }
+            fetched
+        })
+        .expect("compress epoch");
+    let mut per_rank = Vec::with_capacity(outs.len());
+    let (mut words, mut messages, mut bytes, mut saved) = (0, 0, 0, 0);
+    for o in outs {
+        words += o.stats.words_sent;
+        messages += o.stats.messages;
+        bytes += o.stats.bytes_on_wire;
+        saved += o.stats.bytes_saved;
+        per_rank.push(o.value);
+    }
+    (per_rank, words, messages, bytes, saved)
+}
+
+/// Worst `|a − b|` over two identically-shaped per-rank fetch results.
+fn max_row_error(a: &[Vec<DenseMatrix>], b: &[Vec<DenseMatrix>]) -> f64 {
+    let mut worst = 0.0f64;
+    for (ra, rb) in a.iter().zip(b) {
+        for (ma, mb) in ra.iter().zip(rb) {
+            for (x, y) in ma.as_slice().iter().zip(mb.as_slice()) {
+                worst = worst.max((x - y).abs());
+            }
+        }
+    }
+    worst
+}
+
+/// The `--compress` sweep: the `--fetch` feature-fetch epoch (cache off)
+/// replayed under every wire codec, plus one small end-to-end training run
+/// per codec.  Asserts in-sweep that the exact codec *is* the word book
+/// (`bytes == 8 · words`, nothing saved), that compressed codecs keep the
+/// schedule (words, messages) bit-identical while the byte books balance
+/// (`bytes_on_wire + bytes_saved == bytes_on_wire(exact)`), that the feature
+/// lanes clear the reduction floors (fp16 ≥ 1.9×, int8 ≥ 3.5× wherever
+/// p > c — full replication serves every fetch locally, so there is no wire
+/// to shrink), that per-row quantization error stays inside each codec's
+/// stated bound, and that the quantized training loss lands within 0.25 of
+/// exact.  Writes `BENCH_compress.json`.
+fn run_compress_sweep(smoke: bool, out_dir: &std::path::Path) {
+    use dmbs_gnn::{TrainingReport, TrainingSession};
+    use dmbs_graph::datasets::{build_dataset, DatasetConfig};
+    use dmbs_sampling::{DistConfig, ReplicatedBackend};
+    use std::sync::Arc;
+
+    // The --fetch workload family, pinned at f = 16 so the per-row framing
+    // (tag + scale byte for int8) is amortized the way real feature widths
+    // amortize it.
+    let (scale, degree, f, batch_size, num_batches, fanouts) =
+        if smoke { (8, 8, 16, 64, 8, vec![5, 5]) } else { (12, 12, 16, 256, 16, vec![10, 5]) };
+    let shapes: &[(usize, usize)] =
+        if smoke { &[(2, 1), (2, 2), (4, 2)] } else { &[(4, 1), (4, 2), (4, 4), (8, 2), (8, 4)] };
+    if smoke {
+        println!("compress smoke mode: tiny workload, full shape × codec sweep + byte books");
+    }
+
+    let graph = rmat(&RmatConfig::new(scale, degree), &mut StdRng::seed_from_u64(99))
+        .expect("valid RMAT config");
+    let a = graph.adjacency().clone();
+    let n = a.rows();
+    let h = DenseMatrix::from_rows(
+        &(0..n)
+            .map(|v| (0..f).map(|j| ((v * 31 + j * 7) % 1000) as f64 * 1e-3).collect())
+            .collect::<Vec<_>>(),
+    )
+    .expect("feature matrix");
+    let batches: Vec<Vec<usize>> = (0..num_batches)
+        .map(|i| (0..batch_size).map(|j| (i * batch_size + j * 7) % n).collect())
+        .collect();
+    let sampler = GraphSageSampler::new(fanouts.clone());
+    let backend = LocalBackend::new(BulkSamplerConfig::new(batch_size, 4)).expect("bulk config");
+    let epoch = backend.sample_epoch(&sampler, &a, &batches, 7).expect("epoch");
+    let minibatches = epoch.output.minibatches;
+    let plan = FetchPlan::from_minibatches(&minibatches);
+
+    let mut records = Vec::new();
+    for &(p, c) in shapes {
+        let runtime = Runtime::new(p).expect("runtime");
+        let reps = if smoke { 1 } else { 3 };
+        let (exact_wall, (exact_rows, exact_words, exact_msgs, exact_bytes, exact_saved)) =
+            time_best(reps, || run_compress_epoch(&runtime, &h, &minibatches, c, Codec::Exact));
+        assert_eq!(
+            exact_bytes,
+            exact_words * 8,
+            "p={p} c={c}: the exact codec must bill exactly 8 bytes per word"
+        );
+        assert_eq!(exact_saved, 0, "p={p} c={c}: the exact codec saved bytes out of thin air");
+        records.push(CompressRecord {
+            p,
+            c,
+            mode: "fetch",
+            codec: Codec::Exact.name(),
+            wall_s: exact_wall,
+            words_per_epoch: exact_words,
+            messages: exact_msgs,
+            bytes_on_wire: exact_bytes,
+            bytes_saved: 0,
+            bytes_reduction_x1000: 1000,
+            max_abs_err: 0.0,
+            final_loss: f64::NAN,
+            loss_delta_vs_exact: f64::NAN,
+            identical_to_exact_schedule: true,
+        });
+        for codec in [Codec::Fp16, Codec::Int8] {
+            let (wall, (rows, words, msgs, bytes, saved)) =
+                time_best(reps, || run_compress_epoch(&runtime, &h, &minibatches, c, codec));
+            let label = format!("p={p} c={c} {codec}");
+            let identical = words == exact_words && msgs == exact_msgs;
+            assert!(identical, "{label}: the codec changed the communication schedule");
+            assert_eq!(bytes + saved, exact_bytes, "{label}: byte books do not balance");
+            // A byte-free shape (fully replicated) reduces nothing: 1.0×.
+            let reduction_x1000 = (exact_bytes * 1000).checked_div(bytes).unwrap_or(1000);
+            if p > c {
+                // Fully-replicated shapes (p == c) serve every fetch locally,
+                // so there are no wire bytes to shrink.
+                let floor = if codec == Codec::Fp16 { 1900 } else { 3500 };
+                assert!(
+                    reduction_x1000 >= floor,
+                    "{label}: {:.2}x reduction is under the {:.2}x floor on the feature lanes",
+                    reduction_x1000 as f64 / 1000.0,
+                    floor as f64 / 1000.0,
+                );
+            }
+            let max_err = max_row_error(&rows, &exact_rows);
+            // The synthetic features live in [0, 1): fp16 resolves ~2⁻¹¹
+            // relative, int8 max_abs/254 per row.
+            let bound = if codec == Codec::Fp16 { 1.0 / 1024.0 } else { 1.0 / 254.0 + 1e-12 };
+            assert!(
+                max_err <= bound,
+                "{label}: row error {max_err:.3e} above the codec bound {bound:.3e}"
+            );
+            records.push(CompressRecord {
+                p,
+                c,
+                mode: "fetch",
+                codec: codec.name(),
+                wall_s: wall,
+                words_per_epoch: words,
+                messages: msgs,
+                bytes_on_wire: bytes,
+                bytes_saved: saved,
+                bytes_reduction_x1000: reduction_x1000,
+                max_abs_err: max_err,
+                final_loss: f64::NAN,
+                loss_delta_vs_exact: f64::NAN,
+                identical_to_exact_schedule: identical,
+            });
+        }
+    }
+
+    // One small end-to-end training run per codec: the loss trajectory must
+    // survive quantized feature lanes, and the byte books must flow through
+    // the session's per-epoch deltas (not just the standalone fetch path).
+    let (tp, tc) = if smoke { (2, 1) } else { (4, 2) };
+    let mut cfg = DatasetConfig::products_like(if smoke { 6 } else { 8 });
+    cfg.feature_dim = f;
+    cfg.num_classes = 3;
+    cfg.train_fraction = 0.5;
+    cfg.homophily = 0.6;
+    let dataset = Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(17)).expect("dataset"));
+    let train = |codec: Codec| -> (f64, TrainingReport) {
+        let dist = DistConfig::new(tp, tc, BulkSamplerConfig::new(if smoke { 8 } else { 16 }, 2));
+        let backend = ReplicatedBackend::new(dist).expect("backend");
+        let session = TrainingSession::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(backend)
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(23)
+            .wire_codec(codec)
+            .without_evaluation()
+            .build()
+            .expect("session");
+        let start = Instant::now();
+        let report = session.train().expect("training");
+        (start.elapsed().as_secs_f64(), report)
+    };
+    let book = |r: &TrainingReport| -> (usize, usize, usize, usize) {
+        (
+            r.epochs.iter().map(|e| e.comm.words_sent).sum(),
+            r.epochs.iter().map(|e| e.comm.messages).sum(),
+            r.epochs.iter().map(|e| e.comm.bytes_on_wire).sum(),
+            r.epochs.iter().map(|e| e.comm.bytes_saved).sum(),
+        )
+    };
+    let final_loss = |r: &TrainingReport| r.epochs.last().expect("epochs").mean_loss;
+    let (exact_train_wall, exact_train) = train(Codec::Exact);
+    let (ew, em, eb, es) = book(&exact_train);
+    assert_eq!(eb, ew * 8, "train exact: bytes must be 8 · words");
+    assert_eq!(es, 0, "train exact: nothing to save under the exact codec");
+    records.push(CompressRecord {
+        p: tp,
+        c: tc,
+        mode: "train",
+        codec: Codec::Exact.name(),
+        wall_s: exact_train_wall,
+        words_per_epoch: ew,
+        messages: em,
+        bytes_on_wire: eb,
+        bytes_saved: 0,
+        bytes_reduction_x1000: 1000,
+        max_abs_err: f64::NAN,
+        final_loss: final_loss(&exact_train),
+        loss_delta_vs_exact: 0.0,
+        identical_to_exact_schedule: true,
+    });
+    for codec in [Codec::Fp16, Codec::Int8] {
+        let (wall, report) = train(codec);
+        let (w, m, b, s) = book(&report);
+        let label = format!("train p={tp} c={tc} {codec}");
+        assert_eq!(w, ew, "{label}: words diverged from exact");
+        assert_eq!(m, em, "{label}: messages diverged from exact");
+        assert_eq!(b + s, eb, "{label}: training byte books do not balance");
+        // Both presets pick tp > tc, so the feature lanes carry real bytes.
+        assert!(b < eb, "{label}: the codec did not shrink the training wire");
+        let loss = final_loss(&report);
+        let delta = (loss - final_loss(&exact_train)).abs();
+        assert!(
+            delta < 0.25,
+            "{label}: final loss {loss:.4} drifted {delta:.4} from exact — quantization broke \
+             training"
+        );
+        records.push(CompressRecord {
+            p: tp,
+            c: tc,
+            mode: "train",
+            codec: codec.name(),
+            wall_s: wall,
+            words_per_epoch: w,
+            messages: m,
+            bytes_on_wire: b,
+            bytes_saved: s,
+            bytes_reduction_x1000: eb * 1000 / b,
+            max_abs_err: f64::NAN,
+            final_loss: loss,
+            loss_delta_vs_exact: delta,
+            identical_to_exact_schedule: true,
+        });
+    }
+
+    let workload = Workload {
+        name: "compress_fetch",
+        detail: format!(
+            "feature-fetch phase of one GraphSAGE {fanouts:?} bulk epoch ({num_batches} batches \
+             of {batch_size}, f = {f}) on rmat scale {scale} deg {degree}, replayed under every \
+             wire codec; plus one {tp}x{tc} products-like training run per codec; {} raw \
+             requests, {} unique",
+            plan.total_requests(),
+            plan.unique_len()
+        ),
+        items: plan.total_requests(),
+        throughput_unit: "requests/epoch",
+    };
+    print_compress_records(&records);
+    write_compress_json(&out_dir.join("BENCH_compress.json"), &workload, &records);
+    println!(
+        "\nAll codecs kept the schedule bit-identical; every byte book balanced \
+         (bytes_on_wire + bytes_saved == exact bill)."
+    );
 }
 
 /// One measured (grid shape × schedule) configuration of the overlap sweep.

@@ -523,6 +523,12 @@ pub mod check {
         // transports replay the same seeded schedule, so the wire bill and
         // the cache's effect on it are exact on the socket backend too.
         "epochs",
+        // Wire-compression counters (`BENCH_compress.json`): encoded bytes
+        // are a deterministic function of the fetched rows and the codec, so
+        // the byte books and the ×1000-scaled reduction ratio are exact.
+        "bytes_on_wire",
+        "bytes_saved",
+        "bytes_reduction_x1000",
     ];
 
     /// Measured wall-clock fields: slower-than-baseline beyond the tolerance
@@ -546,7 +552,7 @@ pub mod check {
 
     /// Fields identifying a record within its file (whichever are present).
     const KEY_FIELDS: &[&str] =
-        &["bench", "kernel", "threads", "p", "c", "mode", "transport", "qps", "window_us"];
+        &["bench", "kernel", "threads", "p", "c", "mode", "transport", "codec", "qps", "window_us"];
 
     /// How bad one comparison finding is.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -810,6 +816,43 @@ pub mod check {
             assert!(findings
                 .iter()
                 .any(|f| f.severity == Severity::Soft && f.message.contains("p99_s")));
+        }
+
+        #[test]
+        fn byte_book_drift_hard_fails_and_codec_keys_records() {
+            let compress_doc = |codec: &str, bytes: u64, saved: u64| {
+                Value::parse(&format!(
+                    r#"{{"bench": "compress_fetch", "records": [
+                        {{"p": 4, "c": 2, "codec": "{codec}", "words_per_epoch": 4096,
+                          "bytes_on_wire": {bytes}, "bytes_saved": {saved},
+                          "bytes_reduction_x1000": 3831, "wall_s": 0.01,
+                          "identical_to_exact_schedule": true}}
+                    ]}}"#
+                ))
+                .unwrap()
+            };
+            // A moved byte book is a schedule regression: hard failure.
+            let findings = compare_bench(
+                "BENCH_compress.json",
+                &compress_doc("int8", 8552, 24216),
+                &compress_doc("int8", 9552, 23216),
+                0.5,
+            );
+            assert!(!passes(&findings));
+            assert!(findings
+                .iter()
+                .any(|f| f.severity == Severity::Hard && f.message.contains("bytes_on_wire")));
+            assert!(findings
+                .iter()
+                .any(|f| f.severity == Severity::Hard && f.message.contains("bytes_saved")));
+            // A different codec is a different record, not a drifted one.
+            let findings = compare_bench(
+                "BENCH_compress.json",
+                &compress_doc("int8", 8552, 24216),
+                &compress_doc("fp16", 8552, 24216),
+                0.5,
+            );
+            assert!(findings.iter().any(|f| f.message.contains("missing from the fresh run")));
         }
 
         #[test]

@@ -46,6 +46,16 @@ pub trait Payload: Send + 'static {
     /// Size of the payload in 8-byte words.
     fn word_count(&self) -> usize;
 
+    /// Bytes this payload occupies on the wire.  Defaults to `8 ×`
+    /// [`word_count`](Payload::word_count); compressed payloads (see
+    /// [`crate::codec::WireRows`]) override it with their encoded size, and
+    /// the communicator books the difference into
+    /// [`CommStats::bytes_saved`](crate::CommStats::bytes_saved) while
+    /// charging β on the real bytes.
+    fn wire_bytes(&self) -> usize {
+        self.word_count() * 8
+    }
+
     /// Structural code identifying this payload type on the wire.
     fn type_code() -> u64
     where
@@ -157,6 +167,9 @@ impl<A: Payload, B: Payload> Payload for (A, B) {
     fn word_count(&self) -> usize {
         self.0.word_count() + self.1.word_count()
     }
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
     fn type_code() -> u64 {
         wire::compose_type_code(20, &[A::type_code(), B::type_code()])
     }
@@ -172,6 +185,9 @@ impl<A: Payload, B: Payload> Payload for (A, B) {
 impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
     fn word_count(&self) -> usize {
         self.0.word_count() + self.1.word_count() + self.2.word_count()
+    }
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
     }
     fn type_code() -> u64 {
         wire::compose_type_code(21, &[A::type_code(), B::type_code(), C::type_code()])
@@ -189,6 +205,9 @@ impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
 impl<T: Payload> Payload for Option<T> {
     fn word_count(&self) -> usize {
         self.as_ref().map_or(0, Payload::word_count)
+    }
+    fn wire_bytes(&self) -> usize {
+        self.as_ref().map_or(0, Payload::wire_bytes)
     }
     fn type_code() -> u64 {
         wire::compose_type_code(22, &[T::type_code()])
@@ -214,6 +233,9 @@ impl<T: Payload> Payload for Option<T> {
 impl<T: Payload> Payload for Vec<T> {
     fn word_count(&self) -> usize {
         self.iter().map(Payload::word_count).sum()
+    }
+    fn wire_bytes(&self) -> usize {
+        self.iter().map(Payload::wire_bytes).sum()
     }
     fn type_code() -> u64 {
         wire::compose_type_code(10, &[T::type_code()])
@@ -242,10 +264,12 @@ impl<T: Payload> Payload for Vec<T> {
 
 impl Payload for CommStats {
     fn word_count(&self) -> usize {
-        8
+        10
     }
     fn type_code() -> u64 {
-        wire::compose_type_code(30, &[])
+        // Constructor 31, not 30: the layout grew the bytes-on-wire book, so
+        // old and new frames must never downcast into each other.
+        wire::compose_type_code(31, &[])
     }
     fn encode(&self, out: &mut Vec<u8>) {
         wire::put_usize(out, self.messages);
@@ -256,6 +280,8 @@ impl Payload for CommStats {
         wire::put_usize(out, self.words_saved);
         wire::put_f64(out, self.overlapped_time);
         wire::put_usize(out, self.amortized_requests);
+        wire::put_usize(out, self.bytes_on_wire);
+        wire::put_usize(out, self.bytes_saved);
     }
     fn decode(input: &mut &[u8]) -> Option<Self> {
         Some(CommStats {
@@ -267,6 +293,8 @@ impl Payload for CommStats {
             words_saved: wire::get_usize(input)?,
             overlapped_time: wire::get_f64(input)?,
             amortized_requests: wire::get_usize(input)?,
+            bytes_on_wire: wire::get_usize(input)?,
+            bytes_saved: wire::get_usize(input)?,
         })
     }
 }
@@ -444,8 +472,10 @@ impl Communicator {
         }
         // Record stats *before* handing the frame to the transport: the
         // deterministic counters must not depend on which backend carries
-        // the bytes.
-        self.stats.record(value.word_count(), &self.cost);
+        // the bytes.  Logical words and encoded wire bytes are booked
+        // separately so compressed payloads keep comparable word counts
+        // while β is charged on what actually moves.
+        self.stats.record_wire(value.word_count(), value.wire_bytes(), &self.cost);
         let frame = match self.transport.mode() {
             TransportMode::InProcess => Frame { tag, body: FrameBody::Boxed(Box::new(value)) },
             TransportMode::Wire => {

@@ -56,6 +56,17 @@ impl CostModel {
         self.alpha + self.beta * words as f64
     }
 
+    /// Modeled time in seconds to send one message of `bytes` wire bytes:
+    /// the β charge is `beta · bytes / 8` since β is per 8-byte word.  For a
+    /// payload of exactly `8 × words` bytes this is bit-identical to
+    /// [`CostModel::message_cost`] (division by the power of two is exact),
+    /// which is what keeps `Codec::Exact` runs byte-identical to the
+    /// pre-compression pipeline; compressed payloads are charged the bytes
+    /// they actually move.
+    pub fn message_cost_bytes(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * (bytes as f64 / 8.0)
+    }
+
     /// Modeled wall time of `comm_s` seconds of communication fully
     /// overlapped with `compute_s` seconds of computation: a pipelined
     /// schedule pays `max(comm, compute)` where the serial schedule pays
@@ -148,6 +159,20 @@ pub struct CommStats {
     /// [`CommStats::modeled_time_per_request`].  Zero outside the serving
     /// tier.
     pub amortized_requests: usize,
+    /// Exact bytes that crossed the wire.  Plain word-counted messages book
+    /// `8 × words`; compressed payloads book their encoded size via
+    /// [`CommStats::record_wire`].  Under the bit-exact codec this is always
+    /// `8 × words_sent`.
+    pub bytes_on_wire: usize,
+    /// Bytes a wire codec kept off the wire: `8 × words − wire bytes`,
+    /// summed per compressed message, so the balance identity
+    /// `bytes_on_wire + bytes_saved == 8 × words_sent` holds by construction
+    /// (per message, hence per epoch).  Distinct from [`words_saved`], the
+    /// *cache* work-avoidance book: saved words never entered a message at
+    /// all, saved bytes crossed as a smaller encoding.
+    ///
+    /// [`words_saved`]: CommStats::words_saved
+    pub bytes_saved: usize,
 }
 
 impl CommStats {
@@ -156,11 +181,25 @@ impl CommStats {
         CommStats::default()
     }
 
-    /// Records one message of `words` words under `model`.
+    /// Records one message of `words` words under `model`, shipped
+    /// uncompressed (`8 × words` bytes on the wire).
     pub fn record(&mut self, words: usize, model: &CostModel) {
+        self.record_wire(words, words * 8, model);
+    }
+
+    /// Records one message of `words` *logical* words that crossed the wire
+    /// as `bytes` encoded bytes (a compressed payload — or `8 × words` for
+    /// an uncompressed one, in which case this is exactly
+    /// [`CommStats::record`]).  The β term of the modeled time is charged on
+    /// the real bytes; the word book keeps the codec-independent logical
+    /// volume, and the difference lands in [`CommStats::bytes_saved`] so the
+    /// books balance per message.
+    pub fn record_wire(&mut self, words: usize, bytes: usize, model: &CostModel) {
         self.messages += 1;
         self.words_sent += words;
-        self.modeled_time += model.message_cost(words);
+        self.bytes_on_wire += bytes;
+        self.bytes_saved += (words * 8).saturating_sub(bytes);
+        self.modeled_time += model.message_cost_bytes(bytes);
     }
 
     /// Records one cache hit that kept `words_saved` words off the wire
@@ -226,11 +265,16 @@ impl CommStats {
         self.words_saved += other.words_saved;
         self.overlapped_time += other.overlapped_time;
         self.amortized_requests += other.amortized_requests;
+        self.bytes_on_wire += other.bytes_on_wire;
+        self.bytes_saved += other.bytes_saved;
     }
 
-    /// Bytes sent, assuming 8-byte words.
+    /// Bytes sent — read from the bytes-on-wire book, so the answer stays
+    /// truthful for payloads that do not ship as 8 bytes per word
+    /// (compressed feature rows).  Equal to `8 × words_sent` whenever every
+    /// message traveled uncompressed.
     pub fn bytes_sent(&self) -> usize {
-        self.words_sent * 8
+        self.bytes_on_wire
     }
 }
 
@@ -301,6 +345,42 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.messages, 3);
         assert_eq!(b.words_sent, 16);
+    }
+
+    #[test]
+    fn bytes_sent_reads_the_wire_book_not_eight_times_words() {
+        // A compressed message: 16 logical words crossing as 40 bytes.
+        let model = CostModel::new(0.0, 8.0);
+        let mut s = CommStats::new();
+        s.record_wire(16, 40, &model);
+        assert_eq!(s.words_sent, 16);
+        assert_eq!(s.bytes_on_wire, 40);
+        assert_eq!(s.bytes_sent(), 40); // NOT 16 * 8
+        assert_eq!(s.bytes_saved, 16 * 8 - 40);
+        // β is charged on the real bytes: 8.0 s/word × 40/8 words.
+        assert!((s.modeled_time - 40.0).abs() < 1e-12);
+        // Balance identity, per message and after merging.
+        assert_eq!(s.bytes_on_wire + s.bytes_saved, s.words_sent * 8);
+        let mut t = CommStats::new();
+        t.record(3, &model); // uncompressed: books 24 bytes, saves nothing
+        t.merge(&s);
+        assert_eq!(t.bytes_on_wire, 24 + 40);
+        assert_eq!(t.bytes_saved, 88);
+        assert_eq!(t.bytes_sent(), 64);
+        assert_eq!(t.bytes_on_wire + t.bytes_saved, t.words_sent * 8);
+    }
+
+    #[test]
+    fn byte_charging_is_bit_identical_to_word_charging_when_uncompressed() {
+        // The β move from words to bytes must not perturb a single bit of
+        // the modeled time for uncompressed traffic.
+        let model = CostModel::slingshot();
+        for words in [0usize, 1, 7, 120, 1 << 20] {
+            assert_eq!(
+                model.message_cost(words).to_bits(),
+                model.message_cost_bytes(words * 8).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod collectives;
 pub mod cost;
 pub mod error;
@@ -66,6 +67,7 @@ pub mod socket;
 pub mod transport;
 pub mod wire;
 
+pub use codec::{Codec, WireRows};
 pub use collectives::{Communicator, Group, Payload};
 pub use cost::{CommStats, CostModel};
 pub use error::CommError;

@@ -39,7 +39,7 @@
 
 use crate::error::GnnError;
 use crate::Result;
-use dmbs_comm::{CommStats, Communicator, Group, PendingCollective};
+use dmbs_comm::{Codec, CommStats, Communicator, Group, PendingCollective, WireRows};
 use dmbs_graph::partition::OneDPartition;
 use dmbs_matrix::DenseMatrix;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -51,6 +51,8 @@ pub struct FeatureStore {
     block_index: usize,
     block: DenseMatrix,
     feature_dim: usize,
+    /// How reply rows travel on the fetch lanes (requests stay exact ids).
+    codec: Codec,
 }
 
 impl FeatureStore {
@@ -77,7 +79,30 @@ impl FeatureStore {
         let range = partition.range(block_index);
         let rows: Vec<usize> = range.collect();
         let block = features.gather_rows(&rows)?;
-        Ok(FeatureStore { partition, block_index, block, feature_dim: features.cols() })
+        Ok(FeatureStore {
+            partition,
+            block_index,
+            block,
+            feature_dim: features.cols(),
+            codec: Codec::Exact,
+        })
+    }
+
+    /// Sets the wire codec for the reply rounds of
+    /// [`FeatureStore::fetch`] / [`FeatureStore::post_fetch`]: reply rows are
+    /// encoded once at the serving rank and decoded at the requester, so
+    /// every consumer of fetched rows — including the [`FeatureCache`], which
+    /// stores *decoded* rows — sees the same values on every transport.
+    /// Request ids always travel exact.  All ranks of a fetch group must
+    /// agree on the codec (the session builder guarantees this).
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The wire codec in effect for reply rows.
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// Feature dimension.
@@ -151,11 +176,13 @@ impl FeatureStore {
         vertices: &[usize],
     ) -> Result<DenseMatrix> {
         let (requests, origin) = self.bucket_requests(group, vertices)?;
-        // Exchange requests, serve them from the local block, exchange rows.
+        // Exchange requests, serve them from the local block, exchange rows
+        // (encoded under the store's wire codec).
         let incoming = comm.group_all_to_allv(group, requests)?;
         let replies = self.serve_requests(&incoming);
         let received = comm.group_all_to_allv(group, replies)?;
-        Ok(self.assemble_rows(&origin, &received))
+        let decoded: Vec<Vec<f64>> = received.iter().map(WireRows::rows).collect();
+        Ok(self.assemble_rows(&origin, &decoded))
     }
 
     /// Posts the fetch of `vertices` nonblocking: the request round's
@@ -213,8 +240,10 @@ impl FeatureStore {
         Ok((requests, origin))
     }
 
-    /// Serves incoming per-member request lists from the local block.
-    fn serve_requests(&self, incoming: &[Vec<usize>]) -> Vec<Vec<f64>> {
+    /// Serves incoming per-member request lists from the local block,
+    /// encoding each member's reply rows under the store's wire codec (the
+    /// lossy quantization — if any — happens exactly once, here).
+    fn serve_requests(&self, incoming: &[Vec<usize>]) -> Vec<WireRows> {
         let my_range = self.partition.range(self.block_index);
         incoming
             .iter()
@@ -224,7 +253,7 @@ impl FeatureStore {
                     let local = v - my_range.start;
                     flat.extend_from_slice(self.block.row(local));
                 }
-                flat
+                WireRows::from_rows(self.codec, self.feature_dim, &flat)
             })
             .collect()
     }
@@ -283,7 +312,8 @@ impl PendingFetch {
         let incoming = self.pending_requests.wait(comm)?;
         let replies = store.serve_requests(&incoming);
         let received = comm.group_all_to_allv(group, replies)?;
-        Ok(store.assemble_rows(&self.origin, &received))
+        let decoded: Vec<Vec<f64>> = received.iter().map(WireRows::rows).collect();
+        Ok(store.assemble_rows(&self.origin, &decoded))
     }
 }
 
@@ -785,6 +815,64 @@ mod tests {
             // replicated store ships nothing.
             assert_eq!(r.value.1, 0);
             assert!(n_.value.1 > 0);
+        }
+    }
+
+    #[test]
+    fn fetch_under_compressed_codecs_balances_the_byte_book() {
+        let n = 16;
+        let f = 8;
+        let h = full_features(n, f);
+        let runtime = Runtime::new(4).unwrap();
+        let wanted: Vec<usize> = vec![1, 7, 13, 2, 11, 5];
+        let run = |codec: Codec| {
+            runtime
+                .run(|comm| {
+                    let store = FeatureStore::from_full(&h, comm.size(), comm.rank())
+                        .unwrap()
+                        .with_codec(codec);
+                    assert_eq!(store.codec(), codec);
+                    let world = comm.world();
+                    let fetched = store.fetch(comm, &world, &wanted).unwrap();
+                    (fetched, comm.stats())
+                })
+                .unwrap()
+        };
+        let exact = run(Codec::Exact);
+        for e in &exact {
+            // Exact: the byte book is exactly 8 × words, nothing saved.
+            assert_eq!(e.value.1.bytes_on_wire, e.value.1.words_sent * 8);
+            assert_eq!(e.value.1.bytes_saved, 0);
+            for (i, &v) in wanted.iter().enumerate() {
+                assert_eq!(e.value.0.row(i), h.row(v));
+            }
+        }
+        for codec in [Codec::Fp16, Codec::Int8] {
+            let out = run(codec);
+            for (e, o) in exact.iter().zip(&out) {
+                // Identical logical traffic; strictly fewer wire bytes; the
+                // balance identity holds per rank.
+                assert_eq!(e.value.1.words_sent, o.value.1.words_sent);
+                assert_eq!(e.value.1.messages, o.value.1.messages);
+                assert!(o.value.1.bytes_on_wire < e.value.1.bytes_on_wire, "{codec}");
+                assert_eq!(
+                    o.value.1.bytes_on_wire + o.value.1.bytes_saved,
+                    e.value.1.bytes_on_wire,
+                    "{codec}: byte books must balance"
+                );
+                // Decoded rows stay within the codec's error bound.
+                for (i, &v) in wanted.iter().enumerate() {
+                    let max_abs = h.row(v).iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+                    for (a, b) in h.row(v).iter().zip(o.value.0.row(i)) {
+                        let tol = match codec {
+                            Codec::Exact => 0.0,
+                            Codec::Fp16 => a.abs() / 1024.0 + 1e-12,
+                            Codec::Int8 => max_abs / 254.0 + 1e-12,
+                        };
+                        assert!((a - b).abs() <= tol, "{codec}: {a} vs {b}");
+                    }
+                }
+            }
         }
     }
 

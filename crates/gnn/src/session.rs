@@ -65,7 +65,7 @@ use crate::serve::ModelSnapshot;
 use crate::trainer::{EpochStats, TrainingReport};
 use crate::Result;
 use dmbs_comm::{
-    CommStats, Communicator, Group, Phase, PhaseProfile, ProcessGrid, TransportSelect,
+    Codec, CommStats, Communicator, Group, Phase, PhaseProfile, ProcessGrid, TransportSelect,
 };
 use dmbs_graph::datasets::Dataset;
 use dmbs_graph::minibatch::MinibatchPlan;
@@ -102,6 +102,8 @@ pub(crate) struct SessionConfig {
     pub(crate) feature_cache: FeatureCacheConfig,
     pub(crate) overlap: bool,
     pub(crate) transport: TransportSelect,
+    pub(crate) wire_codec: Codec,
+    pub(crate) grad_top_k: Option<usize>,
 }
 
 /// The per-rank result of the distributed training loop: per-epoch
@@ -271,6 +273,8 @@ pub struct SessionBuilder<S, B> {
     feature_cache: FeatureCacheConfig,
     overlap: bool,
     transport: TransportSelect,
+    wire_codec: Codec,
+    grad_top_k: Option<usize>,
 }
 
 impl<S, B> Default for SessionBuilder<S, B> {
@@ -293,6 +297,8 @@ impl<S, B> Default for SessionBuilder<S, B> {
             feature_cache: FeatureCacheConfig::Off,
             overlap: false,
             transport: TransportSelect::Simulator,
+            wire_codec: Codec::Exact,
+            grad_top_k: None,
         }
     }
 }
@@ -476,6 +482,52 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         self
     }
 
+    /// How feature rows travel on the distributed fetch lanes (default
+    /// [`Codec::Exact`]):
+    ///
+    /// * [`Codec::Exact`] — rows ship as little-endian `f64` words,
+    ///   byte-identical to training without a codec;
+    /// * [`Codec::Fp16`] — rows ship as IEEE-754 half floats, 4× fewer
+    ///   payload bytes, relative error ≤ 2⁻¹⁰ per value;
+    /// * [`Codec::Int8`] — rows ship as one `i8` per value plus one `f64`
+    ///   scale per row, ~8× fewer payload bytes, absolute error ≤
+    ///   `row_max/254` per value.
+    ///
+    /// The codec changes only the *bytes on the wire* — request rounds,
+    /// message counts and logical word counts are identical across codecs,
+    /// and the per-epoch byte books balance exactly:
+    /// `bytes_on_wire(codec) + bytes_saved == bytes_on_wire(exact)`
+    /// ([`CommStats::bytes_on_wire`], [`CommStats::bytes_saved`]).  The α–β
+    /// modeled β charge follows the real encoded bytes, so compressed runs
+    /// model a genuinely smaller communication bill.  Decoded rows are what
+    /// the trainer (and the [`SessionBuilder::feature_cache`]) sees, so
+    /// cached and uncached runs stay byte-identical under any one codec.
+    pub fn wire_codec(mut self, codec: Codec) -> Self {
+        self.wire_codec = codec;
+        self
+    }
+
+    /// Compresses the per-step gradient all-reduce to its `k`
+    /// largest-magnitude coordinates with **error feedback** (default off:
+    /// dense exact reduce).  Each rank folds its residual into the fresh
+    /// gradient, ships only the top-`k` `(index, value)` pairs (ties broken
+    /// by lower index), and keeps everything unshipped as residual for the
+    /// next step — so no gradient mass is ever dropped, only delayed.  The
+    /// sparse lists merge in ascending-rank order at the reduce root and the
+    /// union is broadcast, so every rank applies the identical update and
+    /// the replicas never diverge.  The step-count reduce stays exact.
+    ///
+    /// This genuinely shrinks the wire: `2·k` words per rank per step
+    /// instead of one word per model parameter.  Unlike
+    /// [`SessionBuilder::wire_codec`] it is lossy in *trajectory* (losses
+    /// differ from the dense run, within the tolerance the
+    /// `tests/backend_equivalence.rs` sweep pins), though both transports
+    /// and all cache modes remain byte-identical to each other under it.
+    pub fn grad_top_k(mut self, k: usize) -> Self {
+        self.grad_top_k = Some(k);
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -521,6 +573,9 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         if self.hidden_dim == 0 || self.epochs == 0 {
             return Err(GnnError::InvalidConfig("hidden_dim and epochs must be positive".into()));
         }
+        if self.grad_top_k == Some(0) {
+            return Err(GnnError::InvalidConfig("grad_top_k must be positive".into()));
+        }
         if let Some(dist) = backend.dist() {
             dist.validate().map_err(GnnError::Sampling)?;
         }
@@ -545,6 +600,8 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
                 feature_cache: self.feature_cache,
                 overlap: self.overlap,
                 transport: self.transport,
+                wire_codec: self.wire_codec,
+                grad_top_k: self.grad_top_k,
             },
         })
     }
@@ -866,13 +923,17 @@ where
         }
 
         let rank = comm.rank();
+        // The wire codec rides on the store: reply rows of every fetch
+        // lane (uncached, LRU read-through, pinned prefetch) encode the
+        // same way, so cache modes stay byte-identical under any codec.
         let (store, fetch_group) = if config.replicate_features {
             let (my_row, _) = grid.coords(rank);
-            let store = FeatureStore::from_full(features, grid.rows(), my_row)?;
+            let store = FeatureStore::from_full(features, grid.rows(), my_row)?
+                .with_codec(config.wire_codec);
             let group = Group::new(&grid.col_ranks(rank))?;
             (store, group)
         } else {
-            let store = FeatureStore::from_full(features, p, rank)?;
+            let store = FeatureStore::from_full(features, p, rank)?.with_codec(config.wire_codec);
             (store, comm.world())
         };
 
@@ -886,6 +947,10 @@ where
         )?
         .with_parallelism(config.parallelism);
         let mut optimizer = Sgd::new(config.learning_rate);
+        // Error-feedback residual of the top-k gradient compressor: the
+        // gradient mass this rank has not yet shipped.  Lives for the whole
+        // run so nothing is dropped at epoch boundaries, only delayed.
+        let mut grad_residual = config.grad_top_k.map(|_| vec![0.0; model.num_parameters()]);
         // The communication-avoiding feature cache (§6.2).  Every
         // rank makes the same mode decision, so the collective
         // schedule stays matched: pinned mode replaces the per-step
@@ -981,6 +1046,7 @@ where
                         true,
                         &mut model,
                         &mut optimizer,
+                        &mut grad_residual,
                         &mut profile,
                         &mut loss,
                     )?;
@@ -1034,6 +1100,7 @@ where
                         false,
                         &mut model,
                         &mut optimizer,
+                        &mut grad_residual,
                         &mut profile,
                         &mut loss,
                     )?;
@@ -1043,6 +1110,8 @@ where
             let mut comm_delta = comm.stats();
             comm_delta.messages -= comm_start.messages;
             comm_delta.words_sent -= comm_start.words_sent;
+            comm_delta.bytes_on_wire -= comm_start.bytes_on_wire;
+            comm_delta.bytes_saved -= comm_start.bytes_saved;
             comm_delta.modeled_time -= comm_start.modeled_time;
             comm_delta.overlapped_time -= comm_start.overlapped_time;
             // The hidden seconds live in the profile's overlap books;
@@ -1208,6 +1277,7 @@ where
         overlap: bool,
         model: &mut SageModel,
         optimizer: &mut Sgd,
+        grad_residual: &mut Option<Vec<f64>>,
         profile: &mut PhaseProfile,
         loss: &mut RunningMean,
     ) -> Result<f64> {
@@ -1239,7 +1309,43 @@ where
             } else {
                 (None, vec![0.0; model.num_parameters()])
             };
-            let (contributing, summed) = if overlap {
+            let (contributing, summed) = if let (Some(k), Some(residual)) =
+                (self.config.grad_top_k, grad_residual.as_mut())
+            {
+                // Top-k error-feedback compression of the gradient reduce:
+                // fold the residual into the fresh gradient, ship only the
+                // k largest-magnitude coordinates as (index, value) pairs,
+                // and keep everything unshipped as next step's residual.
+                // The sorted sparse lists merge in ascending-rank order at
+                // the root and the union broadcasts, so every rank applies
+                // the identical update.  The step-count reduce stays exact.
+                let n = grads.len();
+                let compensated: Vec<f64> =
+                    residual.iter().zip(&grads).map(|(r, g)| r + g).collect();
+                let pairs: Vec<(usize, f64)> = top_k_indices(&compensated, k)
+                    .into_iter()
+                    .map(|i| (i, compensated[i]))
+                    .collect();
+                residual.clone_from(&compensated);
+                for &(i, _) in &pairs {
+                    residual[i] = 0.0;
+                }
+                let (contributing, sparse) = if overlap {
+                    let pending_count =
+                        comm.post_allreduce(usize::from(local_loss.is_some()), |a, b| a + b)?;
+                    let pending_sparse = comm.post_allreduce(pairs, |a, b| merge_sparse(a, b))?;
+                    (pending_count.wait_reduced(comm)?.max(1), pending_sparse.wait_reduced(comm)?)
+                } else {
+                    let contributing =
+                        comm.allreduce(usize::from(local_loss.is_some()), |a, b| a + b)?.max(1);
+                    (contributing, comm.allreduce(pairs, |a, b| merge_sparse(a, b))?)
+                };
+                let mut summed = vec![0.0; n];
+                for (i, v) in sparse {
+                    summed[i] = v;
+                }
+                (contributing, summed)
+            } else if overlap {
                 // Post both propagation reduces, then wait them in post
                 // order: same messages, same fold order (ascending rank on
                 // the root), bit-identical to the blocking pair.
@@ -1303,6 +1409,48 @@ where
     }
 }
 
+/// The indices of the `k` largest-magnitude entries of `values`, ascending.
+/// Ties break toward the lower index, so the selection is a pure function of
+/// the values — every rank running this on the same vector picks the same
+/// coordinates.
+fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(values.len());
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_unstable_by(|&a, &b| values[b].abs().total_cmp(&values[a].abs()).then(a.cmp(&b)));
+    order.truncate(k);
+    order.sort_unstable();
+    order
+}
+
+/// Merges two index-sorted sparse gradients, summing values on shared
+/// indices.  The fold operator of the top-k gradient reduce: associative over
+/// the ascending-rank fold order the collectives use, and the output stays
+/// index-sorted, so the reduce is deterministic end to end.
+fn merge_sparse(a: &[(usize, f64)], b: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1361,6 +1509,29 @@ mod tests {
             .bulk(8)
             .build();
         assert!(err.is_err());
+        // Top-0 gradient compression would ship nothing, ever: rejected.
+        let err = TrainingSession::<GraphSageSampler, LocalBackend>::builder()
+            .dataset(tiny_dataset(1))
+            .sampler(GraphSageSampler::new(vec![2]))
+            .backend(LocalBackend::new(BulkSamplerConfig::new(8, 2)).unwrap())
+            .grad_top_k(0)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn top_k_selection_and_sparse_merge_are_deterministic() {
+        let v = [0.5, -2.0, 2.0, 0.0, -0.5];
+        // Magnitude ties (indices 1/2 at |2.0|, then 0/4 at |0.5|) break
+        // toward the lower index; the result comes back index-sorted.
+        assert_eq!(top_k_indices(&v, 3), vec![0, 1, 2]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&v, 99), vec![0, 1, 2, 3, 4]);
+        let a = vec![(0, 1.0), (3, 2.0)];
+        let b = vec![(1, 0.5), (3, -1.0), (7, 4.0)];
+        assert_eq!(merge_sparse(&a, &b), vec![(0, 1.0), (1, 0.5), (3, 1.0), (7, 4.0)]);
+        assert_eq!(merge_sparse(&a, &[]), a);
+        assert_eq!(merge_sparse(&[], &b), b);
     }
 
     #[test]
@@ -1569,6 +1740,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compressed_feature_wire_balances_bytes_and_still_learns() {
+        let dataset = Arc::new(tiny_dataset(12));
+        let base = TrainingSession::<GraphSageSampler, ReplicatedBackend>::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+            .backend(
+                ReplicatedBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(21)
+            .without_evaluation();
+        let exact = base.clone().build().unwrap().train().unwrap();
+        for e in &exact.epochs {
+            // Exact default: every word costs exactly 8 bytes, nothing saved.
+            assert_eq!(e.comm.bytes_on_wire, e.comm.words_sent * 8);
+            assert_eq!(e.comm.bytes_saved, 0);
+        }
+        for codec in [Codec::Fp16, Codec::Int8] {
+            let on = base.clone().wire_codec(codec).build().unwrap().train().unwrap();
+            for (a, b) in exact.epochs.iter().zip(&on.epochs) {
+                // The codec shrinks bytes, never the logical schedule.
+                assert_eq!(a.comm.words_sent, b.comm.words_sent, "{codec}");
+                assert_eq!(a.comm.messages, b.comm.messages, "{codec}");
+                assert!(b.comm.bytes_on_wire < a.comm.bytes_on_wire, "{codec}");
+                assert_eq!(
+                    b.comm.bytes_on_wire + b.comm.bytes_saved,
+                    a.comm.bytes_on_wire,
+                    "{codec}: the byte books must balance"
+                );
+                assert!(b.mean_loss.is_finite(), "{codec}");
+            }
+            // Quantization error is bounded, so the loss trajectory stays
+            // close to the exact run's.
+            let (a, b) = (exact.epochs.last().unwrap(), on.epochs.last().unwrap());
+            assert!(
+                (a.mean_loss - b.mean_loss).abs() < 0.25,
+                "{codec}: exact {} vs compressed {}",
+                a.mean_loss,
+                b.mean_loss
+            );
+        }
+    }
+
+    #[test]
+    fn grad_top_k_shrinks_the_gradient_wire_and_still_trains() {
+        let dataset = Arc::new(tiny_dataset(13));
+        let base = TrainingSession::<GraphSageSampler, ReplicatedBackend>::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+            .backend(
+                ReplicatedBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(27)
+            .without_evaluation();
+        let dense = base.clone().build().unwrap().train().unwrap();
+        let sparse = base.grad_top_k(32).build().unwrap().train().unwrap();
+        for (a, b) in dense.epochs.iter().zip(&sparse.epochs) {
+            // Same collective schedule, genuinely fewer words: 2·k words of
+            // (index, value) pairs replace one word per model parameter.
+            assert_eq!(a.comm.messages, b.comm.messages);
+            assert!(b.comm.words_sent < a.comm.words_sent);
+            assert!(b.mean_loss.is_finite());
+        }
+        // Error feedback delays gradient mass instead of dropping it, so
+        // training still converges.
+        assert!(sparse.epochs.last().unwrap().mean_loss < sparse.epochs[0].mean_loss);
     }
 
     #[test]

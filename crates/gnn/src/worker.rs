@@ -27,7 +27,9 @@ use dmbs_comm::wire::{
     get_f64, get_f64s, get_u64, get_usize, get_usizes, put_f64, put_f64s, put_u64, put_usize,
     put_usizes,
 };
-use dmbs_comm::{Communicator, Payload, Phase, PhaseProfile, TransportSelect, WorkerRegistry};
+use dmbs_comm::{
+    Codec, Communicator, Payload, Phase, PhaseProfile, TransportSelect, WorkerRegistry,
+};
 use dmbs_graph::datasets::{Dataset, DatasetKind};
 use dmbs_graph::Graph;
 use dmbs_matrix::pool::Parallelism;
@@ -42,8 +44,9 @@ use std::sync::Arc;
 pub const TRAIN_WORKER: &str = "dmbs.gnn.train";
 
 /// Job format version, rejected on mismatch so a stale binary fails fast
-/// instead of misdecoding.
-const JOB_VERSION: u64 = 1;
+/// instead of misdecoding.  v2 added the wire codec and the top-k gradient
+/// compression knob to the session config.
+const JOB_VERSION: u64 = 2;
 
 /// The worker registry of this crate: currently the single
 /// [`TRAIN_WORKER`].  Pass it to [`dmbs_comm::run_if_worker`] at the top of
@@ -241,6 +244,14 @@ fn encode_session_config(out: &mut Vec<u8>, config: &SessionConfig) {
         }
     }
     put_bool(out, config.overlap);
+    put_u64(out, config.wire_codec.tag());
+    match config.grad_top_k {
+        Some(k) => {
+            put_bool(out, true);
+            put_usize(out, k);
+        }
+        None => put_bool(out, false),
+    }
 }
 
 fn decode_session_config(input: &mut &[u8]) -> Option<SessionConfig> {
@@ -265,6 +276,8 @@ fn decode_session_config(input: &mut &[u8]) -> Option<SessionConfig> {
         // the socket transport, and `distributed_rank_main` runs in place.
         overlap: get_bool(input)?,
         transport: TransportSelect::Simulator,
+        wire_codec: Codec::from_tag(get_u64(input)?)?,
+        grad_top_k: if get_bool(input)? { Some(get_usize(input)?) } else { None },
     })
 }
 
@@ -457,6 +470,8 @@ mod tests {
             .hidden_dim(8)
             .epochs(2)
             .seed(seed)
+            .wire_codec(Codec::Int8)
+            .grad_top_k(5)
             .build()
             .unwrap()
     }
@@ -480,6 +495,8 @@ mod tests {
         assert_eq!(decoded.backend, session.backend().spec().unwrap());
         assert_eq!(decoded.config.seed, 5);
         assert_eq!(decoded.config.epochs, 2);
+        assert_eq!(decoded.config.wire_codec, Codec::Int8);
+        assert_eq!(decoded.config.grad_top_k, Some(5));
     }
 
     #[test]

@@ -168,10 +168,7 @@ pub fn sample_rows<R: Rng + ?Sized>(p: &CsrMatrix, s: usize, rng: &mut R) -> Res
 /// reproducible: the draw for row `r` depends only on `(base_seed, r)`,
 /// never on which thread processed it or how many threads ran.
 pub fn row_stream_seed(base_seed: u64, row: usize) -> u64 {
-    let mut z = base_seed ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    crate::seed::stream_seed(base_seed, row as u64)
 }
 
 /// Serial reference for [`sample_rows_par`]: samples `s` nonzero columns from

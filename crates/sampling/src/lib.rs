@@ -95,6 +95,7 @@ pub mod plan;
 pub mod replicated;
 pub mod sage;
 pub mod sampler;
+pub mod seed;
 pub mod spec;
 
 pub use backend::{

@@ -42,10 +42,7 @@ pub struct MicroRequest {
 /// request ids get decorrelated streams and the draw for a request depends
 /// only on `(base_seed, request_id)`, never on its micro-bulk.
 pub fn request_stream_seed(base_seed: u64, request_id: u64) -> u64 {
-    let mut z = base_seed ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    crate::seed::stream_seed(base_seed, request_id)
 }
 
 /// A sampled micro-bulk: one [`MinibatchSample`] per request (in request

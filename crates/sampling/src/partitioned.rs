@@ -325,6 +325,8 @@ pub(crate) fn sage_on_rank(
     let mut comm_stats = comm.stats();
     comm_stats.messages -= comm_before.messages;
     comm_stats.words_sent -= comm_before.words_sent;
+    comm_stats.bytes_on_wire -= comm_before.bytes_on_wire;
+    comm_stats.bytes_saved -= comm_before.bytes_saved;
     comm_stats.modeled_time -= comm_before.modeled_time;
     Ok(BulkSampleOutput { minibatches, profile, comm_stats })
 }
@@ -508,6 +510,8 @@ pub(crate) fn ladies_on_rank(
     let mut comm_stats = comm.stats();
     comm_stats.messages -= comm_before.messages;
     comm_stats.words_sent -= comm_before.words_sent;
+    comm_stats.bytes_on_wire -= comm_before.bytes_on_wire;
+    comm_stats.bytes_saved -= comm_before.bytes_saved;
     comm_stats.modeled_time -= comm_before.modeled_time;
     Ok(BulkSampleOutput { minibatches, profile, comm_stats })
 }
@@ -623,6 +627,8 @@ pub(crate) fn fastgcn_on_rank(
     let mut comm_stats = comm.stats();
     comm_stats.messages -= comm_before.messages;
     comm_stats.words_sent -= comm_before.words_sent;
+    comm_stats.bytes_on_wire -= comm_before.bytes_on_wire;
+    comm_stats.bytes_saved -= comm_before.bytes_saved;
     comm_stats.modeled_time -= comm_before.modeled_time;
     Ok(BulkSampleOutput { minibatches, profile, comm_stats })
 }

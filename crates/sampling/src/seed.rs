@@ -1,0 +1,62 @@
+//! The shared splitmix64 stream-seed finalizer.
+//!
+//! Both decorrelated-stream derivations in this crate — per-row ITS streams
+//! ([`crate::its::row_stream_seed`]) and per-request serving streams
+//! ([`crate::micro::request_stream_seed`]) — hash `(base_seed, index)` with
+//! the same splitmix64 finalizer.  The constants are load-bearing: committed
+//! sampler outputs (and the CI baselines derived from them) pin the exact
+//! bit pattern, so the finalizer lives here once and both call sites stay
+//! byte-identical by construction.
+
+/// Derives the seed of stream `index` under `base_seed`: the splitmix64
+/// finalizer over `base_seed ^ index·φ64`, where `φ64` is the 64-bit golden
+/// ratio (the splitmix64 increment).  Adjacent indices map to decorrelated
+/// streams, and the output depends only on `(base_seed, index)` — never on
+/// evaluation order — which is what makes per-row parallel ITS and
+/// per-request micro-bulk coalescing byte-transparent.
+pub fn stream_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalizer_bit_pattern_is_pinned() {
+        // Golden values: changing any constant or shift breaks every
+        // committed sampler baseline, so the exact outputs are pinned here.
+        assert_eq!(stream_seed(0, 0), 0);
+        assert_eq!(stream_seed(42, 0), 0xA759_EA27_D472_7622);
+        assert_eq!(stream_seed(0, 1), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(stream_seed(42, 7), 0x53AD_348A_F3DD_AF4B);
+    }
+
+    #[test]
+    fn both_public_wrappers_are_byte_identical_to_the_helper() {
+        // Cross-link: `its::row_stream_seed` and `micro::request_stream_seed`
+        // must remain thin wrappers over this helper.
+        for base in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            for idx in [0u64, 1, 2, 31, 1 << 20, u64::MAX] {
+                assert_eq!(crate::its::row_stream_seed(base, idx as usize), stream_seed(base, idx));
+                assert_eq!(crate::micro::request_stream_seed(base, idx), stream_seed(base, idx));
+                assert_eq!(
+                    crate::its::row_stream_seed(base, idx as usize),
+                    crate::micro::request_stream_seed(base, idx),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_indices_decorrelate() {
+        let a = stream_seed(7, 0);
+        let b = stream_seed(7, 1);
+        // Weak sanity: outputs differ and differ in many bits.
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() >= 8);
+    }
+}

@@ -9,7 +9,7 @@
 
 #![allow(deprecated)]
 
-use dmbs::comm::{Group, ProcessGrid, Runtime};
+use dmbs::comm::{Codec, Group, ProcessGrid, Runtime};
 use dmbs::gnn::{FeatureCache, FeatureCacheConfig, FeatureStore, TrainingSession};
 use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
 use dmbs::graph::generators::{figure1_example, rmat, RmatConfig};
@@ -269,6 +269,98 @@ fn train_distributed_is_byte_identical_cache_on_vs_off_across_grid_shapes() {
                 off.test_accuracy.unwrap().to_bits(),
                 on.test_accuracy.unwrap().to_bits(),
                 "p={p} c={c} {mode:?}: accuracy diverged"
+            );
+        }
+    }
+}
+
+/// Wire-codec sweep over p × c × cache mode × codec: the codec changes only
+/// the bytes-on-wire book.  `Codec::Exact` (the default) bills exactly 8
+/// bytes per word with nothing saved; the compressed codecs keep the
+/// collective schedule (words, messages) identical, strictly shrink
+/// `bytes_on_wire`, balance the byte books per epoch
+/// (`bytes_on_wire(codec) + bytes_saved == bytes_on_wire(exact)`), stay
+/// byte-identical across cache modes under any one codec, and keep the loss
+/// trajectory within a stated tolerance of the exact run's.
+#[test]
+fn train_distributed_codec_sweep_balances_bytes_across_grid_shapes() {
+    let dataset = std::sync::Arc::new(equivalence_dataset(42));
+    for (p, c) in GRID_SHAPES {
+        let base = TrainingSession::<GraphSageSampler, ReplicatedBackend>::builder()
+            .dataset(std::sync::Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(
+                ReplicatedBackend::new(DistConfig::new(p, c, BulkSamplerConfig::new(16, 4)))
+                    .unwrap(),
+            )
+            .hidden_dim(12)
+            .learning_rate(0.05)
+            .epochs(2)
+            .seed(29)
+            .without_evaluation();
+        let exact = base.clone().build().unwrap().train().unwrap();
+        for e in &exact.epochs {
+            assert_eq!(
+                e.comm.bytes_on_wire,
+                e.comm.words_sent * 8,
+                "p={p} c={c}: exact must bill exactly 8 bytes per word"
+            );
+            assert_eq!(e.comm.bytes_saved, 0, "p={p} c={c}: exact saves nothing");
+        }
+        // An explicitly-set Codec::Exact is the default, bit for bit.
+        let explicit = base.clone().wire_codec(Codec::Exact).build().unwrap().train().unwrap();
+        for (a, b) in exact.epochs.iter().zip(&explicit.epochs) {
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits(), "p={p} c={c}");
+            assert_eq!(a.comm.bytes_on_wire, b.comm.bytes_on_wire, "p={p} c={c}");
+        }
+        for codec in [Codec::Fp16, Codec::Int8] {
+            let mut cache_losses: Vec<Vec<u64>> = Vec::new();
+            for cache in [FeatureCacheConfig::Off, FeatureCacheConfig::EpochPinned] {
+                let on = base
+                    .clone()
+                    .wire_codec(codec)
+                    .feature_cache(cache)
+                    .build()
+                    .unwrap()
+                    .train()
+                    .unwrap();
+                cache_losses.push(on.epochs.iter().map(|e| e.mean_loss.to_bits()).collect());
+                if cache != FeatureCacheConfig::Off {
+                    continue;
+                }
+                for (a, b) in exact.epochs.iter().zip(&on.epochs) {
+                    let label = format!("p={p} c={c} codec={codec}");
+                    // Identical schedule, strictly fewer bytes, balanced books.
+                    assert_eq!(a.comm.words_sent, b.comm.words_sent, "{label}");
+                    assert_eq!(a.comm.messages, b.comm.messages, "{label}");
+                    if p > c {
+                        // With p/c = 1 (full replication, or a single rank)
+                        // every rank serves its fetches locally — nothing
+                        // crosses a wire, so only p > c must shrink.
+                        assert!(
+                            b.comm.bytes_on_wire < a.comm.bytes_on_wire,
+                            "{label}: codec did not shrink the wire"
+                        );
+                    }
+                    assert_eq!(
+                        b.comm.bytes_on_wire + b.comm.bytes_saved,
+                        a.comm.bytes_on_wire,
+                        "{label}: byte books must balance"
+                    );
+                    // Bounded quantization error keeps the trajectory close.
+                    assert!(
+                        (a.mean_loss - b.mean_loss).abs() < 0.25,
+                        "{label}: loss drifted ({} vs {})",
+                        a.mean_loss,
+                        b.mean_loss
+                    );
+                }
+            }
+            // Under any one codec the cache stays pure work avoidance:
+            // cached and uncached losses are bit-identical.
+            assert_eq!(
+                cache_losses[0], cache_losses[1],
+                "p={p} c={c} codec={codec}: cache modes diverged under compression"
             );
         }
     }

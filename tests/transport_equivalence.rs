@@ -18,7 +18,7 @@
 //! `words_sent(cached) + words_saved == words_sent(uncached)` must hold on
 //! the real backend too.
 
-use dmbs::comm::{run_if_worker, SocketLaunch, TransportSelect};
+use dmbs::comm::{run_if_worker, Codec, SocketLaunch, TransportSelect};
 use dmbs::gnn::{FeatureCacheConfig, TrainingReport, TrainingSession};
 use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
 use dmbs::sampling::{BulkSamplerConfig, DistConfig, GraphSageSampler, ReplicatedBackend};
@@ -140,6 +140,73 @@ fn cache_balance_holds_across_process_boundaries() {
             "p={p} c={c}: cache balance broke across the process boundary"
         );
         assert!(saved > 0, "p={p} c={c}: pinned cache saved nothing; the identity is vacuous");
+    }
+}
+
+/// Wire-compression sweep: under every codec (and under top-k gradient
+/// compression), the socket transport still reproduces the simulator bit for
+/// bit — losses, words, messages, and both byte books.  The codecs are
+/// deterministic little-endian transforms applied once at the sender, so the
+/// transport never sees (or alters) unquantized values.
+#[test]
+fn socket_transport_matches_simulator_under_every_codec() {
+    let dataset = tiny_dataset();
+    let run = |p: usize,
+               c: usize,
+               cache: FeatureCacheConfig,
+               codec: Codec,
+               top_k: Option<usize>,
+               transport: TransportSelect|
+     -> TrainingReport {
+        let dist = DistConfig::new(p, c, BulkSamplerConfig::new(8, 2));
+        let backend = ReplicatedBackend::new(dist).expect("backend");
+        let mut builder = TrainingSession::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(backend)
+            .hidden_dim(8)
+            .learning_rate(0.1)
+            .epochs(2)
+            .seed(33)
+            .feature_cache(cache)
+            .wire_codec(codec)
+            .transport(transport)
+            .without_evaluation();
+        if let Some(k) = top_k {
+            builder = builder.grad_top_k(k);
+        }
+        builder.build().expect("session").train().expect("training")
+    };
+    for &(p, c) in &[(2usize, 1usize), (4, 2)] {
+        for (codec, top_k) in [
+            (Codec::Exact, Some(16)),
+            (Codec::Fp16, None),
+            (Codec::Int8, None),
+            (Codec::Int8, Some(16)),
+        ] {
+            for cache in [FeatureCacheConfig::Off, FeatureCacheConfig::EpochPinned] {
+                let sim = run(p, c, cache, codec, top_k, TransportSelect::Simulator);
+                let sock = run(p, c, cache, codec, top_k, TransportSelect::UnixSocket(launch()));
+                let label = format!("p={p} c={c} codec={codec} top_k={top_k:?} cache={cache:?}");
+                for (a, b) in sim.epochs.iter().zip(&sock.epochs) {
+                    assert_eq!(
+                        a.mean_loss.to_bits(),
+                        b.mean_loss.to_bits(),
+                        "{label}: losses not bit-identical"
+                    );
+                    assert_eq!(a.comm.words_sent, b.comm.words_sent, "{label}: words diverged");
+                    assert_eq!(a.comm.messages, b.comm.messages, "{label}: messages diverged");
+                    assert_eq!(
+                        a.comm.bytes_on_wire, b.comm.bytes_on_wire,
+                        "{label}: bytes-on-wire book diverged"
+                    );
+                    assert_eq!(
+                        a.comm.bytes_saved, b.comm.bytes_saved,
+                        "{label}: bytes-saved book diverged"
+                    );
+                }
+            }
+        }
     }
 }
 
