@@ -33,7 +33,14 @@
 //! against the in-process simulator (`BENCH_transport.json`: a ping-pong
 //! probe fits the socket's actual α and β, then each grid shape trains the
 //! same session on both transports, asserts bit-identical losses and
-//! counters, and records modeled vs measured epoch seconds).
+//! counters, and records modeled vs measured epoch seconds), and
+//! `--dynamic` measures the delta-CSR ingest path (`BENCH_dynamic.json`:
+//! lazy-overlay vs eager-rebuild apply throughput with the compacted CSRs
+//! asserted byte-identical, then per grid shape a training run with a live
+//! ingest schedule under both ingest modes and both invalidation policies —
+//! losses and counters bit-identical across modes, the double-entry
+//! invalidation books recorded exactly, and the refetch words precise
+//! invalidation avoids vs the flush-all baseline pinned).
 //!
 //! Usage:
 //!
@@ -433,8 +440,8 @@ fn run_fetch_epoch(
 }
 
 const USAGE: &str = "usage: perf_baseline [--smoke] [--fetch | --compress | --overlap | \
-                     --serve | --calibrate] [--check <baseline-dir>] [--tolerance <rel>] \
-                     [output_dir]";
+                     --serve | --calibrate | --dynamic] [--check <baseline-dir>] \
+                     [--tolerance <rel>] [output_dir]";
 
 fn main() {
     // The --calibrate sweep re-executes this binary as its rank processes;
@@ -447,6 +454,7 @@ fn main() {
     let mut overlap_only = false;
     let mut serve_only = false;
     let mut calibrate_only = false;
+    let mut dynamic_only = false;
     let mut check_dir: Option<std::path::PathBuf> = None;
     let mut tolerance = 0.5;
     let mut out_dir = std::path::PathBuf::from(".");
@@ -464,6 +472,8 @@ fn main() {
             serve_only = true;
         } else if arg == "--calibrate" {
             calibrate_only = true;
+        } else if arg == "--dynamic" {
+            dynamic_only = true;
         } else if arg == "--check" {
             let Some(dir) = args.next() else {
                 eprintln!("--check needs a baseline directory; {USAGE}");
@@ -486,7 +496,7 @@ fn main() {
             out_dir = std::path::PathBuf::from(arg);
         }
     }
-    if [fetch_only, compress_only, overlap_only, serve_only, calibrate_only]
+    if [fetch_only, compress_only, overlap_only, serve_only, calibrate_only, dynamic_only]
         .iter()
         .filter(|&&f| f)
         .count()
@@ -495,8 +505,8 @@ fn main() {
         // The sweeps are exclusive; silently running only one of them would
         // leave the other's BENCH file stale while --check reports success.
         eprintln!(
-            "--fetch, --compress, --overlap, --serve and --calibrate are mutually exclusive; \
-             {USAGE}"
+            "--fetch, --compress, --overlap, --serve, --calibrate and --dynamic are mutually \
+             exclusive; {USAGE}"
         );
         std::process::exit(2);
     }
@@ -533,6 +543,9 @@ fn main() {
     } else if calibrate_only {
         run_calibrate_sweep(smoke, &out_dir);
         &["BENCH_transport.json"]
+    } else if dynamic_only {
+        run_dynamic_sweep(smoke, &out_dir);
+        &["BENCH_dynamic.json"]
     } else {
         run_kernel_sweeps(smoke, &out_dir);
         &[
@@ -1551,6 +1564,334 @@ fn run_overlap_sweep(smoke: bool, out_dir: &std::path::Path) {
     print_overlap_records(&records);
     write_overlap_json(&out_dir.join("BENCH_overlap.json"), &workload, &records);
     println!("\nOverlapped schedule byte-identical to synchronous; α–β bill partially hidden.");
+}
+
+/// One row of the dynamic-graph sweep: either a standalone ingest-apply
+/// microbench (`mode` `"apply_delta"` / `"apply_rebuild"`, `p = c = 1`) or a
+/// distributed training run with a live ingest schedule (`mode` `"train"`,
+/// keyed additionally by invalidation `policy`).
+struct DynamicRecord {
+    p: usize,
+    c: usize,
+    mode: &'static str,
+    /// `"precise"` / `"flush_all"` on train rows, `"-"` on apply rows.
+    policy: &'static str,
+    wall_s: f64,
+    /// Delta ops applied over the run (inserts + deletes, post-coalescing).
+    ingest_ops: usize,
+    /// Apply rows: ops folded per second.  NaN → null on train rows.
+    throughput: f64,
+    words_total: usize,
+    messages: usize,
+    rows_invalidated: usize,
+    rows_retained: usize,
+    invalidation_words: usize,
+    retained_words: usize,
+    /// Words the flush-all run refetched that this run did not (precise
+    /// rows; `0` elsewhere) — the payoff precise invalidation is for.
+    refetch_words_avoided: usize,
+    /// Losses and every counter bit-identical to the eager-rebuild run of
+    /// the same configuration.
+    identical_to_rebuild: bool,
+}
+
+fn write_dynamic_json(path: &std::path::Path, workload: &Workload, records: &[DynamicRecord]) {
+    let mut out = json_header(workload);
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"p\": {}, \"c\": {}, \"mode\": \"{}\", \"policy\": \"{}\", \"wall_s\": {}, \
+             \"ingest_ops\": {}, \"throughput\": {}, \"words_total\": {}, \"messages\": {}, \
+             \"rows_invalidated\": {}, \"rows_retained\": {}, \"invalidation_words\": {}, \
+             \"retained_words\": {}, \"refetch_words_avoided\": {}, \
+             \"identical_to_rebuild\": {}}}{}\n",
+            r.p,
+            r.c,
+            r.mode,
+            r.policy,
+            json_f64(r.wall_s),
+            r.ingest_ops,
+            json_f64(r.throughput),
+            r.words_total,
+            r.messages,
+            r.rows_invalidated,
+            r.rows_retained,
+            r.invalidation_words,
+            r.retained_words,
+            r.refetch_words_avoided,
+            r.identical_to_rebuild,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn print_dynamic_records(records: &[DynamicRecord]) {
+    println!("\n== Dynamic graphs: delta-CSR ingest and precise invalidation ==");
+    println!(
+        "{:>3} {:>3} {:>13} {:>10}  {:>10}  {:>12}  {:>9}  {:>9}  {:>11}  {:>11}  identical",
+        "p", "c", "mode", "policy", "ops", "ops/s", "inv_rows", "ret_rows", "inv_words", "avoided"
+    );
+    for r in records {
+        let ops_s =
+            if r.throughput.is_nan() { "-".to_string() } else { format!("{:.3e}", r.throughput) };
+        println!(
+            "{:>3} {:>3} {:>13} {:>10}  {:>10}  {:>12}  {:>9}  {:>9}  {:>11}  {:>11}  {}",
+            r.p,
+            r.c,
+            r.mode,
+            r.policy,
+            r.ingest_ops,
+            ops_s,
+            r.rows_invalidated,
+            r.rows_retained,
+            r.invalidation_words,
+            r.refetch_words_avoided,
+            r.identical_to_rebuild
+        );
+    }
+}
+
+/// The `--dynamic` sweep: the incremental-ingest path end to end.
+///
+/// Part one folds a stream of delta batches into an RMAT adjacency through
+/// [`GraphIngest`](dmbs_graph::GraphIngest) under both modes and asserts the lazily-compacted CSR is
+/// byte-identical to the eagerly-rebuilt one (ops/s is the trajectory).
+/// Part two trains each grid shape with a live ingest schedule under
+/// delta × rebuild × {precise, flush-all}; rebuild must reproduce delta bit
+/// for bit, the invalidation policy must not move a loss, and the
+/// double-entry invalidation books plus the words precise invalidation
+/// avoids refetching are recorded for the CI gate to pin.  Writes
+/// `BENCH_dynamic.json`.
+fn run_dynamic_sweep(smoke: bool, out_dir: &std::path::Path) {
+    use dmbs_gnn::{InvalidationPolicy, TrainingReport, TrainingSession};
+    use dmbs_graph::datasets::{build_dataset, DatasetConfig};
+    use dmbs_graph::{GraphIngest, IngestMode};
+    use dmbs_matrix::DeltaBatch;
+    use dmbs_sampling::{DistConfig, ReplicatedBackend};
+    use std::sync::Arc;
+
+    if smoke {
+        println!("dynamic smoke mode: tiny workload, full mode × policy sweep + identity checks");
+    }
+
+    // ---- Part one: apply throughput, lazy overlay vs eager rebuild.
+    let (scale, degree, num_batches, ops_per_batch) =
+        if smoke { (8, 8, 4, 64) } else { (12, 12, 8, 512) };
+    let graph = rmat(&RmatConfig::new(scale, degree), &mut StdRng::seed_from_u64(99))
+        .expect("valid RMAT config");
+    let a = graph.adjacency().clone();
+    let n = a.rows();
+    let batches: Vec<DeltaBatch> = (0..num_batches)
+        .map(|i| {
+            let mut batch = DeltaBatch::new();
+            for j in 0..ops_per_batch {
+                let r = (i * ops_per_batch + j) * 2_654_435_761 % n;
+                if j % 4 == 0 {
+                    batch.delete(r, (r + 1) % n);
+                } else {
+                    batch.insert(r, (i * 97 + j * 131) % n, 1.0 + (j % 7) as f64);
+                }
+            }
+            batch
+        })
+        .collect();
+    let total_ops: usize = batches.iter().map(DeltaBatch::len).sum();
+    let reps = if smoke { 1 } else { 3 };
+    let run_apply = |mode: IngestMode| {
+        let mut ingest = GraphIngest::new(a.clone()).expect("ingest").with_mode(mode);
+        for batch in &batches {
+            ingest.apply(batch).expect("apply");
+        }
+        ingest.adjacency().clone()
+    };
+    let (delta_wall, delta_adj) = time_best(reps, || run_apply(IngestMode::Delta));
+    let (rebuild_wall, rebuild_adj) = time_best(reps, || run_apply(IngestMode::Rebuild));
+    let apply_identical = delta_adj == rebuild_adj;
+    assert!(apply_identical, "lazy delta compaction diverged from the eager rebuild");
+    let mut records = Vec::new();
+    for (mode, wall) in [("apply_delta", delta_wall), ("apply_rebuild", rebuild_wall)] {
+        records.push(DynamicRecord {
+            p: 1,
+            c: 1,
+            mode,
+            policy: "-",
+            wall_s: wall,
+            ingest_ops: total_ops,
+            throughput: total_ops as f64 / wall,
+            words_total: 0,
+            messages: 0,
+            rows_invalidated: 0,
+            rows_retained: 0,
+            invalidation_words: 0,
+            retained_words: 0,
+            refetch_words_avoided: 0,
+            identical_to_rebuild: apply_identical,
+        });
+    }
+
+    // ---- Part two: training with a live ingest schedule.
+    let shapes: &[(usize, usize)] = if smoke { &[(2, 1), (4, 2)] } else { &[(4, 2), (8, 4)] };
+    let (dscale, feature_dim) = if smoke { (7, 16) } else { (9, 16) };
+    let mut cfg = DatasetConfig::products_like(dscale);
+    cfg.feature_dim = feature_dim;
+    cfg.num_classes = 4;
+    cfg.train_fraction = 0.5;
+    cfg.homophily = 0.6;
+    let dataset = Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(5)).expect("dataset"));
+    let dn = dataset.graph.num_vertices();
+    let batch_size = (dataset.train_set.len() / 8).max(8);
+    // The schedule, derived from the dataset itself: after epoch 0 delete
+    // real edges and fan new ones out; after epoch 1 retract some inserts
+    // and grow further.
+    let adj = dataset.graph.adjacency();
+    let existing: Vec<(usize, usize)> = adj.iter().map(|(r, c, _)| (r, c)).take(6).collect();
+    let mut missing = Vec::new();
+    'scan: for r in 0..dn {
+        for c in 0..dn {
+            if r != c && adj.get(r, c) == 0.0 {
+                missing.push((r, c));
+                if missing.len() == 24 {
+                    break 'scan;
+                }
+            }
+        }
+    }
+    let mut first = DeltaBatch::new();
+    for &(r, c) in &existing[..4] {
+        first.delete(r, c);
+    }
+    for &(r, c) in &missing[..16] {
+        first.insert(r, c, 1.0);
+    }
+    let mut second = DeltaBatch::new();
+    for &(r, c) in &existing[4..] {
+        second.delete(r, c);
+    }
+    for &(r, c) in &missing[16..] {
+        second.insert(r, c, 1.5);
+    }
+    let events = [(0usize, first), (1usize, second)];
+    let schedule_ops: usize = events.iter().map(|(_, b)| b.len()).sum();
+    let lru_budget = dn * feature_dim * std::mem::size_of::<f64>() / 2;
+
+    let train = |p: usize,
+                 c: usize,
+                 mode: IngestMode,
+                 policy: InvalidationPolicy|
+     -> (f64, TrainingReport) {
+        let dist = DistConfig::new(p, c, BulkSamplerConfig::new(batch_size, 2));
+        let backend = ReplicatedBackend::new(dist).expect("backend");
+        let mut builder = TrainingSession::builder()
+            .dataset(Arc::clone(&dataset))
+            .sampler(GraphSageSampler::new(vec![4, 3]).with_self_loops())
+            .backend(backend)
+            .hidden_dim(16)
+            .learning_rate(0.05)
+            .epochs(3)
+            .seed(42)
+            .feature_cache(FeatureCacheConfig::Lru { byte_budget: lru_budget })
+            .ingest_mode(mode)
+            .invalidation(policy)
+            .without_evaluation();
+        for (after_epoch, batch) in &events {
+            builder = builder.ingest(*after_epoch, batch.clone());
+        }
+        let session = builder.build().expect("session");
+        let start = Instant::now();
+        let report = session.train().expect("training");
+        (start.elapsed().as_secs_f64(), report)
+    };
+    let identical = |a: &TrainingReport, b: &TrainingReport| {
+        a.epochs.len() == b.epochs.len()
+            && a.epochs.iter().zip(&b.epochs).all(|(x, y)| {
+                x.mean_loss.to_bits() == y.mean_loss.to_bits()
+                    && x.comm.words_sent == y.comm.words_sent
+                    && x.comm.messages == y.comm.messages
+                    && x.comm.cache_hits == y.comm.cache_hits
+                    && x.comm.cache_misses == y.comm.cache_misses
+                    && x.comm.words_saved == y.comm.words_saved
+                    && x.comm.rows_invalidated == y.comm.rows_invalidated
+                    && x.comm.rows_retained == y.comm.rows_retained
+                    && x.comm.invalidation_words == y.comm.invalidation_words
+                    && x.comm.retained_words == y.comm.retained_words
+            })
+    };
+    let sum = |r: &TrainingReport, field: fn(&dmbs_comm::CommStats) -> usize| -> usize {
+        r.epochs.iter().map(|e| field(&e.comm)).sum()
+    };
+    for &(p, c) in shapes {
+        let mut by_policy = Vec::new();
+        for (policy, label) in
+            [(InvalidationPolicy::Precise, "precise"), (InvalidationPolicy::FlushAll, "flush_all")]
+        {
+            let (wall, delta) = train(p, c, IngestMode::Delta, policy);
+            let (_, rebuild) = train(p, c, IngestMode::Rebuild, policy);
+            let same = identical(&delta, &rebuild);
+            assert!(same, "p={p} c={c} {label}: rebuild diverged from the delta overlay");
+            by_policy.push((label, wall, delta));
+        }
+        let (_, _, precise) = &by_policy[0];
+        let (_, _, flush) = &by_policy[1];
+        assert!(
+            precise
+                .epochs
+                .iter()
+                .zip(&flush.epochs)
+                .all(|(x, y)| x.mean_loss.to_bits() == y.mean_loss.to_bits()),
+            "p={p} c={c}: the invalidation policy moved a loss"
+        );
+        let precise_words = sum(precise, |s| s.words_sent);
+        let flush_words = sum(flush, |s| s.words_sent);
+        assert!(
+            precise_words <= flush_words,
+            "p={p} c={c}: precise invalidation refetched more than flush-all"
+        );
+        for (label, wall, report) in &by_policy {
+            records.push(DynamicRecord {
+                p,
+                c,
+                mode: "train",
+                policy: label,
+                wall_s: *wall,
+                ingest_ops: schedule_ops,
+                throughput: f64::NAN,
+                words_total: sum(report, |s| s.words_sent),
+                messages: sum(report, |s| s.messages),
+                rows_invalidated: sum(report, |s| s.rows_invalidated),
+                rows_retained: sum(report, |s| s.rows_retained),
+                invalidation_words: sum(report, |s| s.invalidation_words),
+                retained_words: sum(report, |s| s.retained_words),
+                refetch_words_avoided: if *label == "precise" {
+                    flush_words - precise_words
+                } else {
+                    0
+                },
+                identical_to_rebuild: true,
+            });
+        }
+    }
+
+    let workload = Workload {
+        name: "dynamic_ingest",
+        detail: format!(
+            "delta-CSR apply of {num_batches} batches x {ops_per_batch} ops on rmat scale \
+             {scale} deg {degree} (lazy overlay vs eager rebuild), plus distributed GraphSAGE \
+             [4, 3] training with a 2-event ingest schedule ({schedule_ops} ops) on \
+             products-like scale {dscale} (f = {feature_dim}, batch {batch_size}, 3 epochs, \
+             LRU cache) under delta x rebuild x {{precise, flush-all}}"
+        ),
+        items: total_ops + schedule_ops,
+        throughput_unit: "delta-ops/run",
+    };
+    print_dynamic_records(&records);
+    write_dynamic_json(&out_dir.join("BENCH_dynamic.json"), &workload, &records);
+    println!(
+        "\nDelta overlay byte-identical to eager rebuild everywhere; invalidation books \
+         double-entry balanced."
+    );
 }
 
 /// One (grid shape × transport) row of the calibration sweep.

@@ -529,6 +529,16 @@ pub mod check {
         "bytes_on_wire",
         "bytes_saved",
         "bytes_reduction_x1000",
+        // Dynamic-graph counters (`BENCH_dynamic.json`): the ingest schedule
+        // is seeded and the invalidation books are double-entry functions of
+        // it, so every ledger entry — and the words precise invalidation
+        // avoids refetching vs the flush-all baseline — is exact.
+        "ingest_ops",
+        "rows_invalidated",
+        "rows_retained",
+        "invalidation_words",
+        "retained_words",
+        "refetch_words_avoided",
     ];
 
     /// Measured wall-clock fields: slower-than-baseline beyond the tolerance
@@ -551,8 +561,19 @@ pub mod check {
     ];
 
     /// Fields identifying a record within its file (whichever are present).
-    const KEY_FIELDS: &[&str] =
-        &["bench", "kernel", "threads", "p", "c", "mode", "transport", "codec", "qps", "window_us"];
+    const KEY_FIELDS: &[&str] = &[
+        "bench",
+        "kernel",
+        "threads",
+        "p",
+        "c",
+        "mode",
+        "policy",
+        "transport",
+        "codec",
+        "qps",
+        "window_us",
+    ];
 
     /// How bad one comparison finding is.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

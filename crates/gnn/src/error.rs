@@ -38,6 +38,16 @@ pub enum GnnError {
         /// The vertex whose features were not resident.
         vertex: usize,
     },
+    /// A fetch plan (or pinned serving tier) computed against an older graph
+    /// version was used after an ingest dirtied its rows.  Stale plans must
+    /// be recomputed, never silently served — the dynamic-graph counterpart
+    /// of [`GnnError::CacheMiss`].
+    StalePlan {
+        /// Graph version the plan was computed against.
+        plan_version: u64,
+        /// Graph version after the ingest that invalidated it.
+        graph_version: u64,
+    },
     /// An underlying matrix kernel failed.
     Matrix(MatrixError),
     /// An underlying graph/dataset operation failed.
@@ -63,6 +73,11 @@ impl fmt::Display for GnnError {
             GnnError::CacheMiss { vertex } => {
                 write!(f, "pinned feature cache has no row for vertex {vertex}")
             }
+            GnnError::StalePlan { plan_version, graph_version } => write!(
+                f,
+                "fetch plan was computed against graph version {plan_version} but the graph has \
+                 ingested to version {graph_version}; recompute the plan"
+            ),
             GnnError::Matrix(e) => write!(f, "matrix error during training: {e}"),
             GnnError::Graph(e) => write!(f, "graph error during training: {e}"),
             GnnError::Sampling(e) => write!(f, "sampling error during training: {e}"),
@@ -81,7 +96,8 @@ impl Error for GnnError {
             GnnError::InvalidConfig(_)
             | GnnError::FetchGroupMismatch { .. }
             | GnnError::VertexOutOfRange { .. }
-            | GnnError::CacheMiss { .. } => None,
+            | GnnError::CacheMiss { .. }
+            | GnnError::StalePlan { .. } => None,
         }
     }
 }
@@ -134,5 +150,8 @@ mod tests {
         assert!(e.to_string().contains("vertex 99") && e.to_string().contains("8 rows"));
         let e = GnnError::CacheMiss { vertex: 5 };
         assert!(e.to_string().contains("no row for vertex 5"));
+        let e = GnnError::StalePlan { plan_version: 1, graph_version: 3 };
+        assert!(e.to_string().contains("version 1") && e.to_string().contains("version 3"));
+        assert!(e.source().is_none());
     }
 }

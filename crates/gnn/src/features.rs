@@ -345,6 +345,42 @@ impl FeatureCacheConfig {
     }
 }
 
+/// How cached feature state reacts to a graph ingest
+/// ([`dmbs_graph::ingest::GraphIngest`]).
+///
+/// Edge batches never change *feature rows* — features live on vertices — so
+/// invalidation here is about derived state: fetch plans computed against the
+/// old adjacency and the rows they pinned.  Both policies leave training
+/// byte-identical (the rows a refetch returns are the rows the cache held);
+/// they differ only in the refetch bill, which the
+/// [`CommStats`] invalidation books account for exactly:
+/// `invalidation_words(FlushAll) == invalidation_words(Precise) +
+/// retained_words(Precise)` for the same ingest schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvalidationPolicy {
+    /// Evict exactly the resident rows whose vertex lies in the ingest's
+    /// dirty set, and book every survivor as retained (the default).
+    #[default]
+    Precise,
+    /// Evict everything resident, booking it all as invalidated — the
+    /// brute-force baseline precise invalidation is measured against.
+    FlushAll,
+}
+
+/// Checks a [`FetchPlan`](dmbs_sampling::FetchPlan) against the current
+/// graph version: a plan computed before the last ingest must be recomputed,
+/// not served.
+///
+/// # Errors
+///
+/// Returns [`GnnError::StalePlan`] when `plan.version() < graph_version`.
+pub fn ensure_plan_fresh(plan: &dmbs_sampling::FetchPlan, graph_version: u64) -> Result<()> {
+    if plan.version() < graph_version {
+        return Err(GnnError::StalePlan { plan_version: plan.version(), graph_version });
+    }
+    Ok(())
+}
+
 /// One resident feature row.
 #[derive(Debug, Clone)]
 struct CachedRow {
@@ -446,6 +482,45 @@ impl FeatureCache {
         self.rows.clear();
         self.by_tick.clear();
         self.in_flight.clear();
+    }
+
+    /// Evicts exactly the resident rows whose vertex lies in `dirty` (the
+    /// [`InvalidationPolicy::Precise`] reaction to a graph ingest), books
+    /// each eviction's refetch words into the
+    /// [`CommStats::rows_invalidated`] /
+    /// [`CommStats::invalidation_words`] books, and books every surviving
+    /// resident row as retained.  Pending in-flight requests for dirty
+    /// vertices are forgotten too.  Returns the number of rows evicted.
+    pub fn invalidate(&mut self, store: &FeatureStore, dirty: &[usize]) -> usize {
+        let mut evicted = 0;
+        for &v in dirty {
+            if let Some(row) = self.rows.remove(&v) {
+                self.by_tick.remove(&row.tick);
+                let words = self.words_for_remote(store, v);
+                self.stats.record_invalidation(words);
+                evicted += 1;
+            }
+            self.in_flight.remove(&v);
+        }
+        let survivors: Vec<usize> = self.rows.keys().copied().collect();
+        for v in survivors {
+            let words = self.words_for_remote(store, v);
+            self.stats.record_retention(words);
+        }
+        evicted
+    }
+
+    /// Evicts everything resident (the [`InvalidationPolicy::FlushAll`]
+    /// reaction to a graph ingest), booking every row as invalidated.
+    /// Returns the number of rows evicted.
+    pub fn invalidate_all(&mut self, store: &FeatureStore) -> usize {
+        let vertices: Vec<usize> = self.rows.keys().copied().collect();
+        for &v in &vertices {
+            let words = self.words_for_remote(store, v);
+            self.stats.record_invalidation(words);
+        }
+        self.clear();
+        vertices.len()
     }
 
     /// Words a hit on `vertex` keeps off the wire: one request id plus one

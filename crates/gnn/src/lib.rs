@@ -41,13 +41,18 @@ pub mod trainer;
 pub mod worker;
 
 pub use error::GnnError;
-pub use features::{FeatureCache, FeatureCacheConfig, FeatureStore, PendingFetch, PendingPrefetch};
+pub use features::{
+    ensure_plan_fresh, FeatureCache, FeatureCacheConfig, FeatureStore, InvalidationPolicy,
+    PendingFetch, PendingPrefetch,
+};
 pub use model::SageModel;
 pub use serve::{
     ModelSnapshot, RequestTrace, ServeError, ServeReport, ServeRequest, ServeResponse, ServeResult,
     ServeStats, ServingConfig, ServingSession, TraceArrival,
 };
-pub use session::{Minibatch, MinibatchStream, Session, SessionBuilder, TrainingSession};
+pub use session::{
+    IngestEvent, Minibatch, MinibatchStream, Session, SessionBuilder, TrainingSession,
+};
 pub use trainer::{EpochStats, TrainingConfig, TrainingReport};
 
 /// Crate-wide result type.

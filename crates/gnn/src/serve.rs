@@ -87,7 +87,7 @@ use dmbs_sampling::micro::{request_stream_seed, sample_micro_bulk, MicroRequest}
 use dmbs_sampling::{BulkSamplerConfig, Sampler, SamplingError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -405,6 +405,10 @@ struct HotVertexTier {
     capacity: usize,
     counts: HashMap<usize, u64>,
     pinned: HashMap<usize, Vec<f64>>,
+    /// Pinned vertices whose neighborhood a graph ingest dirtied since the
+    /// last rewarm.  Serving one is a typed error, never a silent answer
+    /// against the pre-ingest graph.
+    stale: HashSet<usize>,
 }
 
 impl HotVertexTier {
@@ -422,6 +426,22 @@ impl HotVertexTier {
         self.pinned.get(&vertex).map(Vec::as_slice)
     }
 
+    /// Marks every pinned row among `dirty` stale; returns how many newly
+    /// became stale.
+    fn mark_stale(&mut self, dirty: &[usize]) -> usize {
+        let mut marked = 0;
+        for &v in dirty {
+            if self.pinned.contains_key(&v) && self.stale.insert(v) {
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    fn is_stale(&self, vertex: usize) -> bool {
+        self.stale.contains(&vertex)
+    }
+
     /// Re-pins the `capacity` hottest vertices.  Ties break by vertex id so
     /// the pinned set is a pure function of the counts — rewarming is
     /// deterministic.
@@ -432,6 +452,9 @@ impl HotVertexTier {
         let mut by_freq: Vec<(u64, usize)> = self.counts.iter().map(|(&v, &c)| (c, v)).collect();
         by_freq.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         self.pinned.clear();
+        // Rewarming repins from the current feature matrix against the
+        // current graph, so staleness is discharged wholesale.
+        self.stale.clear();
         for &(_, v) in by_freq.iter().take(self.capacity) {
             self.pinned.insert(v, features.row(v).to_vec());
         }
@@ -458,6 +481,10 @@ pub struct ServingSession<S> {
     comm: CommStats,
     next_request_id: u64,
     batches_since_warm: usize,
+    /// Monotone graph version: bumped by [`ServingSession::notify_ingest`].
+    graph_version: u64,
+    /// Graph version the hot tier was last (re)warmed against.
+    hot_pinned_version: u64,
 }
 
 impl<S: Sampler> ServingSession<S> {
@@ -518,7 +545,36 @@ impl<S: Sampler> ServingSession<S> {
             comm: CommStats::default(),
             next_request_id: 0,
             batches_since_warm: 0,
+            graph_version: 0,
+            hot_pinned_version: 0,
         })
+    }
+
+    /// Tells the session a graph ingest landed, dirtying `dirty` vertices
+    /// (typically [`dmbs_graph::IngestReceipt::dirty`]).  Bumps the graph
+    /// version and marks every pinned hot-tier row among `dirty` stale:
+    /// serving one afterwards is a typed
+    /// [`GnnError::StalePlan`] until [`ServingSession::rewarm`] (or the
+    /// periodic rewarm) repins against the post-ingest graph.  Un-pinned
+    /// rows are untouched — invalidation is precise.  Returns how many
+    /// pinned rows became stale.
+    pub fn notify_ingest(&mut self, dirty: &[usize]) -> usize {
+        self.graph_version += 1;
+        self.hot.mark_stale(dirty)
+    }
+
+    /// The graph version the session has been notified up to.
+    pub fn graph_version(&self) -> u64 {
+        self.graph_version
+    }
+
+    /// Explicitly re-pins the hot tier from the running frequency counts,
+    /// discharging any ingest staleness.
+    pub fn rewarm(&mut self) {
+        let features = self.dataset.graph.features().expect("validated at new()");
+        self.hot.rewarm(features);
+        self.hot_pinned_version = self.graph_version;
+        self.batches_since_warm = 0;
     }
 
     /// The session's deterministic counters so far.
@@ -587,8 +643,10 @@ impl<S: Sampler> ServingSession<S> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::VertexOutOfRange`] for an unknown vertex, and
-    /// propagates sampling / model errors.
+    /// Returns [`ServeError::VertexOutOfRange`] for an unknown vertex, a
+    /// wrapped [`GnnError::StalePlan`] when the gather touches a hot-tier
+    /// row dirtied by [`ServingSession::notify_ingest`], and propagates
+    /// sampling / model errors.
     pub fn serve(&mut self, requests: &[ServeRequest]) -> ServeResult<Vec<ServeResponse>> {
         Ok(self.serve_inner(requests)?.0)
     }
@@ -645,6 +703,15 @@ impl<S: Sampler> ServingSession<S> {
         let mut charged_slots: Vec<usize> = Vec::new();
         for (i, &v) in union.iter().enumerate() {
             position.insert(v, i);
+            if self.hot.is_stale(v) {
+                // A pinned row dirtied by an ingest: refuse with the same
+                // typed staleness error the training tier's fetch plans use,
+                // instead of answering against the pre-ingest graph.
+                return Err(ServeError::Gnn(GnnError::StalePlan {
+                    plan_version: self.hot_pinned_version,
+                    graph_version: self.graph_version,
+                }));
+            }
             if let Some(row) = self.hot.get(v) {
                 union_feats.row_mut(i).copy_from_slice(row);
                 self.stats.hot_hits += 1;
@@ -708,6 +775,7 @@ impl<S: Sampler> ServingSession<S> {
             && self.batches_since_warm >= self.config.hot_warm_interval.max(1)
         {
             self.hot.rewarm(features);
+            self.hot_pinned_version = self.graph_version;
             self.batches_since_warm = 0;
         }
         if self.config.workspace_reuse && self.config.workspace_byte_bound != usize::MAX {
@@ -966,6 +1034,38 @@ mod tests {
         let a: Vec<u64> = cold.logits.iter().map(|x| x.to_bits()).collect();
         let b: Vec<u64> = warm[0].logits.iter().map(|x| x.to_bits()).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ingest_staleness_is_typed_and_rewarm_discharges_it() {
+        let (dataset, sampler, snapshot) = trained_setup();
+        let config =
+            ServingConfig { hot_capacity: 64, hot_warm_interval: 1000, ..ServingConfig::default() };
+        let mut s = ServingSession::new(dataset, sampler, snapshot, config).unwrap();
+        // Warm the tier on a request, then explicitly repin so vertex 5's
+        // frontier is resident.
+        s.serve_one(5).unwrap();
+        s.rewarm();
+        assert!(s.hot_resident() > 0);
+        assert_eq!(s.graph_version(), 0);
+        // Dirty every pinned vertex: an ingest touched their neighborhoods.
+        let all: Vec<usize> = (0..64).collect();
+        let marked = s.notify_ingest(&all);
+        assert_eq!(marked, s.hot_resident());
+        assert_eq!(s.graph_version(), 1);
+        // Serving a request whose gather hits a stale pinned row is the
+        // typed staleness error, not a silent pre-ingest answer.
+        let err = s.serve(&[ServeRequest { id: 7, vertex: 5 }]).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Gnn(GnnError::StalePlan { plan_version: 0, graph_version: 1 })
+        ));
+        // Dirtying again is idempotent on already-stale rows.
+        assert_eq!(s.notify_ingest(&all), 0);
+        // Rewarm repins against the current graph and service resumes.
+        s.rewarm();
+        let out = s.serve(&[ServeRequest { id: 7, vertex: 5 }]).unwrap();
+        assert_eq!(out[0].vertex, 5);
     }
 
     #[test]

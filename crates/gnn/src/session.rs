@@ -57,7 +57,10 @@
 //! ```
 
 use crate::error::GnnError;
-use crate::features::{FeatureCache, FeatureCacheConfig, FeatureStore, PendingPrefetch};
+use crate::features::{
+    ensure_plan_fresh, FeatureCache, FeatureCacheConfig, FeatureStore, InvalidationPolicy,
+    PendingPrefetch,
+};
 use crate::metrics::{accuracy, RunningMean};
 use crate::model::SageModel;
 use crate::optim::{Optimizer, Sgd};
@@ -69,8 +72,9 @@ use dmbs_comm::{
 };
 use dmbs_graph::datasets::Dataset;
 use dmbs_graph::minibatch::MinibatchPlan;
+use dmbs_graph::{GraphIngest, IngestMode};
 use dmbs_matrix::pool::Parallelism;
-use dmbs_matrix::DenseMatrix;
+use dmbs_matrix::{CsrMatrix, DeltaBatch, DenseMatrix};
 use dmbs_sampling::backend::group_seed;
 use dmbs_sampling::{BulkSampleOutput, FetchPlan, MinibatchSample, Sampler, SamplingBackend};
 use rand::rngs::StdRng;
@@ -83,6 +87,18 @@ use std::thread::JoinHandle;
 /// Short alias so the fluent entry point reads
 /// `Session::builder().dataset(d).sampler(s).backend(b).build()`.
 pub type Session<S, B> = TrainingSession<S, B>;
+
+/// One scheduled graph mutation of a dynamic-graph training run: after epoch
+/// `after_epoch` finishes (its stats already booked), every rank applies
+/// `batch` to its adjacency and invalidates cached feature state per the
+/// session's [`InvalidationPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestEvent {
+    /// Epoch after which the batch lands (0-based; must be `< epochs`).
+    pub after_epoch: usize,
+    /// The edge insert/delete batch.
+    pub batch: DeltaBatch,
+}
 
 /// Hyper-parameters a session adds on top of its sampler and backend.
 /// `pub(crate)` (fields included) so the [`crate::worker`] module can rebuild
@@ -104,6 +120,9 @@ pub(crate) struct SessionConfig {
     pub(crate) transport: TransportSelect,
     pub(crate) wire_codec: Codec,
     pub(crate) grad_top_k: Option<usize>,
+    pub(crate) ingest: Vec<IngestEvent>,
+    pub(crate) ingest_mode: IngestMode,
+    pub(crate) invalidation: InvalidationPolicy,
 }
 
 /// The per-rank result of the distributed training loop: per-epoch
@@ -275,6 +294,9 @@ pub struct SessionBuilder<S, B> {
     transport: TransportSelect,
     wire_codec: Codec,
     grad_top_k: Option<usize>,
+    ingest: Vec<IngestEvent>,
+    ingest_mode: IngestMode,
+    invalidation: InvalidationPolicy,
 }
 
 impl<S, B> Default for SessionBuilder<S, B> {
@@ -299,6 +321,9 @@ impl<S, B> Default for SessionBuilder<S, B> {
             transport: TransportSelect::Simulator,
             wire_codec: Codec::Exact,
             grad_top_k: None,
+            ingest: Vec::new(),
+            ingest_mode: IngestMode::default(),
+            invalidation: InvalidationPolicy::default(),
         }
     }
 }
@@ -528,6 +553,39 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         self
     }
 
+    /// Schedules an edge insert/delete batch to land after epoch
+    /// `after_epoch` finishes (0-based).  Every rank applies the batch to
+    /// its adjacency under [`GraphIngest`] and invalidates affected cached
+    /// feature rows per [`SessionBuilder::invalidation`] before the next
+    /// epoch samples.  Events accumulate in call order; several may share an
+    /// epoch.  Requires a distributed backend (the ingest path routes by the
+    /// 1.5D owner partition).
+    pub fn ingest(mut self, after_epoch: usize, batch: DeltaBatch) -> Self {
+        self.ingest.push(IngestEvent { after_epoch, batch });
+        self
+    }
+
+    /// How scheduled ingest batches fold into the adjacency:
+    /// [`IngestMode::Delta`] (default) keeps a lazy delta-CSR overlay
+    /// compacted on demand; [`IngestMode::Rebuild`] eagerly rebuilds the CSR
+    /// from scratch.  Both produce byte-identical matrices — the
+    /// `tests/delta_equivalence.rs` sweep pins this.
+    pub fn ingest_mode(mut self, mode: IngestMode) -> Self {
+        self.ingest_mode = mode;
+        self
+    }
+
+    /// Cache-invalidation policy applied when an ingest batch lands:
+    /// [`InvalidationPolicy::Precise`] (default) evicts only cached rows
+    /// whose vertices the batch dirtied; [`InvalidationPolicy::FlushAll`]
+    /// drops the whole cache.  Both book their work into the
+    /// [`CommStats`] invalidation ledger, whose
+    /// double-entry identity the delta-equivalence sweep checks.
+    pub fn invalidation(mut self, policy: InvalidationPolicy) -> Self {
+        self.invalidation = policy;
+        self
+    }
+
     /// Validates the configuration and builds the session.
     ///
     /// # Errors
@@ -582,6 +640,32 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
         if dataset.train_set.is_empty() {
             return Err(GnnError::InvalidConfig("dataset has an empty training set".into()));
         }
+        if !self.ingest.is_empty() {
+            if backend.dist().is_none() {
+                return Err(GnnError::InvalidConfig(
+                    "graph ingest requires a distributed backend (the ingest path routes \
+                     batches by the 1.5D owner partition)"
+                        .into(),
+                ));
+            }
+            let n = dataset.graph.num_vertices();
+            for event in &self.ingest {
+                if event.after_epoch + 1 >= self.epochs {
+                    return Err(GnnError::InvalidConfig(format!(
+                        "ingest scheduled after epoch {} but the session trains only {} \
+                         epoch(s); at least one epoch must follow every ingest",
+                        event.after_epoch, self.epochs
+                    )));
+                }
+                for (row, col, _) in event.batch.ops() {
+                    if row >= n || col >= n {
+                        return Err(GnnError::InvalidConfig(format!(
+                            "ingest edge ({row}, {col}) outside the {n}-vertex graph"
+                        )));
+                    }
+                }
+            }
+        }
         Ok(TrainingSession {
             dataset,
             sampler: Arc::new(sampler),
@@ -602,6 +686,9 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
                 transport: self.transport,
                 wire_codec: self.wire_codec,
                 grad_top_k: self.grad_top_k,
+                ingest: self.ingest,
+                ingest_mode: self.ingest_mode,
+                invalidation: self.invalidation,
             },
         })
     }
@@ -962,12 +1049,25 @@ where
             .is_enabled()
             .then(|| FeatureCache::new(config.feature_cache, store.feature_dim()));
 
+        // Dynamic-graph state: every rank folds scheduled ingest batches
+        // into its own replica of the adjacency.  Static sessions pay one
+        // clone and the overlay stays empty forever.
+        let mut ingest = GraphIngest::new(self.dataset.graph.adjacency().clone())
+            .map_err(GnnError::Graph)?
+            .with_mode(config.ingest_mode);
+
         let mut epochs = Vec::with_capacity(config.epochs);
         for (epoch, plan) in plans.iter().enumerate() {
             let mut profile = PhaseProfile::new();
             let mut loss = RunningMean::new();
             let comm_start = comm.stats();
             let epoch_seed = self.epoch_sample_seed(epoch);
+            // Compact any batch landed after the previous epoch so this
+            // epoch samples the post-ingest graph.  The version is captured
+            // before the borrow so fetch plans can be stamped while the
+            // adjacency reference is live.
+            let graph_version = ingest.version();
+            let adjacency = ingest.adjacency();
             if pinned {
                 // Epoch-static pinning: resident rows live for one
                 // epoch, so a remote row crosses at most once per
@@ -983,6 +1083,8 @@ where
                 // pipeline with no compute to hide behind.
                 let mut stage = self.sample_and_post_stage(
                     comm,
+                    adjacency,
+                    graph_version,
                     groups[0],
                     group_seed(epoch_seed, 0),
                     &store,
@@ -996,6 +1098,8 @@ where
                     let next = if k + 1 < groups.len() {
                         Some(self.sample_and_post_stage(
                             comm,
+                            adjacency,
+                            graph_version,
                             groups[k + 1],
                             group_seed(epoch_seed, k + 1),
                             &store,
@@ -1063,7 +1167,7 @@ where
                         .sample_group_on_rank(
                             comm,
                             &*self.sampler,
-                            self.dataset.graph.adjacency(),
+                            adjacency,
                             group,
                             group_seed(epoch_seed, gi),
                         )
@@ -1080,7 +1184,11 @@ where
                     if pinned {
                         let cache = cache.as_mut().expect("pinned implies enabled");
                         let fetch_plan =
-                            FetchPlan::from_sample_iter(my_samples.iter().map(|(_, mb)| mb));
+                            FetchPlan::from_sample_iter(my_samples.iter().map(|(_, mb)| mb))
+                                .with_version(graph_version);
+                        // Load-bearing guard: a plan computed before an
+                        // ingest must never feed a prefetch afterwards.
+                        ensure_plan_fresh(&fetch_plan, graph_version)?;
                         let fetch_start = std::time::Instant::now();
                         let comm_before = comm.stats().modeled_time;
                         cache.prefetch(&store, comm, &fetch_group, fetch_plan.unique_vertices())?;
@@ -1124,6 +1232,35 @@ where
                 comm_delta.merge(&cache.take_stats());
             }
             epochs.push((profile, comm_delta, loss.mean()));
+
+            // --- Dynamic graphs: land every batch scheduled after this
+            // epoch.  The adjacency is replicated, so each rank applies the
+            // full batch; the owner routing is still computed (and its
+            // sub-batches checked to repartition the batch exactly) because
+            // that is the lane a sharded adjacency would ship updates over.
+            // The invalidation work books into the cache stats, i.e. into
+            // the NEXT epoch's comm delta — an ingest between epochs is
+            // charged to the epoch that pays its refetches.
+            for event in config.ingest.iter().filter(|e| e.after_epoch == epoch) {
+                let routed = GraphIngest::route_by_owner(&event.batch, store.partition())
+                    .map_err(GnnError::Graph)?;
+                debug_assert_eq!(
+                    routed.iter().map(DeltaBatch::len).sum::<usize>(),
+                    event.batch.len(),
+                    "owner routing must partition the batch exactly"
+                );
+                let receipt = ingest.apply(&event.batch).map_err(GnnError::Graph)?;
+                if let Some(cache) = cache.as_mut() {
+                    match config.invalidation {
+                        InvalidationPolicy::Precise => {
+                            cache.invalidate(&store, &receipt.dirty);
+                        }
+                        InvalidationPolicy::FlushAll => {
+                            cache.invalidate_all(&store);
+                        }
+                    }
+                }
+            }
         }
         let params = model.parameters().to_vec();
         Ok((epochs, params))
@@ -1215,9 +1352,12 @@ where
     /// overlapped once the budget (the previous group's training compute) is
     /// known.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn sample_and_post_stage(
         &self,
         comm: &mut Communicator,
+        adjacency: &CsrMatrix,
+        graph_version: u64,
         group: &[Vec<usize>],
         seed: u64,
         store: &FeatureStore,
@@ -1228,7 +1368,7 @@ where
     ) -> Result<PipelineStage> {
         let shard = self
             .backend
-            .sample_group_on_rank(comm, &*self.sampler, self.dataset.graph.adjacency(), group, seed)
+            .sample_group_on_rank(comm, &*self.sampler, adjacency, group, seed)
             .map_err(GnnError::Sampling)?;
         profile.merge_sum(&shard.profile);
         let mut hoisted = PhaseProfile::new();
@@ -1240,7 +1380,9 @@ where
         }
         let pending = if pinned {
             let cache = cache.as_mut().expect("pinned implies enabled");
-            let fetch_plan = FetchPlan::from_sample_iter(shard.samples.iter().map(|(_, mb)| mb));
+            let fetch_plan = FetchPlan::from_sample_iter(shard.samples.iter().map(|(_, mb)| mb))
+                .with_version(graph_version);
+            ensure_plan_fresh(&fetch_plan, graph_version)?;
             let post_start = std::time::Instant::now();
             let comm_before = comm.stats().modeled_time;
             let pending =

@@ -20,8 +20,8 @@
 //! [`dmbs_comm::run_if_worker`] with [`registry`] before doing anything else;
 //! see that function's docs for the env-var protocol.
 
-use crate::features::FeatureCacheConfig;
-use crate::session::{RankEpochs, SessionConfig, TrainingSession};
+use crate::features::{FeatureCacheConfig, InvalidationPolicy};
+use crate::session::{IngestEvent, RankEpochs, SessionConfig, TrainingSession};
 use crate::{GnnError, Result};
 use dmbs_comm::wire::{
     get_f64, get_f64s, get_u64, get_usize, get_usizes, put_f64, put_f64s, put_u64, put_usize,
@@ -31,9 +31,9 @@ use dmbs_comm::{
     Codec, Communicator, Payload, Phase, PhaseProfile, TransportSelect, WorkerRegistry,
 };
 use dmbs_graph::datasets::{Dataset, DatasetKind};
-use dmbs_graph::Graph;
+use dmbs_graph::{Graph, IngestMode};
 use dmbs_matrix::pool::Parallelism;
-use dmbs_matrix::{CsrMatrix, DenseMatrix};
+use dmbs_matrix::{CsrMatrix, DeltaBatch, DenseMatrix};
 use dmbs_sampling::{
     BackendSpec, BulkSamplerConfig, DistConfig, FastGcnSampler, GraphSageSampler, LadiesSampler,
     Partitioned1p5dBackend, ReplicatedBackend, Sampler, SamplerSpec, SamplingBackend,
@@ -45,8 +45,9 @@ pub const TRAIN_WORKER: &str = "dmbs.gnn.train";
 
 /// Job format version, rejected on mismatch so a stale binary fails fast
 /// instead of misdecoding.  v2 added the wire codec and the top-k gradient
-/// compression knob to the session config.
-const JOB_VERSION: u64 = 2;
+/// compression knob to the session config; v3 added the dynamic-graph ingest
+/// schedule (per-epoch edge batches, ingest mode, invalidation policy).
+const JOB_VERSION: u64 = 3;
 
 /// The worker registry of this crate: currently the single
 /// [`TRAIN_WORKER`].  Pass it to [`dmbs_comm::run_if_worker`] at the top of
@@ -252,6 +253,60 @@ fn encode_session_config(out: &mut Vec<u8>, config: &SessionConfig) {
         }
         None => put_bool(out, false),
     }
+    // v3: the dynamic-graph ingest schedule.  Rank processes replay the
+    // identical edge batches at the identical epoch boundaries, so both
+    // transports walk the same sequence of graph versions.
+    put_usize(out, config.ingest.len());
+    for event in &config.ingest {
+        put_usize(out, event.after_epoch);
+        put_usize(out, event.batch.len());
+        for (row, col, op) in event.batch.ops() {
+            put_usize(out, row);
+            put_usize(out, col);
+            match op {
+                Some(weight) => {
+                    put_bool(out, true);
+                    put_f64(out, weight);
+                }
+                None => put_bool(out, false),
+            }
+        }
+    }
+    put_u64(
+        out,
+        match config.ingest_mode {
+            IngestMode::Delta => 0,
+            IngestMode::Rebuild => 1,
+        },
+    );
+    put_u64(
+        out,
+        match config.invalidation {
+            InvalidationPolicy::Precise => 0,
+            InvalidationPolicy::FlushAll => 1,
+        },
+    );
+}
+
+fn decode_ingest_schedule(input: &mut &[u8]) -> Option<Vec<IngestEvent>> {
+    let n = get_usize(input)?;
+    let mut events = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let after_epoch = get_usize(input)?;
+        let ops = get_usize(input)?;
+        let mut batch = DeltaBatch::new();
+        for _ in 0..ops {
+            let row = get_usize(input)?;
+            let col = get_usize(input)?;
+            if get_bool(input)? {
+                batch.insert(row, col, get_f64(input)?);
+            } else {
+                batch.delete(row, col);
+            }
+        }
+        events.push(IngestEvent { after_epoch, batch });
+    }
+    Some(events)
 }
 
 fn decode_session_config(input: &mut &[u8]) -> Option<SessionConfig> {
@@ -278,6 +333,17 @@ fn decode_session_config(input: &mut &[u8]) -> Option<SessionConfig> {
         transport: TransportSelect::Simulator,
         wire_codec: Codec::from_tag(get_u64(input)?)?,
         grad_top_k: if get_bool(input)? { Some(get_usize(input)?) } else { None },
+        ingest: decode_ingest_schedule(input)?,
+        ingest_mode: match get_u64(input)? {
+            0 => IngestMode::Delta,
+            1 => IngestMode::Rebuild,
+            _ => return None,
+        },
+        invalidation: match get_u64(input)? {
+            0 => InvalidationPolicy::Precise,
+            1 => InvalidationPolicy::FlushAll,
+            _ => return None,
+        },
     })
 }
 
@@ -460,6 +526,9 @@ mod tests {
     }
 
     fn session(seed: u64) -> TrainingSession<GraphSageSampler, ReplicatedBackend> {
+        let mut batch = DeltaBatch::new();
+        batch.insert(0, 1, 0.5);
+        batch.delete(2, 3);
         TrainingSession::builder()
             .dataset(tiny_dataset(seed))
             .sampler(GraphSageSampler::new(vec![3, 3]).with_self_loops())
@@ -472,6 +541,8 @@ mod tests {
             .seed(seed)
             .wire_codec(Codec::Int8)
             .grad_top_k(5)
+            .ingest(0, batch)
+            .invalidation(InvalidationPolicy::FlushAll)
             .build()
             .unwrap()
     }
@@ -497,6 +568,16 @@ mod tests {
         assert_eq!(decoded.config.epochs, 2);
         assert_eq!(decoded.config.wire_codec, Codec::Int8);
         assert_eq!(decoded.config.grad_top_k, Some(5));
+        // v3 fields: the ingest schedule (batch ops included), mode and
+        // invalidation policy survive the trip op for op.
+        assert_eq!(decoded.config.ingest, session.config().ingest);
+        assert_eq!(decoded.config.ingest[0].after_epoch, 0);
+        assert_eq!(
+            decoded.config.ingest[0].batch.ops().collect::<Vec<_>>(),
+            vec![(0, 1, Some(0.5)), (2, 3, None)]
+        );
+        assert_eq!(decoded.config.ingest_mode, IngestMode::Delta);
+        assert_eq!(decoded.config.invalidation, InvalidationPolicy::FlushAll);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   same average degree and skew as the paper's datasets ([`datasets`]),
 //! * 1D and 1.5D block-row partitioners ([`partition`]) matching the process
 //!   grids of §5 and §6 of the paper,
+//! * versioned incremental edge ingest ([`ingest`]) applying
+//!   [`dmbs_matrix::DeltaBatch`]es with partition-aware owner routing,
 //! * training-set shuffling and minibatch construction ([`minibatch`]).
 //!
 //! # Example
@@ -38,10 +40,12 @@
 pub mod datasets;
 pub mod generators;
 pub mod graph;
+pub mod ingest;
 pub mod minibatch;
 pub mod partition;
 
 pub use graph::{Graph, GraphError};
+pub use ingest::{GraphIngest, IngestMode, IngestReceipt};
 pub use minibatch::MinibatchPlan;
 pub use partition::{OneDPartition, OneFiveDPartition};
 

@@ -23,6 +23,9 @@
 //!   row/column extraction) used by bulk sampling,
 //! * a small dense matrix type ([`DenseMatrix`]) with the GEMM/transpose/
 //!   reduction kernels needed by the GNN training substrate,
+//! * a delta overlay ([`DeltaCsr`]) holding batched edge inserts/deletes
+//!   ([`DeltaBatch`]) merged lazily into a rebuilt base — the substrate of
+//!   dynamic-graph ingest,
 //! * prefix sums used by inverse transform sampling,
 //! * a scoped worker pool ([`pool`]) with a [`Parallelism`] knob driving the
 //!   deterministic row-blocked parallel kernels
@@ -68,6 +71,7 @@
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod delta;
 pub mod dense;
 pub mod error;
 pub mod extract;
@@ -81,6 +85,7 @@ pub mod workspace;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use delta::{DeltaBatch, DeltaCsr};
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
 pub use pool::Parallelism;

@@ -138,6 +138,11 @@ pub struct FetchPlan {
     total_requests: usize,
     /// Number of minibatches the plan covers.
     num_minibatches: usize,
+    /// Graph version the plan was computed against (see
+    /// `dmbs_graph::ingest::GraphIngest::version`); 0 for static graphs.  A
+    /// plan is *stale* — and must not gate a prefetch — once the graph has
+    /// ingested a batch past this version.
+    version: u64,
 }
 
 impl FetchPlan {
@@ -163,7 +168,19 @@ impl FetchPlan {
         }
         unique.sort_unstable();
         unique.dedup();
-        FetchPlan { unique, total_requests, num_minibatches }
+        FetchPlan { unique, total_requests, num_minibatches, version: 0 }
+    }
+
+    /// Stamps the graph version the plan was computed against (0, the
+    /// static-graph default, if never stamped).
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// The graph version the plan was computed against.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The sorted, deduplicated union of input vertices.
@@ -236,6 +253,11 @@ impl FetchPlan {
         self.unique.dedup();
         self.total_requests += other.total_requests;
         self.num_minibatches += other.num_minibatches;
+        // An accumulator (often `FetchPlan::default()`, version 0) adopts the
+        // newest constituent version.  Merging plans that straddle an ingest
+        // is a caller bug: stale constituents must be invalidated, not
+        // merged.
+        self.version = self.version.max(other.version);
     }
 }
 

@@ -9,9 +9,12 @@
 
 #![allow(deprecated)]
 
+mod common;
+
+use common::{random_batches, GRID_SHAPES};
 use dmbs::comm::{Codec, Group, ProcessGrid, Runtime};
 use dmbs::gnn::{FeatureCache, FeatureCacheConfig, FeatureStore, TrainingSession};
-use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::graph::datasets::Dataset;
 use dmbs::graph::generators::{figure1_example, rmat, RmatConfig};
 use dmbs::matrix::DenseMatrix;
 use dmbs::sampling::partitioned::{
@@ -25,14 +28,6 @@ use dmbs::sampling::{
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// Every (ranks, replication) grid shape the sweep covers: p ∈ {1, 2, 4},
-/// all c dividing p.
-const GRID_SHAPES: [(usize, usize); 6] = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4)];
-
-fn random_batches(n: usize, k: usize, b: usize) -> Vec<Vec<usize>> {
-    (0..k).map(|i| (0..b).map(|j| (i * 131 + j * 17) % n).collect()).collect()
-}
 
 #[test]
 fn replicated_backend_is_byte_identical_to_legacy_free_function() {
@@ -218,12 +213,7 @@ proptest! {
 }
 
 fn equivalence_dataset(seed: u64) -> Dataset {
-    let mut cfg = DatasetConfig::products_like(7); // 128 vertices
-    cfg.feature_dim = 12;
-    cfg.num_classes = 4;
-    cfg.train_fraction = 0.5;
-    cfg.homophily = 0.6;
-    build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+    common::products_dataset(7, 12, 4, 0.5, Some(0.6), seed) // 128 vertices
 }
 
 /// Distributed-equivalence sweep at the full-pipeline level: across every
@@ -403,11 +393,7 @@ fn minibatch_stream_prefetch_equals_eager_sampling() {
     // The §6 pipelining must be purely a scheduling change: the stream's
     // double-buffered prefetch yields exactly the same minibatches, in the
     // same order, as eager epoch sampling.
-    let mut cfg = DatasetConfig::products_like(8); // 256 vertices
-    cfg.feature_dim = 8;
-    cfg.num_classes = 4;
-    cfg.train_fraction = 0.5;
-    let dataset = build_dataset(&cfg, &mut StdRng::seed_from_u64(6)).unwrap();
+    let dataset = common::products_dataset(8, 8, 4, 0.5, None, 6); // 256 vertices
 
     let session = TrainingSession::builder()
         .dataset(dataset)

@@ -10,15 +10,15 @@
 //!   communication word counts, with and without the cache — the regression
 //!   guard that keeps scheduling races from hiding behind averages.
 
+mod common;
+
 use dmbs::comm::{CommError, Group, Runtime};
 use dmbs::gnn::{FeatureCache, FeatureCacheConfig, FeatureStore, GnnError, TrainingSession};
-use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::graph::datasets::Dataset;
 use dmbs::matrix::DenseMatrix;
 use dmbs::sampling::{
     BulkSamplerConfig, DistConfig, GraphSageSampler, ReplicatedBackend, SamplingError,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn features(n: usize, f: usize) -> DenseMatrix {
     DenseMatrix::from_rows(
@@ -117,12 +117,7 @@ fn feature_store_rejects_out_of_range_block_index() {
 }
 
 fn determinism_dataset(seed: u64) -> Dataset {
-    let mut cfg = DatasetConfig::products_like(7); // 128 vertices
-    cfg.feature_dim = 12;
-    cfg.num_classes = 4;
-    cfg.train_fraction = 0.5;
-    cfg.homophily = 0.6;
-    build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+    common::products_dataset(7, 12, 4, 0.5, Some(0.6), seed) // 128 vertices
 }
 
 /// Flaky-guard for the rank simulator: the distributed pipeline runs one OS
@@ -132,11 +127,7 @@ fn determinism_dataset(seed: u64) -> Dataset {
 #[test]
 fn seeded_distributed_training_is_run_to_run_deterministic() {
     let dataset = std::sync::Arc::new(determinism_dataset(50));
-    for mode in [
-        FeatureCacheConfig::Off,
-        FeatureCacheConfig::EpochPinned,
-        FeatureCacheConfig::Lru { byte_budget: 1 << 18 },
-    ] {
+    for mode in common::cache_modes(1 << 18) {
         let build = || {
             TrainingSession::<GraphSageSampler, ReplicatedBackend>::builder()
                 .dataset(std::sync::Arc::clone(&dataset))

@@ -10,23 +10,18 @@
 //! recorded as overlapped seconds (`max(comm, compute)` instead of
 //! `comm + compute`), and those books must balance exactly.
 
+mod common;
+
 use dmbs::gnn::{EpochStats, FeatureCacheConfig, TrainingReport, TrainingSession};
-use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::graph::datasets::Dataset;
 use dmbs::sampling::{
     BulkSamplerConfig, DistConfig, GraphSageSampler, Partitioned1p5dBackend, ReplicatedBackend,
     SamplingBackend,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn tiny_dataset(seed: u64) -> Arc<Dataset> {
-    let mut cfg = DatasetConfig::products_like(7); // 128 vertices
-    cfg.feature_dim = 16;
-    cfg.num_classes = 4;
-    cfg.train_fraction = 0.5;
-    cfg.homophily = 0.6;
-    Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap())
+    common::arc_products_dataset(7, 16, 4, 0.5, Some(0.6), seed) // 128 vertices
 }
 
 /// Trains one replicated session; `overlap` toggles the pipelined schedule.
@@ -105,11 +100,7 @@ fn overlap_is_byte_identical_across_p_c_and_cache_modes() {
     let dataset = tiny_dataset(9);
     for &p in &[1usize, 2, 4] {
         for c in (1..=p).filter(|c| p % c == 0) {
-            for cache in [
-                FeatureCacheConfig::Off,
-                FeatureCacheConfig::EpochPinned,
-                FeatureCacheConfig::Lru { byte_budget: 1 << 16 },
-            ] {
+            for cache in common::cache_modes(1 << 16) {
                 let label = format!("p={p} c={c} cache={cache:?}");
                 let make = || {
                     ReplicatedBackend::new(DistConfig::new(p, c, BulkSamplerConfig::new(16, 2)))
@@ -211,11 +202,7 @@ fn overlap_two_runs_same_seed_are_bitwise_deterministic() {
     // (overlapped *seconds* are measured wall-clock and may differ; every
     // deterministic counter must not).
     let dataset = tiny_dataset(23);
-    for cache in [
-        FeatureCacheConfig::Off,
-        FeatureCacheConfig::EpochPinned,
-        FeatureCacheConfig::Lru { byte_budget: 1 << 15 },
-    ] {
+    for cache in common::cache_modes(1 << 15) {
         let make = || {
             ReplicatedBackend::new(DistConfig::new(4, 2, BulkSamplerConfig::new(16, 2))).unwrap()
         };

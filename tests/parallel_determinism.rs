@@ -3,8 +3,11 @@
 //! minibatches and trained models are byte-identical at 1, 2 and 8 threads
 //! across every backend.
 
+mod common;
+
+use common::random_batches;
 use dmbs::gnn::{Minibatch, TrainingSession};
-use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::graph::datasets::Dataset;
 use dmbs::graph::generators::{rmat, RmatConfig};
 use dmbs::matrix::pool::Parallelism;
 use dmbs::sampling::{
@@ -16,16 +19,8 @@ use rand::SeedableRng;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
-fn random_batches(n: usize, k: usize, b: usize) -> Vec<Vec<usize>> {
-    (0..k).map(|i| (0..b).map(|j| (i * 131 + j * 17) % n).collect()).collect()
-}
-
 fn tiny_dataset(seed: u64) -> Dataset {
-    let mut cfg = DatasetConfig::products_like(7); // 128 vertices
-    cfg.feature_dim = 8;
-    cfg.num_classes = 4;
-    cfg.train_fraction = 0.5;
-    build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+    common::products_dataset(7, 8, 4, 0.5, None, seed) // 128 vertices
 }
 
 #[test]

@@ -3,22 +3,17 @@
 //! between bulk matrix sampling and per-vertex sampling, and consistent phase
 //! accounting in the distributed pipeline.
 
+mod common;
+
 use dmbs::gnn::TrainingSession;
-use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::graph::datasets::Dataset;
 use dmbs::sampling::baseline::PerVertexSageSampler;
 use dmbs::sampling::{
     BulkSamplerConfig, DistConfig, GraphSageSampler, LocalBackend, ReplicatedBackend, Sampler,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn dataset(seed: u64) -> Dataset {
-    let mut cfg = DatasetConfig::products_like(8); // 256 vertices
-    cfg.feature_dim = 16;
-    cfg.num_classes = 4;
-    cfg.train_fraction = 0.5;
-    cfg.homophily = 0.6;
-    build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
+    common::products_dataset(8, 16, 4, 0.5, Some(0.6), seed) // 256 vertices
 }
 
 fn local_session<S: Sampler>(ds: Dataset, sampler: S) -> TrainingSession<S, LocalBackend> {

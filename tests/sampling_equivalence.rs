@@ -3,6 +3,8 @@
 //! sampler outputs must satisfy the structural invariants the GNN layer
 //! relies on.
 
+mod common;
+
 use dmbs::graph::generators::{figure1_example, rmat, RmatConfig};
 use dmbs::sampling::{
     BulkSamplerConfig, DistConfig, GraphSageSampler, LadiesSampler, LocalBackend,
@@ -11,8 +13,9 @@ use dmbs::sampling::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// This suite's historical batch stream uses the (257, 31) multipliers.
 fn random_batches(n: usize, k: usize, b: usize) -> Vec<Vec<usize>> {
-    (0..k).map(|i| (0..b).map(|j| (i * 257 + j * 31) % n).collect()).collect()
+    common::strided_batches(n, k, b, 257, 31)
 }
 
 #[test]

@@ -8,6 +8,8 @@
 //! approximation.  On top of that ride the typed admission/timeout errors
 //! and the open-loop replay determinism the CI serve gate pins.
 
+mod common;
+
 use dmbs::gnn::{
     FeatureCacheConfig, ModelSnapshot, RequestTrace, ServeError, ServeRequest, ServingConfig,
     ServingSession, TrainingSession,
@@ -20,11 +22,7 @@ use std::sync::Arc;
 
 /// Builds a small dataset and trains a 2-layer snapshot on it once.
 fn trained(seed: u64) -> (Arc<Dataset>, ModelSnapshot) {
-    let mut cfg = DatasetConfig::products_like(6); // 64 vertices
-    cfg.feature_dim = 8;
-    cfg.num_classes = 4;
-    cfg.train_fraction = 0.5;
-    let dataset = Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap());
+    let dataset = common::arc_products_dataset(6, 8, 4, 0.5, None, seed); // 64 vertices
     let session = TrainingSession::builder()
         .dataset(Arc::clone(&dataset))
         .sampler(GraphSageSampler::new(vec![3, 3]).with_self_loops())
@@ -64,12 +62,7 @@ fn session(
 fn micro_bulk_is_byte_identical_to_singletons() {
     let (dataset, snapshot) = trained(3);
     let n = dataset.num_vertices();
-    let cache_modes = [
-        FeatureCacheConfig::Off,
-        FeatureCacheConfig::EpochPinned,
-        FeatureCacheConfig::Lru { byte_budget: 1 << 14 },
-    ];
-    for cache in cache_modes {
+    for cache in common::cache_modes(1 << 14) {
         for k in [1usize, 2, 4, 8] {
             let config = ServingConfig {
                 max_micro_bulk: k.max(1),

@@ -18,12 +18,13 @@
 //! `words_sent(cached) + words_saved == words_sent(uncached)` must hold on
 //! the real backend too.
 
+mod common;
+
+use common::GRID_SHAPES;
 use dmbs::comm::{run_if_worker, Codec, SocketLaunch, TransportSelect};
 use dmbs::gnn::{FeatureCacheConfig, TrainingReport, TrainingSession};
-use dmbs::graph::datasets::{build_dataset, Dataset, DatasetConfig};
+use dmbs::graph::datasets::Dataset;
 use dmbs::sampling::{BulkSamplerConfig, DistConfig, GraphSageSampler, ReplicatedBackend};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Rank-process entry point.  When the parent re-executes this test binary
@@ -36,21 +37,12 @@ fn socket_worker_shim() {
     run_if_worker(&dmbs::gnn::worker::registry());
 }
 
-/// Every (ranks, replication) grid shape the sweep covers: p ∈ {1, 2, 4},
-/// all c dividing p.
-const GRID_SHAPES: [(usize, usize); 6] = [(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (4, 4)];
-
 fn launch() -> SocketLaunch {
-    SocketLaunch::for_test_binary("socket_worker_shim").timeout_ms(120_000)
+    common::socket_launch()
 }
 
 fn tiny_dataset() -> Arc<Dataset> {
-    let mut cfg = DatasetConfig::products_like(6);
-    cfg.feature_dim = 8;
-    cfg.num_classes = 3;
-    cfg.train_fraction = 0.5;
-    cfg.homophily = 0.6;
-    Arc::new(build_dataset(&cfg, &mut StdRng::seed_from_u64(11)).expect("dataset"))
+    common::arc_products_dataset(6, 8, 3, 0.5, Some(0.6), 11)
 }
 
 fn train(
@@ -85,13 +77,8 @@ fn train(
 #[test]
 fn socket_transport_is_byte_identical_to_simulator_across_the_sweep() {
     let dataset = tiny_dataset();
-    let cache_modes = [
-        FeatureCacheConfig::Off,
-        FeatureCacheConfig::EpochPinned,
-        FeatureCacheConfig::Lru { byte_budget: 2_048 },
-    ];
     for &(p, c) in &GRID_SHAPES {
-        for cache in cache_modes {
+        for cache in common::cache_modes(2_048) {
             let sim = train(&dataset, p, c, cache, TransportSelect::Simulator);
             let sock = train(&dataset, p, c, cache, TransportSelect::UnixSocket(launch()));
             let label = format!("p={p} c={c} cache={cache:?}");
