@@ -539,6 +539,15 @@ pub mod check {
         "invalidation_words",
         "retained_words",
         "refetch_words_avoided",
+        // Auto-tuner counters (`BENCH_autotune.json`): the predicted columns
+        // are pure functions of the deterministic probe books, and the
+        // chosen schedule's knobs ride the key fields — choice drift or
+        // prediction drift hard-fails.
+        "overlap_on",
+        "candidates",
+        "predicted_words",
+        "predicted_bytes_on_wire",
+        "predicted_comm_ns",
     ];
 
     /// Measured wall-clock fields: slower-than-baseline beyond the tolerance
@@ -558,6 +567,11 @@ pub mod check {
         "fit_comm_epoch_s",
         "fit_alpha_s",
         "fit_beta_s_per_word",
+        // Auto-tuner seconds: both columns mix measured compute into the
+        // α–β model, so they drift with the host; the counters above and
+        // the chosen-schedule key fields are what hard-fail.
+        "predicted_epoch_s",
+        "realized_epoch_s",
     ];
 
     /// Fields identifying a record within its file (whichever are present).

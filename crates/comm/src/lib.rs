@@ -65,6 +65,7 @@ pub mod profile;
 pub mod runtime;
 pub mod socket;
 pub mod transport;
+pub mod tune;
 pub mod wire;
 
 pub use codec::{Codec, WireRows};
@@ -78,6 +79,10 @@ pub use profile::{Phase, PhaseProfile};
 pub use runtime::{RankOutput, Runtime, TransportSelect};
 pub use socket::{SocketConfig, UnixSocketTransport};
 pub use transport::{Frame, FrameBody, SimTransport, Transport, TransportMode};
+pub use tune::{
+    CacheKnob, CostBreakdown, ProbeEpoch, ProbeSet, ScoredChoice, TuningChoice, TuningGrid,
+    TuningModel, TuningOutcome,
+};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, CommError>;

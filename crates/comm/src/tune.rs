@@ -1,0 +1,806 @@
+//! Cost-model-driven auto-tuner: the §5.2.1 analytical model promoted from
+//! documentation to a decision procedure.
+//!
+//! Nine PRs of knobs interact — cache mode, wire codec, overlapped schedule —
+//! and this module picks among them *offline*, from first principles plus a
+//! handful of cheap probe epochs, in the MLSYSIM spirit of model-guided
+//! systems decisions:
+//!
+//! ```text
+//!   probe ──▶ fit ──▶ search ──▶ apply
+//!   (1-epoch runs     (TuningModel:      (valid grid,        (TrainingSession
+//!    book words,       α·messages +       arg-min of the      builder().auto(),
+//!    bytes, compute    β·bytes/8, per-    predicted epoch     perf_baseline
+//!    per phase)        knob terms)        time)               --autotune)
+//! ```
+//!
+//! The model combines **measured** per-phase compute from
+//! [`PhaseProfile`] with **predicted** α–β communication from
+//! [`CostModel`], extended with one term per knob:
+//!
+//! * **cache words-saved** — the [`CacheKnob::EpochPinned`] candidate is
+//!   charged the pinned probe's word count; the uncached candidate the
+//!   baseline probe's.  The two are tied by the double-entry identity
+//!   `words(pinned) + words_saved(pinned) == words(uncached)`, which
+//!   [`TuningModel::fit`] verifies.
+//! * **codec bytes-on-wire** — lossy candidates are credited the
+//!   `bytes_saved` a one-epoch probe of that codec actually booked, so the β
+//!   charge follows real encoded bytes (including the Int8 per-row scale
+//!   overhead) rather than an idealised ratio.
+//! * **overlap credit** — the overlapped candidate is credited the hidden
+//!   seconds a probe of the overlapped schedule measured, capped at the
+//!   candidate's own communication bill ([`CostModel::overlap_credit`]
+//!   semantics: you cannot hide more than you send).
+//!
+//! Missing probes degrade gracefully: a knob whose probe was not run scores
+//! **no benefit**, so it ties with the cheaper-to-probe candidate and the
+//! deterministic lexicographic tie-break keeps the earlier (more
+//! conservative) choice.
+//!
+//! The searched grid is deliberately the *schedule* knobs at a fixed
+//! `(p, c)` shape — the knobs a built session can change without resampling
+//! or repartitioning.  The remaining knobs ((p, c) itself, bulk group size,
+//! gradient top-k, parallelism, workspace reuse) are covered knob-by-knob in
+//! the repository's `TUNING.md` guide.
+
+use crate::codec::Codec;
+use crate::cost::{CommStats, CostModel};
+use crate::error::CommError;
+use crate::grid::ProcessGrid;
+use crate::profile::{Phase, PhaseProfile};
+use crate::Result;
+use std::fmt;
+
+/// The feature-cache knob of a candidate schedule.
+///
+/// This mirrors the session-level cache configuration (`FeatureCacheConfig`
+/// in the `gnn` crate) without depending on it, so the tuner stays a pure
+/// `comm`-layer component.  Declaration order is the lexicographic rank used
+/// by the deterministic tie-break: `Off < EpochPinned < Lru`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKnob {
+    /// No cache: every minibatch step fetches its frontier rows fresh.
+    Off,
+    /// Per-bulk-group prefetch pinned for the epoch — each remote row
+    /// crosses the wire at most once per epoch.
+    EpochPinned,
+    /// Byte-budgeted read-through LRU cache.  Scored **pessimistically**
+    /// (no savings credited): how much an LRU with an arbitrary budget saves
+    /// depends on access locality the probes do not measure, and the tuner
+    /// never claims a benefit it cannot predict.
+    Lru {
+        /// Cache capacity in bytes.
+        byte_budget: usize,
+    },
+}
+
+impl CacheKnob {
+    /// Lower-case name used by harness JSON records ("off", "pinned",
+    /// "lru").
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheKnob::Off => "off",
+            CacheKnob::EpochPinned => "pinned",
+            CacheKnob::Lru { .. } => "lru",
+        }
+    }
+
+    /// Lexicographic rank of the cache knob (its position in the canonical
+    /// enumeration order).
+    fn rank(self) -> usize {
+        match self {
+            CacheKnob::Off => 0,
+            CacheKnob::EpochPinned => 1,
+            CacheKnob::Lru { .. } => 2,
+        }
+    }
+}
+
+/// Lexicographic rank of a codec in the canonical enumeration order
+/// (`Exact < Fp16 < Int8`).
+fn codec_rank(codec: Codec) -> usize {
+    match codec {
+        Codec::Exact => 0,
+        Codec::Fp16 => 1,
+        Codec::Int8 => 2,
+    }
+}
+
+/// One candidate schedule over the tuned knobs: cache mode, wire codec,
+/// overlapped pipeline.
+///
+/// ```
+/// use dmbs_comm::tune::{CacheKnob, TuningChoice};
+/// use dmbs_comm::Codec;
+///
+/// let default = TuningChoice::baseline();
+/// assert_eq!(default.cache, CacheKnob::Off);
+/// assert_eq!(default.codec, Codec::Exact);
+/// assert!(!default.overlap);
+/// assert_eq!(default.to_string(), "cache=off codec=exact overlap=off");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TuningChoice {
+    /// Feature-cache mode.
+    pub cache: CacheKnob,
+    /// Wire codec of the feature-fetch lanes.
+    pub codec: Codec,
+    /// Whether the distributed training loop runs the software-pipelined
+    /// (overlapped) schedule.
+    pub overlap: bool,
+}
+
+impl TuningChoice {
+    /// The default (untuned) schedule: no cache, bit-exact codec,
+    /// synchronous pipeline.  Always the first candidate of every grid, so
+    /// an all-ties search — e.g. a shape with no communication at all —
+    /// deterministically keeps the default.
+    pub fn baseline() -> Self {
+        TuningChoice { cache: CacheKnob::Off, codec: Codec::Exact, overlap: false }
+    }
+
+    /// Lexicographic key `(cache, codec, overlap)` implementing the
+    /// deterministic tie-break order.
+    fn lex_key(&self) -> (usize, usize, usize) {
+        (self.cache.rank(), codec_rank(self.codec), usize::from(self.overlap))
+    }
+}
+
+impl fmt::Display for TuningChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache={} codec={} overlap={}",
+            self.cache.name(),
+            self.codec.name(),
+            if self.overlap { "on" } else { "off" }
+        )
+    }
+}
+
+/// The books of one probe epoch: world-summed wire counters plus
+/// max-across-ranks measured seconds, extracted from a training run's
+/// [`PhaseProfile`] and [`CommStats`] via [`ProbeEpoch::from_books`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProbeEpoch {
+    /// Words sent, summed across ranks.
+    pub words_sent: usize,
+    /// Point-to-point messages, summed across ranks.
+    pub messages: usize,
+    /// Exact bytes on the wire, summed across ranks.
+    pub bytes_on_wire: usize,
+    /// Bytes a wire codec kept off the wire (zero under `Codec::Exact`).
+    pub bytes_saved: usize,
+    /// Words the feature cache kept off the wire (zero with the cache off).
+    pub words_saved: usize,
+    /// Measured compute seconds (max across ranks, all phases).
+    pub compute_s: f64,
+    /// Measured propagation-phase compute seconds (max across ranks) — the
+    /// budget an overlapped schedule hides communication behind.
+    pub propagation_compute_s: f64,
+    /// Modeled communication seconds a pipelined probe actually hid (zero
+    /// for synchronous probes).
+    pub overlapped_s: f64,
+}
+
+impl ProbeEpoch {
+    /// Extracts a probe's books from an epoch's phase profile
+    /// (max-across-ranks seconds) and communication statistics (world-summed
+    /// counters).
+    pub fn from_books(profile: &PhaseProfile, stats: &CommStats) -> Self {
+        ProbeEpoch {
+            words_sent: stats.words_sent,
+            messages: stats.messages,
+            bytes_on_wire: stats.bytes_on_wire,
+            bytes_saved: stats.bytes_saved,
+            words_saved: stats.words_saved,
+            compute_s: profile.total_compute(),
+            propagation_compute_s: profile.compute(Phase::Propagation),
+            overlapped_s: profile.total_overlap(),
+        }
+    }
+}
+
+/// The probe epochs a [`TuningModel`] is fitted from.  Only `baseline` and
+/// `pinned` are required; each optional probe unlocks the per-knob term it
+/// calibrates, and a knob without its probe scores no benefit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProbeSet {
+    /// The default schedule: cache off, `Codec::Exact`, synchronous.
+    pub baseline: ProbeEpoch,
+    /// Cache [`CacheKnob::EpochPinned`], `Codec::Exact`, synchronous.
+    pub pinned: ProbeEpoch,
+    /// Cache pinned, `Codec::Fp16`, synchronous — calibrates the fp16
+    /// bytes-on-wire term.
+    pub fp16: Option<ProbeEpoch>,
+    /// Cache pinned, `Codec::Int8`, synchronous — calibrates the int8
+    /// bytes-on-wire term (per-row scale overhead included).
+    pub int8: Option<ProbeEpoch>,
+    /// Cache pinned, `Codec::Exact`, **overlapped** schedule — calibrates
+    /// the overlap credit from the hidden seconds it books.
+    pub overlapped: Option<ProbeEpoch>,
+}
+
+/// The predicted cost breakdown of one candidate, per epoch.
+///
+/// Counters (`words`, `messages`, `bytes_on_wire`) are pure functions of the
+/// probe books, hence deterministic and CI-gateable exactly; the seconds mix
+/// in measured compute and are gated softly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Predicted words on the wire per epoch (world-summed).
+    pub words: usize,
+    /// Predicted messages per epoch (world-summed).
+    pub messages: usize,
+    /// Predicted bytes on the wire per epoch (world-summed).
+    pub bytes_on_wire: usize,
+    /// Predicted α–β communication seconds per epoch (per-rank share of the
+    /// world-summed bill: `(α·messages + β·bytes/8) / p`).
+    pub comm_s: f64,
+    /// Predicted communication seconds hidden behind compute (zero for
+    /// synchronous candidates).
+    pub overlap_credit_s: f64,
+    /// Measured compute seconds per epoch (the baseline probe's, common to
+    /// every candidate so the ranking isolates the schedule effect).
+    pub compute_s: f64,
+}
+
+impl CostBreakdown {
+    /// Predicted effective epoch seconds:
+    /// `compute + comm − overlap_credit`.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.comm_s - self.overlap_credit_s
+    }
+
+    /// The predicted communication seconds as integer nanoseconds — a
+    /// deterministic counter suitable for exact CI gating.
+    pub fn comm_ns(&self) -> u64 {
+        (self.comm_s * 1e9).round() as u64
+    }
+}
+
+/// One candidate together with its predicted cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredChoice {
+    /// The candidate schedule.
+    pub choice: TuningChoice,
+    /// Its predicted per-epoch cost breakdown.
+    pub cost: CostBreakdown,
+}
+
+/// The valid knob grid at a fixed `(p, c)` process-grid shape.
+///
+/// Validity rules (each also unit-tested):
+///
+/// * `c` must divide `p` (the 1.5D grid constraint, validated via
+///   [`ProcessGrid`] at construction);
+/// * `overlap` requires `c > 1` **and** the [`CacheKnob::EpochPinned`]
+///   cache — only the pinned prefetch all-to-allv is hoisted by the
+///   pipelined schedule, and a single-column shape leaves it nothing to
+///   hide behind;
+/// * [`CacheKnob::Lru`] candidates appear only when a byte budget was
+///   supplied via [`TuningGrid::with_lru_budget`];
+/// * lossy codecs appear only after [`TuningGrid::with_lossy`] — bit-exact
+///   training is the default and quantization is strictly opt-in.
+///
+/// ```
+/// use dmbs_comm::tune::TuningGrid;
+///
+/// let grid = TuningGrid::new(4, 2).unwrap().with_lossy(true);
+/// let candidates = grid.candidates();
+/// // Every enumerated candidate is valid, and the default schedule is
+/// // always the first (the all-ties winner).
+/// assert!(candidates.iter().all(|choice| grid.is_valid(choice)));
+/// assert_eq!(candidates[0], dmbs_comm::tune::TuningChoice::baseline());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningGrid {
+    p: usize,
+    c: usize,
+    lru_budget: Option<usize>,
+    allow_lossy: bool,
+}
+
+impl TuningGrid {
+    /// Creates the grid for a `(p, c)` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] when the shape is not a valid
+    /// 1.5D process grid (`c` must divide `p`, both positive).
+    pub fn new(p: usize, c: usize) -> Result<Self> {
+        ProcessGrid::new(p, c)?;
+        Ok(TuningGrid { p, c, lru_budget: None, allow_lossy: false })
+    }
+
+    /// Admits [`CacheKnob::Lru`] candidates with this byte budget.  A zero
+    /// budget admits nothing.
+    pub fn with_lru_budget(mut self, byte_budget: usize) -> Self {
+        self.lru_budget = if byte_budget > 0 { Some(byte_budget) } else { None };
+        self
+    }
+
+    /// Admits the lossy codecs (`Fp16`, `Int8`) to the grid.
+    pub fn with_lossy(mut self, allow: bool) -> Self {
+        self.allow_lossy = allow;
+        self
+    }
+
+    /// Number of ranks `p` of the shape.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Replication factor `c` of the shape.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Whether a candidate is a member of this grid.
+    pub fn is_valid(&self, choice: &TuningChoice) -> bool {
+        let cache_ok = match choice.cache {
+            CacheKnob::Off | CacheKnob::EpochPinned => true,
+            CacheKnob::Lru { byte_budget } => self.lru_budget == Some(byte_budget),
+        };
+        let codec_ok = choice.codec == Codec::Exact || self.allow_lossy;
+        let overlap_ok = !choice.overlap || (self.c > 1 && choice.cache == CacheKnob::EpochPinned);
+        cache_ok && codec_ok && overlap_ok
+    }
+
+    /// Enumerates every valid candidate in canonical lexicographic order:
+    /// cache (`Off < EpochPinned < Lru`), then codec
+    /// (`Exact < Fp16 < Int8`), then overlap (`off < on`).  The first
+    /// candidate is always [`TuningChoice::baseline`].
+    pub fn candidates(&self) -> Vec<TuningChoice> {
+        let mut caches = vec![CacheKnob::Off, CacheKnob::EpochPinned];
+        if let Some(byte_budget) = self.lru_budget {
+            caches.push(CacheKnob::Lru { byte_budget });
+        }
+        let codecs: &[Codec] = if self.allow_lossy {
+            &[Codec::Exact, Codec::Fp16, Codec::Int8]
+        } else {
+            &[Codec::Exact]
+        };
+        let mut out = Vec::new();
+        for &cache in &caches {
+            for &codec in codecs {
+                for overlap in [false, true] {
+                    let choice = TuningChoice { cache, codec, overlap };
+                    if self.is_valid(&choice) {
+                        out.push(choice);
+                    }
+                }
+            }
+        }
+        debug_assert!(out.windows(2).all(|w| w[0].lex_key() < w[1].lex_key()));
+        out
+    }
+}
+
+/// The fitted predictor: a [`CostModel`] plus calibrated per-knob terms from
+/// a [`ProbeSet`].
+///
+/// ```
+/// use dmbs_comm::tune::{CacheKnob, ProbeEpoch, ProbeSet, TuningGrid, TuningModel, search};
+/// use dmbs_comm::CostModel;
+///
+/// // Synthetic probe books of a shape where the pinned cache halves the
+/// // wire bill: 2000 words uncached, 1000 pinned + 1000 saved.
+/// let baseline = ProbeEpoch {
+///     words_sent: 2000,
+///     messages: 80,
+///     bytes_on_wire: 16000,
+///     compute_s: 0.004,
+///     propagation_compute_s: 0.003,
+///     ..ProbeEpoch::default()
+/// };
+/// let pinned = ProbeEpoch {
+///     words_sent: 1000,
+///     messages: 40,
+///     bytes_on_wire: 8000,
+///     words_saved: 1000,
+///     compute_s: 0.004,
+///     propagation_compute_s: 0.003,
+///     ..ProbeEpoch::default()
+/// };
+/// let probes = ProbeSet { baseline, pinned, ..ProbeSet::default() };
+/// let model = TuningModel::fit(CostModel::new(2.0e-4, 5.0e-8), 4, probes).unwrap();
+///
+/// let grid = TuningGrid::new(4, 2).unwrap();
+/// let outcome = search(&model, &grid);
+/// // Fewer words and fewer messages: the pinned cache wins.
+/// assert_eq!(outcome.chosen().choice.cache, CacheKnob::EpochPinned);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningModel {
+    cost: CostModel,
+    ranks: usize,
+    probes: ProbeSet,
+}
+
+impl TuningModel {
+    /// Fits the model from probe books, verifying the double-entry
+    /// identities that tie the probes together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommError::InvalidConfig`] when `ranks == 0`, when a probe
+    /// that must be bit-exact booked saved bytes, or when the probes violate
+    /// the cache identity
+    /// `words(pinned) + words_saved(pinned) == words(baseline)` or the codec
+    /// identity `bytes_on_wire + bytes_saved == 8 × words_sent`.
+    pub fn fit(cost: CostModel, ranks: usize, probes: ProbeSet) -> Result<Self> {
+        if ranks == 0 {
+            return Err(CommError::InvalidConfig("tuning model requires at least one rank".into()));
+        }
+        for (name, probe) in [("baseline", &probes.baseline), ("pinned", &probes.pinned)] {
+            if probe.bytes_on_wire != 8 * probe.words_sent || probe.bytes_saved != 0 {
+                return Err(CommError::InvalidConfig(format!(
+                    "{name} probe must run the exact codec: booked {} wire bytes + {} saved \
+                     for {} words",
+                    probe.bytes_on_wire, probe.bytes_saved, probe.words_sent
+                )));
+            }
+        }
+        if probes.pinned.words_sent + probes.pinned.words_saved != probes.baseline.words_sent {
+            return Err(CommError::InvalidConfig(format!(
+                "cache books don't balance: pinned sent {} + saved {} != baseline sent {}",
+                probes.pinned.words_sent, probes.pinned.words_saved, probes.baseline.words_sent
+            )));
+        }
+        for (name, probe) in [("fp16", probes.fp16.as_ref()), ("int8", probes.int8.as_ref())] {
+            let Some(probe) = probe else { continue };
+            if probe.words_sent != probes.pinned.words_sent {
+                return Err(CommError::InvalidConfig(format!(
+                    "{name} probe sent {} words but the pinned probe sent {}; codecs change \
+                     bytes, never words",
+                    probe.words_sent, probes.pinned.words_sent
+                )));
+            }
+            if probe.bytes_on_wire + probe.bytes_saved != 8 * probe.words_sent {
+                return Err(CommError::InvalidConfig(format!(
+                    "{name} probe's byte books don't balance: {} on wire + {} saved != 8 × {}",
+                    probe.bytes_on_wire, probe.bytes_saved, probe.words_sent
+                )));
+            }
+        }
+        if let Some(overlapped) = &probes.overlapped {
+            if overlapped.words_sent != probes.pinned.words_sent {
+                return Err(CommError::InvalidConfig(format!(
+                    "overlapped probe sent {} words but the pinned probe sent {}; the \
+                     overlapped schedule never changes the wire books",
+                    overlapped.words_sent, probes.pinned.words_sent
+                )));
+            }
+        }
+        Ok(TuningModel { cost, ranks, probes })
+    }
+
+    /// The α–β cost model the predictions charge.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// The number of ranks the probes ran on.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Predicts the per-epoch cost breakdown of one candidate.
+    ///
+    /// Counters come from the probe books (cache knob selects between the
+    /// baseline and pinned word bills; the codec knob subtracts the bytes
+    /// its probe saved, scaled conservatively by the candidate's word bill);
+    /// seconds charge `(α·messages + β·bytes/8) / p` plus the common
+    /// measured compute, minus the calibrated overlap credit.
+    pub fn predict(&self, choice: &TuningChoice) -> CostBreakdown {
+        let probes = &self.probes;
+        let (words, messages) = match choice.cache {
+            // The LRU knob is scored pessimistically — see [`CacheKnob::Lru`].
+            CacheKnob::Off | CacheKnob::Lru { .. } => {
+                (probes.baseline.words_sent, probes.baseline.messages)
+            }
+            CacheKnob::EpochPinned => (probes.pinned.words_sent, probes.pinned.messages),
+        };
+        let saved_at_pinned = match choice.codec {
+            Codec::Exact => 0,
+            Codec::Fp16 => probes.fp16.map_or(0, |p| p.bytes_saved),
+            Codec::Int8 => probes.int8.map_or(0, |p| p.bytes_saved),
+        };
+        // Codec savings were calibrated at the pinned word bill; scale them
+        // by the candidate's word bill.  The scaling is conservative for the
+        // uncached candidates: their extra words are all compressible
+        // feature payload, so the true savings are at least this.
+        let bytes_saved = if saved_at_pinned == 0 || probes.pinned.words_sent == 0 {
+            0
+        } else {
+            let scale = words as f64 / probes.pinned.words_sent as f64;
+            ((saved_at_pinned as f64 * scale).round() as usize).min(8 * words)
+        };
+        let bytes_on_wire = 8 * words - bytes_saved;
+        let comm_s = (self.cost.alpha * messages as f64
+            + self.cost.beta * (bytes_on_wire as f64 / 8.0))
+            / self.ranks as f64;
+        // Overlap credit: the hidden seconds the overlapped probe actually
+        // measured (already capped by the propagation-compute budget),
+        // further capped at this candidate's own bill — a schedule cannot
+        // hide more communication than it performs.
+        let overlap_credit_s = if choice.overlap {
+            probes.overlapped.map_or(0.0, |o| self.cost.overlap_credit(comm_s, o.overlapped_s))
+        } else {
+            0.0
+        };
+        CostBreakdown {
+            words,
+            messages,
+            bytes_on_wire,
+            comm_s,
+            overlap_credit_s,
+            compute_s: probes.baseline.compute_s,
+        }
+    }
+}
+
+/// The result of a grid search: every candidate scored in canonical order,
+/// plus the index of the arg-min.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningOutcome {
+    /// Every valid candidate with its predicted cost, in the grid's
+    /// canonical lexicographic order.
+    pub scored: Vec<ScoredChoice>,
+    /// Index of the chosen (arg-min predicted epoch time) candidate in
+    /// [`TuningOutcome::scored`].
+    pub chosen_index: usize,
+}
+
+impl TuningOutcome {
+    /// The chosen candidate.
+    pub fn chosen(&self) -> &ScoredChoice {
+        &self.scored[self.chosen_index]
+    }
+}
+
+/// Scores every candidate of `grid` under `model` and picks the arg-min of
+/// predicted effective epoch seconds.
+///
+/// Deterministic under ties: candidates are scored in the grid's canonical
+/// lexicographic order and a later candidate replaces the incumbent only
+/// when **strictly** cheaper, so an all-ties search (e.g. a shape with no
+/// communication) keeps [`TuningChoice::baseline`].
+pub fn search(model: &TuningModel, grid: &TuningGrid) -> TuningOutcome {
+    let scored: Vec<ScoredChoice> = grid
+        .candidates()
+        .into_iter()
+        .map(|choice| ScoredChoice { choice, cost: model.predict(&choice) })
+        .collect();
+    debug_assert!(!scored.is_empty(), "every grid contains at least the baseline candidate");
+    let mut chosen_index = 0;
+    for (i, candidate) in scored.iter().enumerate().skip(1) {
+        if candidate.cost.total_s() < scored[chosen_index].cost.total_s() {
+            chosen_index = i;
+        }
+    }
+    TuningOutcome { scored, chosen_index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(words: usize, messages: usize, saved: usize) -> ProbeEpoch {
+        ProbeEpoch {
+            words_sent: words,
+            messages,
+            bytes_on_wire: 8 * words,
+            bytes_saved: 0,
+            words_saved: saved,
+            compute_s: 0.004,
+            propagation_compute_s: 0.003,
+            overlapped_s: 0.0,
+        }
+    }
+
+    fn fitted(probes: ProbeSet) -> TuningModel {
+        TuningModel::fit(CostModel::new(2.0e-4, 5.0e-8), 4, probes).expect("books balance")
+    }
+
+    fn basic_probes() -> ProbeSet {
+        ProbeSet {
+            baseline: probe(2000, 80, 0),
+            pinned: probe(1000, 40, 1000),
+            ..ProbeSet::default()
+        }
+    }
+
+    #[test]
+    fn grid_enumerates_only_valid_candidates() {
+        let grid = TuningGrid::new(8, 4).unwrap().with_lru_budget(1 << 16).with_lossy(true);
+        let candidates = grid.candidates();
+        assert!(!candidates.is_empty());
+        for choice in &candidates {
+            assert!(grid.is_valid(choice), "enumerated invalid candidate {choice}");
+            if choice.overlap {
+                assert_eq!(choice.cache, CacheKnob::EpochPinned);
+            }
+        }
+        // Full grid: 3 caches × 3 codecs × sync, plus overlap only for the
+        // pinned cache.
+        assert_eq!(candidates.len(), 3 * 3 + 3);
+        assert_eq!(candidates[0], TuningChoice::baseline());
+    }
+
+    #[test]
+    fn overlap_requires_wide_shape_and_pinned_cache() {
+        let narrow = TuningGrid::new(4, 1).unwrap().with_lru_budget(1 << 16);
+        assert!(narrow.candidates().iter().all(|choice| !choice.overlap));
+        assert!(!narrow.is_valid(&TuningChoice {
+            cache: CacheKnob::EpochPinned,
+            codec: Codec::Exact,
+            overlap: true,
+        }));
+
+        let wide = TuningGrid::new(4, 2).unwrap().with_lru_budget(1 << 16);
+        assert!(wide.candidates().iter().any(|choice| choice.overlap));
+        for cache in [CacheKnob::Off, CacheKnob::Lru { byte_budget: 1 << 16 }] {
+            let choice = TuningChoice { cache, codec: Codec::Exact, overlap: true };
+            assert!(!wide.is_valid(&choice), "{choice} must be rejected");
+            assert!(!wide.candidates().contains(&choice));
+        }
+    }
+
+    #[test]
+    fn lru_and_lossy_are_opt_in() {
+        let plain = TuningGrid::new(4, 2).unwrap();
+        assert_eq!(plain.candidates().len(), 3); // off, pinned, pinned+overlap
+        assert!(plain
+            .candidates()
+            .iter()
+            .all(|ch| ch.codec == Codec::Exact && !matches!(ch.cache, CacheKnob::Lru { .. })));
+        // An Lru candidate with a *different* budget than configured is
+        // invalid too.
+        let budgeted = plain.with_lru_budget(4096);
+        assert!(budgeted.is_valid(&TuningChoice {
+            cache: CacheKnob::Lru { byte_budget: 4096 },
+            codec: Codec::Exact,
+            overlap: false,
+        }));
+        assert!(!budgeted.is_valid(&TuningChoice {
+            cache: CacheKnob::Lru { byte_budget: 8192 },
+            codec: Codec::Exact,
+            overlap: false,
+        }));
+    }
+
+    #[test]
+    fn grid_rejects_invalid_shapes() {
+        assert!(TuningGrid::new(4, 3).is_err());
+        assert!(TuningGrid::new(0, 1).is_err());
+        assert!(TuningGrid::new(4, 2).is_ok());
+    }
+
+    #[test]
+    fn all_ties_keeps_the_baseline() {
+        // No communication at all: every candidate predicts the same epoch
+        // time, so the lexicographically-first (default) schedule wins.
+        let probes =
+            ProbeSet { baseline: probe(0, 0, 0), pinned: probe(0, 0, 0), ..ProbeSet::default() };
+        let model = fitted(probes);
+        let grid = TuningGrid::new(4, 2).unwrap().with_lru_budget(1 << 16).with_lossy(true);
+        let outcome = search(&model, &grid);
+        assert_eq!(outcome.chosen_index, 0);
+        assert_eq!(outcome.chosen().choice, TuningChoice::baseline());
+        // And the search is deterministic call-over-call.
+        assert_eq!(search(&model, &grid), outcome);
+    }
+
+    #[test]
+    fn pinned_cache_wins_when_it_saves_words() {
+        let model = fitted(basic_probes());
+        let outcome = search(&model, &TuningGrid::new(4, 2).unwrap());
+        assert_eq!(outcome.chosen().choice.cache, CacheKnob::EpochPinned);
+        // Without an overlapped probe the overlap knob scores no benefit, so
+        // the synchronous schedule is kept by the tie-break.
+        assert!(!outcome.chosen().choice.overlap);
+        let chosen = outcome.chosen().cost;
+        let default = outcome.scored[0].cost;
+        assert!(chosen.total_s() < default.total_s());
+        assert_eq!(chosen.words, 1000);
+        assert_eq!(default.words, 2000);
+    }
+
+    #[test]
+    fn overlap_probe_unlocks_the_overlap_credit() {
+        let mut probes = basic_probes();
+        let mut overlapped = probes.pinned;
+        overlapped.overlapped_s = 1.0e-4;
+        probes.overlapped = Some(overlapped);
+        let model = fitted(probes);
+        let outcome = search(&model, &TuningGrid::new(4, 2).unwrap());
+        let chosen = outcome.chosen();
+        assert!(chosen.choice.overlap);
+        assert_eq!(chosen.choice.cache, CacheKnob::EpochPinned);
+        assert!(chosen.cost.overlap_credit_s > 0.0);
+        // The credit never exceeds the candidate's own communication bill.
+        assert!(chosen.cost.overlap_credit_s <= chosen.cost.comm_s);
+    }
+
+    #[test]
+    fn codec_probe_unlocks_lossy_savings() {
+        let mut probes = basic_probes();
+        let mut int8 = probes.pinned;
+        int8.words_saved = 0;
+        int8.bytes_saved = 6000; // 8000 exact bytes -> 2000 on the wire
+        int8.bytes_on_wire = 8 * int8.words_sent - int8.bytes_saved;
+        probes.int8 = Some(int8);
+        let model = fitted(probes);
+
+        // Lossy not admitted: the codec stays exact.
+        let lossless = search(&model, &TuningGrid::new(4, 2).unwrap());
+        assert_eq!(lossless.chosen().choice.codec, Codec::Exact);
+
+        // Lossy admitted: int8's measured byte savings win, and fp16 (no
+        // probe, no credited savings) does not.
+        let lossy = search(&model, &TuningGrid::new(4, 2).unwrap().with_lossy(true));
+        assert_eq!(lossy.chosen().choice.codec, Codec::Int8);
+        let chosen = lossy.chosen().cost;
+        assert_eq!(chosen.bytes_on_wire, 2000);
+        assert!(chosen.comm_s < lossless.chosen().cost.comm_s);
+    }
+
+    #[test]
+    fn fit_rejects_unbalanced_books() {
+        // Cache identity violated.
+        let bad = ProbeSet {
+            baseline: probe(2000, 80, 0),
+            pinned: probe(1500, 40, 1000),
+            ..ProbeSet::default()
+        };
+        assert!(TuningModel::fit(CostModel::default(), 4, bad).is_err());
+        // Baseline probe must be bit-exact.
+        let mut probes = basic_probes();
+        probes.baseline.bytes_saved = 8;
+        probes.baseline.bytes_on_wire -= 8;
+        assert!(TuningModel::fit(CostModel::default(), 4, probes).is_err());
+        // Codec probes never change word counts.
+        let mut probes = basic_probes();
+        let mut fp16 = probes.pinned;
+        fp16.words_sent += 1;
+        fp16.bytes_on_wire = 8 * fp16.words_sent;
+        probes.fp16 = Some(fp16);
+        assert!(TuningModel::fit(CostModel::default(), 4, probes).is_err());
+        // Zero ranks rejected.
+        assert!(TuningModel::fit(CostModel::default(), 0, basic_probes()).is_err());
+    }
+
+    #[test]
+    fn probe_books_extraction() {
+        let mut profile = PhaseProfile::new();
+        profile.add_compute(Phase::Sampling, 0.002);
+        profile.add_compute(Phase::Propagation, 0.003);
+        profile.add_comm(Phase::FeatureFetch, 0.001);
+        profile.add_overlap(Phase::FeatureFetch, 0.0005);
+        let model = CostModel::default();
+        let mut stats = CommStats::new();
+        stats.record(50, &model);
+        stats.record(30, &model);
+        stats.record(20, &model);
+        let probe = ProbeEpoch::from_books(&profile, &stats);
+        assert_eq!(probe.words_sent, 100);
+        assert_eq!(probe.messages, 3);
+        assert_eq!(probe.bytes_on_wire, 800);
+        assert!((probe.compute_s - 0.005).abs() < 1e-12);
+        assert!((probe.propagation_compute_s - 0.003).abs() < 1e-12);
+        assert!((probe.overlapped_s - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let model = fitted(basic_probes());
+        let cost = model.predict(&TuningChoice::baseline());
+        assert_eq!(cost.bytes_on_wire, 8 * cost.words);
+        let expected = (2.0e-4 * 80.0 + 5.0e-8 * 2000.0) / 4.0;
+        assert!((cost.comm_s - expected).abs() < 1e-15);
+        assert_eq!(cost.comm_ns(), (expected * 1e9).round() as u64);
+        assert!((cost.total_s() - (cost.compute_s + cost.comm_s)).abs() < 1e-15);
+    }
+}

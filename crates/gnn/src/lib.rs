@@ -55,5 +55,10 @@ pub use session::{
 };
 pub use trainer::{EpochStats, TrainingConfig, TrainingReport};
 
+/// The cost-model-driven auto-tuner behind [`SessionBuilder::auto`],
+/// re-exported so session users can inspect [`dmbs_comm::tune::TuningChoice`]
+/// and the scored grid without a direct `dmbs_comm` dependency.
+pub use dmbs_comm::tune::{CacheKnob, ScoredChoice, TuningChoice, TuningOutcome};
+
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, GnnError>;

@@ -67,6 +67,9 @@ use crate::optim::{Optimizer, Sgd};
 use crate::serve::ModelSnapshot;
 use crate::trainer::{EpochStats, TrainingReport};
 use crate::Result;
+use dmbs_comm::tune::{
+    self, CacheKnob, ProbeEpoch, ProbeSet, TuningGrid, TuningModel, TuningOutcome,
+};
 use dmbs_comm::{
     Codec, CommStats, Communicator, Group, Phase, PhaseProfile, ProcessGrid, TransportSelect,
 };
@@ -690,7 +693,178 @@ impl<S: Sampler, B: SamplingBackend> SessionBuilder<S, B> {
                 ingest_mode: self.ingest_mode,
                 invalidation: self.invalidation,
             },
+            tuning: None,
         })
+    }
+}
+
+impl<S, B> SessionBuilder<S, B>
+where
+    S: Sampler + Send + Sync + 'static,
+    B: SamplingBackend + Send + Sync + 'static,
+{
+    /// Builds the session, then **auto-tunes** its schedule knobs with the
+    /// cost-model-driven tuner ([`dmbs_comm::tune`]): a few cheap one-epoch
+    /// probes book the workload's words, bytes and per-phase compute, a
+    /// [`TuningModel`] is fitted from them, the valid knob grid at the
+    /// backend's `(p, c)` shape is searched, and the arg-min schedule —
+    /// feature-cache mode, wire codec, overlapped pipeline — is applied to
+    /// the returned session.  [`TrainingSession::tuning_outcome`] exposes
+    /// every scored candidate with its predicted cost breakdown.
+    ///
+    /// Tuning is conservative by construction:
+    ///
+    /// * **local backends are returned untouched** — there is no
+    ///   communication to tune;
+    /// * **lossy codecs are opt-in** — the grid admits `Fp16`/`Int8` only
+    ///   when the builder explicitly set a lossy [`SessionBuilder::wire_codec`]
+    ///   (and then two extra probes calibrate their real byte savings);
+    ///   likewise an [`FeatureCacheConfig::Lru`] setting admits LRU
+    ///   candidates with that byte budget;
+    /// * **ties keep the default** — a workload the knobs cannot improve
+    ///   (e.g. a fully-replicated shape with nothing on the wire) trains
+    ///   with the same configuration [`SessionBuilder::build`] would have
+    ///   produced, by the deterministic lexicographic tie-break.
+    ///
+    /// Probes always run over the in-process simulator transport (both
+    /// transports are bit-identical in every counter the model reads); the
+    /// returned session still trains over whatever
+    /// [`SessionBuilder::transport`] selected.  Because probes share the
+    /// session's seed and the tuned knobs never change what is sampled or
+    /// trained (cache/overlap are byte-identical schedules; the codec is
+    /// bit-exact unless lossy was opted into), training the auto-tuned
+    /// session is bit-identical to explicitly passing the chosen knobs to a
+    /// fresh builder — `tests/autotune_pipeline.rs` pins this.
+    ///
+    /// ```
+    /// use dmbs_comm::{CostModel, Runtime};
+    /// use dmbs_gnn::session::TrainingSession;
+    /// use dmbs_graph::datasets::{build_dataset, DatasetConfig};
+    /// use dmbs_sampling::{BulkSamplerConfig, DistConfig, GraphSageSampler, ReplicatedBackend};
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut cfg = DatasetConfig::products_like(7);
+    /// cfg.feature_dim = 8;
+    /// cfg.num_classes = 4;
+    /// cfg.train_fraction = 0.5;
+    /// let dataset = build_dataset(&cfg, &mut StdRng::seed_from_u64(1))?;
+    ///
+    /// // A comm-dominant cost model makes the schedule knobs load-bearing.
+    /// let runtime = Runtime::with_cost_model(4, CostModel::new(2.0e-4, 5.0e-8))?;
+    /// let dist = DistConfig::new(4, 2, BulkSamplerConfig::new(16, 2));
+    /// let session = TrainingSession::builder()
+    ///     .dataset(dataset)
+    ///     .sampler(GraphSageSampler::new(vec![5, 5]).with_self_loops())
+    ///     .backend(ReplicatedBackend::with_runtime(runtime, dist)?)
+    ///     .hidden_dim(8)
+    ///     .epochs(1)
+    ///     .without_evaluation()
+    ///     .auto()?;
+    ///
+    /// let outcome = session.tuning_outcome().expect("distributed sessions are tuned");
+    /// // The arg-min is never worse than the default schedule (candidate 0).
+    /// assert!(outcome.chosen().cost.total_s() <= outcome.scored[0].cost.total_s());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SessionBuilder::build`] rejects, plus probe training
+    /// failures and [`GnnError::Comm`] when the tuner's books do not balance
+    /// (which would mean a double-entry accounting bug — see
+    /// [`TuningModel::fit`]).
+    pub fn auto(self) -> Result<TrainingSession<S, B>> {
+        // Lossy codecs and the byte-budgeted LRU cache are strictly opt-in:
+        // only an explicit builder setting admits them to the searched grid.
+        let allow_lossy = self.wire_codec != Codec::Exact;
+        let lru_budget = match self.feature_cache {
+            FeatureCacheConfig::Lru { byte_budget } => Some(byte_budget),
+            _ => None,
+        };
+        let mut session = self.build()?;
+        let (p, cost, c) = match (session.backend.runtime(), session.backend.dist()) {
+            (Some(runtime), Some(dist)) => (
+                runtime.size(),
+                runtime.cost_model(),
+                session.config.feature_replication.unwrap_or(dist.replication_c).max(1),
+            ),
+            // Local backends have no communication to tune; the built
+            // session is already the arg-min.
+            _ => return Ok(session),
+        };
+        let mut grid = TuningGrid::new(p, c)?;
+        if let Some(byte_budget) = lru_budget {
+            grid = grid.with_lru_budget(byte_budget);
+        }
+        grid = grid.with_lossy(allow_lossy);
+
+        let probe =
+            |cache: FeatureCacheConfig, codec: Codec, overlap: bool| -> Result<ProbeEpoch> {
+                let probe_session = TrainingSession {
+                    dataset: Arc::clone(&session.dataset),
+                    sampler: Arc::clone(&session.sampler),
+                    backend: Arc::clone(&session.backend),
+                    config: SessionConfig {
+                        epochs: 1,
+                        evaluate: false,
+                        feature_cache: cache,
+                        wire_codec: codec,
+                        overlap,
+                        // Probes always run in-process: both transports are
+                        // bit-identical in every counter the model reads, and
+                        // the simulator avoids spawning rank processes per
+                        // probe.  Ingest is dropped — it lands after later
+                        // epochs a one-epoch probe never reaches.
+                        transport: TransportSelect::Simulator,
+                        ingest: Vec::new(),
+                        ..session.config.clone()
+                    },
+                    tuning: None,
+                };
+                let report = probe_session.train()?;
+                let epoch = report.epochs.first().ok_or_else(|| {
+                    GnnError::InvalidConfig("probe epoch produced no statistics".into())
+                })?;
+                Ok(ProbeEpoch::from_books(&epoch.profile, &epoch.comm))
+            };
+
+        // Probes share the session seed, so every probe sees the identical
+        // epoch-0 schedule and the cross-probe double-entry identities that
+        // TuningModel::fit verifies hold exactly.
+        let probes = ProbeSet {
+            baseline: probe(FeatureCacheConfig::Off, Codec::Exact, false)?,
+            pinned: probe(FeatureCacheConfig::EpochPinned, Codec::Exact, false)?,
+            fp16: if allow_lossy {
+                Some(probe(FeatureCacheConfig::EpochPinned, Codec::Fp16, false)?)
+            } else {
+                None
+            },
+            int8: if allow_lossy {
+                Some(probe(FeatureCacheConfig::EpochPinned, Codec::Int8, false)?)
+            } else {
+                None
+            },
+            overlapped: if c > 1 {
+                Some(probe(FeatureCacheConfig::EpochPinned, Codec::Exact, true)?)
+            } else {
+                None
+            },
+        };
+        let model = TuningModel::fit(cost, p, probes)?;
+        let outcome = tune::search(&model, &grid);
+        let chosen = outcome.chosen().choice;
+        session.config.feature_cache = match chosen.cache {
+            CacheKnob::Off => FeatureCacheConfig::Off,
+            CacheKnob::EpochPinned => FeatureCacheConfig::EpochPinned,
+            CacheKnob::Lru { byte_budget } => FeatureCacheConfig::Lru { byte_budget },
+        };
+        session.config.wire_codec = chosen.codec;
+        session.config.overlap = chosen.overlap;
+        session.tuning = Some(outcome);
+        Ok(session)
     }
 }
 
@@ -703,6 +877,10 @@ pub struct TrainingSession<S, B> {
     sampler: Arc<S>,
     backend: Arc<B>,
     config: SessionConfig,
+    /// The auto-tuner's scored grid, present only on sessions built with
+    /// [`SessionBuilder::auto`].  Not shipped to rank processes — the chosen
+    /// knobs already live in `config`.
+    tuning: Option<TuningOutcome>,
 }
 
 impl<S: Sampler, B: SamplingBackend> TrainingSession<S, B> {
@@ -721,7 +899,13 @@ impl<S: Sampler, B: SamplingBackend> TrainingSession<S, B> {
         backend: B,
         config: SessionConfig,
     ) -> Self {
-        TrainingSession { dataset, sampler: Arc::new(sampler), backend: Arc::new(backend), config }
+        TrainingSession {
+            dataset,
+            sampler: Arc::new(sampler),
+            backend: Arc::new(backend),
+            config,
+            tuning: None,
+        }
     }
 
     /// The dataset this session trains on.
@@ -743,6 +927,15 @@ impl<S: Sampler, B: SamplingBackend> TrainingSession<S, B> {
     /// codec).
     pub(crate) fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The auto-tuner's scored grid and applied arg-min choice, when this
+    /// session was built with [`SessionBuilder::auto`]; `None` for sessions
+    /// built with [`SessionBuilder::build`] (including sessions rebuilt
+    /// inside a socket-transport rank process, whose knobs were already
+    /// tuned by the parent).
+    pub fn tuning_outcome(&self) -> Option<&TuningOutcome> {
+        self.tuning.as_ref()
     }
 
     /// The epoch's shuffled minibatch plan (deterministic in the session
